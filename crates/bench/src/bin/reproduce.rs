@@ -1,0 +1,108 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations] [--scale X]
+//! ```
+//!
+//! `--scale` multiplies each loop's simulated entry count (default 1.0;
+//! use e.g. 0.1 for a quick pass). `--csv` switches the per-benchmark
+//! gain experiments to CSV output for external plotting.
+
+use ltsp_bench::{
+    balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10, fig5, fig7,
+    fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
+    mve_code_size_ablation,
+    no_prefetch_headroom, ozq_capacity_ablation, regstats, versioning_experiment,
+};
+use ltsp_machine::MachineModel;
+use std::io::Write as _;
+
+/// Prints without panicking on a closed pipe (`reproduce ... | head`).
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if out.write_all(text.as_bytes()).and_then(|()| out.write_all(b"\n")).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = 1.0f64;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale requires a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => which = other.to_string(),
+        }
+    }
+
+    let machine = MachineModel::itanium2();
+    let run_all = which == "all";
+    let table = |e: &ltsp_bench::GainExperiment| if csv { e.to_csv() } else { e.render() };
+
+    if run_all || which == "fig5" {
+        emit(&fig5().render());
+    }
+    if run_all || which == "fig7" {
+        let (f06, f00) = fig7(&machine, scale);
+        emit(&table(&f06));
+        emit(&table(&f00));
+    }
+    if run_all || which == "fig8" {
+        let (f06, f00) = fig8(&machine, scale);
+        emit(&table(&f06));
+        emit(&table(&f00));
+    }
+    if run_all || which == "fig9" {
+        emit(&table(&fig9(&machine, scale)));
+    }
+    if run_all || which == "fig10" {
+        emit(&fig10(&machine, scale).render());
+    }
+    if run_all || which == "mcf" {
+        let entries = ((900.0 * scale) as u32).max(50);
+        emit(&mcf_case_study(&machine, entries).render());
+    }
+    if run_all || which == "regstats" {
+        emit(&regstats(&machine, scale).render());
+    }
+    if run_all || which == "compiletime" {
+        emit(&compile_time(&machine, scale).render());
+    }
+    if run_all || which == "noprefetch" {
+        emit(&table(&no_prefetch_headroom(&machine, scale)));
+    }
+    if run_all || which == "versioning" {
+        emit(&table(&versioning_experiment(&machine, scale)));
+    }
+    if run_all || which == "sampling" {
+        emit(&table(&miss_sampling_experiment(&machine, scale)));
+    }
+    if run_all || which == "balanced" {
+        let entries = ((800.0 * scale) as u32).max(100);
+        emit(&balanced_recurrence_experiment(&machine, entries).render());
+    }
+    if run_all || which == "ablations" {
+        emit(&ozq_capacity_ablation(&machine).render());
+        let (missing, warm) = boost_magnitude_ablation(&machine);
+        emit(&missing.render());
+        emit(&warm.render());
+        emit(&mve_code_size_ablation(&machine).render());
+        let (width_gain, width_k) = issue_width_ablation();
+        emit(&width_gain.render());
+        emit(&width_k.render());
+    }
+}

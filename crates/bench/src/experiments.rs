@@ -1,0 +1,433 @@
+//! The suite-level experiments: Figs. 7, 8, 9, 10 and the no-prefetch
+//! headroom of Sec. 4.2.
+
+use ltsp_core::{
+    benchmark_gain, format_cycle_accounting, format_gain_table, geomean_gain, run_suite,
+    suite_cycle_accounting, CompileConfig, LatencyPolicy, RunConfig, SuiteRun,
+};
+use ltsp_machine::MachineModel;
+use ltsp_memsim::CycleCounters;
+use ltsp_workloads::{cpu2000, cpu2006, Benchmark};
+
+/// A per-benchmark gain experiment with one or more arms over one suite.
+#[derive(Debug, Clone)]
+pub struct GainExperiment {
+    /// Experiment title.
+    pub title: String,
+    /// Arm labels (columns).
+    pub arms: Vec<String>,
+    /// `(benchmark, per-arm gains%)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl GainExperiment {
+    /// Geometric-mean gain of one arm.
+    pub fn geomean(&self, arm: usize) -> f64 {
+        let col: Vec<f64> = self.rows.iter().map(|(_, g)| g[arm]).collect();
+        geomean_gain(&col)
+    }
+
+    /// The gain of a named benchmark in an arm.
+    pub fn gain_of(&self, bench: &str, arm: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == bench)
+            .map(|(_, g)| g[arm])
+    }
+
+    /// Renders the gain table.
+    pub fn render(&self) -> String {
+        let arms: Vec<&str> = self.arms.iter().map(String::as_str).collect();
+        format_gain_table(&self.title, &arms, &self.rows)
+    }
+
+    /// Renders the experiment as CSV (header row, one row per benchmark,
+    /// trailing geomean row) for external plotting.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "benchmark");
+        for a in &self.arms {
+            let _ = write!(s, ",{a}");
+        }
+        let _ = writeln!(s);
+        for (name, gains) in &self.rows {
+            let _ = write!(s, "{name}");
+            for g in gains {
+                let _ = write!(s, ",{g:.4}");
+            }
+            let _ = writeln!(s);
+        }
+        let _ = write!(s, "geomean");
+        for arm in 0..self.arms.len() {
+            let _ = write!(s, ",{:.4}", self.geomean(arm));
+        }
+        let _ = writeln!(s);
+        s
+    }
+}
+
+fn gains_for(
+    benchs: &[Benchmark],
+    machine: &MachineModel,
+    base: &SuiteRun,
+    var: &SuiteRun,
+) -> Vec<f64> {
+    let _ = machine;
+    benchs
+        .iter()
+        .zip(base.runs.iter().zip(&var.runs))
+        .map(|(b, (br, vr))| benchmark_gain(b, br, vr))
+        .collect()
+}
+
+fn run_arms(
+    title: &str,
+    benchs: &[Benchmark],
+    machine: &MachineModel,
+    scale: f64,
+    arms: Vec<(String, CompileConfig)>,
+) -> GainExperiment {
+    let base_rc =
+        RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline)).with_entry_scale(scale);
+    let base = run_suite(benchs, machine, &base_rc);
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut labels = Vec::new();
+    for (label, cfg) in arms {
+        let rc = RunConfig::new(cfg).with_entry_scale(scale);
+        let var = run_suite(benchs, machine, &rc);
+        columns.push(gains_for(benchs, machine, &base, &var));
+        labels.push(label);
+    }
+    let rows = benchs
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.name.to_string(),
+                columns.iter().map(|c| c[i]).collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+    GainExperiment {
+        title: title.to_string(),
+        arms: labels,
+        rows,
+    }
+}
+
+/// Fig. 7: the headroom experiment — all (non-critical) loads scheduled at
+/// the typical L3 latency, under trip-count thresholds
+/// n ∈ {0, 8, 16, 32, 64}, with PGO. One experiment per suite.
+pub fn fig7(machine: &MachineModel, scale: f64) -> (GainExperiment, GainExperiment) {
+    let thresholds = [0u32, 8, 16, 32, 64];
+    let arms = |_suite: &str| {
+        thresholds
+            .iter()
+            .map(|&n| {
+                (
+                    format!("n={n}"),
+                    CompileConfig::new(LatencyPolicy::AllLoadsL3)
+                        .with_threshold(n)
+                        .with_pgo(true),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let b06 = cpu2006();
+    let b00 = cpu2000();
+    (
+        run_arms(
+            "Fig. 7 (CPU2006) — headroom: all loads L3, PGO",
+            &b06,
+            machine,
+            scale,
+            arms("06"),
+        ),
+        run_arms(
+            "Fig. 7 (CPU2000) — headroom: all loads L3, PGO",
+            &b00,
+            machine,
+            scale,
+            arms("00"),
+        ),
+    )
+}
+
+/// Fig. 8: the production settings with PGO — blanket L2 hints on FP
+/// loads vs HLO-directed hints (threshold 32). One experiment per suite.
+pub fn fig8(machine: &MachineModel, scale: f64) -> (GainExperiment, GainExperiment) {
+    let arms = vec![
+        (
+            "all-FP-L2".to_string(),
+            CompileConfig::new(LatencyPolicy::AllFpLoadsL2).with_pgo(true),
+        ),
+        (
+            "+HLO-hints".to_string(),
+            CompileConfig::new(LatencyPolicy::HloHints).with_pgo(true),
+        ),
+    ];
+    let b06 = cpu2006();
+    let b00 = cpu2000();
+    (
+        run_arms(
+            "Fig. 8 (CPU2006) — FP-L2 vs HLO hints, PGO",
+            &b06,
+            machine,
+            scale,
+            arms.clone(),
+        ),
+        run_arms(
+            "Fig. 8 (CPU2000) — FP-L2 vs HLO hints, PGO",
+            &b00,
+            machine,
+            scale,
+            arms,
+        ),
+    )
+}
+
+/// Fig. 9: no PGO (static trip estimates) on CPU2006 — blanket L3 hints
+/// vs HLO-directed hints.
+pub fn fig9(machine: &MachineModel, scale: f64) -> GainExperiment {
+    let arms = vec![
+        (
+            "all-loads-L3".to_string(),
+            CompileConfig::new(LatencyPolicy::AllLoadsL3).with_pgo(false),
+        ),
+        (
+            "HLO-hints".to_string(),
+            CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false),
+        ),
+    ];
+    let b06 = cpu2006();
+    run_arms(
+        "Fig. 9 (CPU2006) — no PGO: all-loads-L3 vs HLO hints",
+        &b06,
+        machine,
+        scale,
+        arms,
+    )
+}
+
+/// Sec. 4.2's aside: with software prefetching disabled in both arms, the
+/// headroom gain grows (the paper reports 4.6% geomean at n = 32 over
+/// both suites combined).
+pub fn no_prefetch_headroom(machine: &MachineModel, scale: f64) -> GainExperiment {
+    let mut benchs = cpu2006();
+    benchs.extend(cpu2000());
+    // Baseline also compiles without prefetching (same-compiler-option
+    // comparison, only the latency scheduling differs).
+    let base_rc = RunConfig::new(
+        CompileConfig::new(LatencyPolicy::Baseline).with_prefetch(false),
+    )
+    .with_entry_scale(scale);
+    let base = run_suite(&benchs, machine, &base_rc);
+    let var_rc = RunConfig::new(
+        CompileConfig::new(LatencyPolicy::AllLoadsL3)
+            .with_threshold(32)
+            .with_prefetch(false),
+    )
+    .with_entry_scale(scale);
+    let var = run_suite(&benchs, machine, &var_rc);
+    let gains = gains_for(&benchs, machine, &base, &var);
+    GainExperiment {
+        title: "Sec. 4.2 — headroom (n=32, PGO) with prefetching disabled".to_string(),
+        arms: vec!["no-prefetch".to_string()],
+        rows: benchs
+            .iter()
+            .zip(gains)
+            .map(|(b, g)| (b.name.to_string(), vec![g]))
+            .collect(),
+    }
+}
+
+/// Fig. 10 and the Sec. 4.5 counter statistics: whole-CPU2006 cycle
+/// accounting, baseline vs HLO hints, without PGO.
+#[derive(Debug, Clone)]
+pub struct AccountingResult {
+    /// Baseline bucket totals (with policy-invariant padding).
+    pub baseline: CycleCounters,
+    /// HLO-hints bucket totals (with the same padding).
+    pub hlo: CycleCounters,
+    /// Baseline counters of the hot loops only (no padding) — the paper's
+    /// per-component deltas concentrate here.
+    pub loop_baseline: CycleCounters,
+    /// HLO-hints counters of the hot loops only.
+    pub loop_hlo: CycleCounters,
+}
+
+impl AccountingResult {
+    /// Percent change of the data-stall bucket (paper: −12%).
+    pub fn exe_bubble_delta(&self) -> f64 {
+        100.0 * (self.hlo.be_exe_bubble as f64 / self.baseline.be_exe_bubble.max(1) as f64 - 1.0)
+    }
+
+    /// Percent change of the OzQ-full bucket (paper: +8%).
+    pub fn l1d_bubble_delta(&self) -> f64 {
+        100.0
+            * (self.hlo.be_l1d_fpu_bubble as f64
+                / self.baseline.be_l1d_fpu_bubble.max(1) as f64
+                - 1.0)
+    }
+
+    /// Percent change of RSE cycles across the hot loops (paper: +14% —
+    /// the register-stack traffic grows where registers are allocated, at
+    /// pipelined-loop boundaries).
+    pub fn rse_delta(&self) -> f64 {
+        100.0
+            * (self.loop_hlo.be_rse_bubble as f64
+                / self.loop_baseline.be_rse_bubble.max(1) as f64
+                - 1.0)
+    }
+
+    /// Percent change of unstalled execution across the hot loops
+    /// (paper: +1.2% from the extra epilog iterations).
+    pub fn unstalled_delta(&self) -> f64 {
+        100.0
+            * (self.loop_hlo.unstalled as f64 / self.loop_baseline.unstalled.max(1) as f64
+                - 1.0)
+    }
+
+    /// OzQ-full fractions over the hot loops (paper: 8.2% → 9.4%).
+    pub fn ozq_full_fractions(&self) -> (f64, f64) {
+        (
+            100.0 * self.loop_baseline.ozq_full_fraction(),
+            100.0 * self.loop_hlo.ozq_full_fraction(),
+        )
+    }
+
+    /// Renders both bars plus the deltas.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "Fig. 10 — CPU2006 cycle accounting (no PGO)");
+        let _ = writeln!(s, "{}", format_cycle_accounting("baseline ", &self.baseline));
+        let _ = writeln!(s, "{}", format_cycle_accounting("HLO hints", &self.hlo));
+        let (oz_b, oz_h) = self.ozq_full_fractions();
+        let _ = writeln!(
+            s,
+            "deltas: EXE {:+.1}%  L1D/FPU {:+.1}%  RSE(loops) {:+.1}%  unstalled(loops) {:+.1}%  OzQ-full(loops) {:.1}% -> {:.1}%",
+            self.exe_bubble_delta(),
+            self.l1d_bubble_delta(),
+            self.rse_delta(),
+            self.unstalled_delta(),
+            oz_b,
+            oz_h
+        );
+        s
+    }
+}
+
+/// Runs the Fig. 10 experiment.
+pub fn fig10(machine: &MachineModel, scale: f64) -> AccountingResult {
+    let benchs = cpu2006();
+    let base_rc = RunConfig::new(
+        CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false),
+    )
+    .with_entry_scale(scale);
+    let hlo_rc = RunConfig::new(
+        CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false),
+    )
+    .with_entry_scale(scale);
+    let base = run_suite(&benchs, machine, &base_rc);
+    let hlo = run_suite(&benchs, machine, &hlo_rc);
+    let (baseline, hlo_padded) = suite_cycle_accounting(&benchs, &base, &hlo);
+    AccountingResult {
+        baseline,
+        hlo: hlo_padded,
+        loop_baseline: base.counters(),
+        loop_hlo: hlo.counters(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.3;
+
+    #[test]
+    fn fig7_threshold_trend() {
+        let m = MachineModel::itanium2();
+        let (f06, _) = fig7(&m, SCALE);
+        let g0 = f06.geomean(0);
+        let g32 = f06.geomean(3);
+        assert!(
+            g32 > g0,
+            "threshold 32 must beat no threshold: n=0 {g0:.2}% vs n=32 {g32:.2}%"
+        );
+        // h264ref recovers with the threshold.
+        let h0 = f06.gain_of("464.h264ref", 0).unwrap();
+        let h32 = f06.gain_of("464.h264ref", 3).unwrap();
+        assert!(h0 < 0.0, "h264ref loses at n=0: {h0:.2}%");
+        assert!(h32 > h0);
+    }
+
+    #[test]
+    fn fig8_hlo_beats_blanket_fp() {
+        let m = MachineModel::itanium2();
+        let (f06, f00) = fig8(&m, SCALE);
+        assert!(
+            f06.geomean(1) > f06.geomean(0),
+            "HLO hints should add gains over FP-L2: {:.2}% vs {:.2}%",
+            f06.geomean(1),
+            f06.geomean(0)
+        );
+        // mcf benefits from integer-load hints only in the HLO arm.
+        let mcf_fp = f06.gain_of("429.mcf", 0).unwrap();
+        let mcf_hlo = f06.gain_of("429.mcf", 1).unwrap();
+        assert!(mcf_hlo > mcf_fp + 1.0);
+        // 177.mesa must not regress in either production arm.
+        // The headroom experiment loses ~4-5% on mesa; under the
+        // production policies the loss shrinks to a small residual.
+        let mesa = f00.gain_of("177.mesa", 1).unwrap();
+        assert!(mesa > -2.5, "mesa loss should mostly disappear: {mesa:.2}%");
+    }
+
+    #[test]
+    fn fig9_hlo_positive_blanket_mixed() {
+        let m = MachineModel::itanium2();
+        let f = fig9(&m, SCALE);
+        let blanket = f.geomean(0);
+        let hlo = f.geomean(1);
+        assert!(hlo > blanket, "HLO {hlo:.2}% must beat blanket {blanket:.2}%");
+        assert!(hlo > 0.5, "HLO without PGO should still gain: {hlo:.2}%");
+        // gobmk is the persisting loss.
+        let gobmk = f.gain_of("445.gobmk", 1).unwrap();
+        assert!(gobmk < 0.0, "gobmk should lose without PGO: {gobmk:.2}%");
+    }
+
+    #[test]
+    fn fig10_bucket_shifts() {
+        let m = MachineModel::itanium2();
+        let r = fig10(&m, SCALE);
+        assert!(r.baseline.is_consistent());
+        assert!(r.hlo.is_consistent());
+        assert!(
+            r.exe_bubble_delta() < 0.0,
+            "data stalls must shrink: {:+.1}%",
+            r.exe_bubble_delta()
+        );
+        let (oz_b, oz_h) = r.ozq_full_fractions();
+        assert!(oz_h >= oz_b, "OzQ pressure grows: {oz_b:.2}% -> {oz_h:.2}%");
+    }
+
+    #[test]
+    fn no_prefetch_headroom_exceeds_prefetched_headroom() {
+        let m = MachineModel::itanium2();
+        let nopf = no_prefetch_headroom(&m, SCALE);
+        let col: Vec<f64> = nopf.rows.iter().map(|(_, g)| g[0]).collect();
+        let g = geomean_gain(&col);
+        let (f06, f00) = fig7(&m, SCALE);
+        let with_pf = {
+            let mut all: Vec<f64> = f06.rows.iter().map(|(_, g)| g[3]).collect();
+            all.extend(f00.rows.iter().map(|(_, g)| g[3]));
+            geomean_gain(&all)
+        };
+        assert!(
+            g > with_pf,
+            "headroom without prefetching {g:.2}% must exceed {with_pf:.2}%"
+        );
+    }
+}

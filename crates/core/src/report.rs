@@ -1,0 +1,113 @@
+//! Text-report formatting for experiment results.
+
+use ltsp_memsim::CycleCounters;
+
+/// Geometric-mean gain of a set of per-benchmark percentage gains —
+/// the "Geomean" bar of the paper's figures. Gains are combined as
+/// speedup factors (`1 + g/100`).
+pub fn geomean_gain(gains: &[f64]) -> f64 {
+    if gains.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = gains.iter().map(|g| (1.0 + g / 100.0).max(1e-9).ln()).sum();
+    ((log_sum / gains.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Formats a per-benchmark gain table with one column per experimental
+/// arm, ending with the geomean row.
+///
+/// `rows` pairs each benchmark name with its per-arm gains (all rows must
+/// have `arms.len()` entries).
+pub fn format_gain_table(title: &str, arms: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(["Geomean".len()])
+        .max()
+        .unwrap_or(8)
+        .max(9);
+    let _ = write!(s, "{:<name_w$}", "benchmark");
+    for a in arms {
+        let _ = write!(s, " {a:>12}");
+    }
+    let _ = writeln!(s);
+    for (name, gains) in rows {
+        let _ = write!(s, "{name:<name_w$}");
+        for g in gains {
+            let _ = write!(s, " {:>11.2}%", g);
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "{:<name_w$}", "Geomean");
+    for arm_idx in 0..arms.len() {
+        let col: Vec<f64> = rows.iter().map(|(_, g)| g[arm_idx]).collect();
+        let _ = write!(s, " {:>11.2}%", geomean_gain(&col));
+    }
+    let _ = writeln!(s);
+    s
+}
+
+/// Formats one Fig.-10-style cycle-accounting bar as percentages of total.
+pub fn format_cycle_accounting(label: &str, c: &CycleCounters) -> String {
+    let t = c.total.max(1) as f64;
+    format!(
+        "{label}: total={} unstalled={:.1}% EXE={:.1}% L1D/FPU={:.1}% RSE={:.1}% flush={:.1}% FE={:.1}% (OzQ-full {:.1}%)",
+        c.total,
+        100.0 * c.unstalled as f64 / t,
+        100.0 * c.be_exe_bubble as f64 / t,
+        100.0 * c.be_l1d_fpu_bubble as f64 / t,
+        100.0 * c.be_rse_bubble as f64 / t,
+        100.0 * c.be_flush_bubble as f64 / t,
+        100.0 * c.fe_bubble as f64 / t,
+        100.0 * c.ozq_full_fraction(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_gains() {
+        assert!((geomean_gain(&[10.0, 10.0, 10.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_gain(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_mixes_gains_and_losses() {
+        // +100% and -50% cancel exactly (2.0 * 0.5 = 1.0).
+        assert!(geomean_gain(&[100.0, -50.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let rows = vec![
+            ("429.mcf".to_string(), vec![12.0, 14.0]),
+            ("403.gcc".to_string(), vec![0.0, 0.0]),
+        ];
+        let t = format_gain_table("Fig. 7", &["n=0", "n=32"], &rows);
+        assert!(t.contains("429.mcf"));
+        assert!(t.contains("Geomean"));
+        assert!(t.contains("n=32"));
+    }
+
+    #[test]
+    fn accounting_line_percentages() {
+        let c = CycleCounters {
+            total: 1000,
+            unstalled: 500,
+            be_exe_bubble: 300,
+            be_l1d_fpu_bubble: 100,
+            be_rse_bubble: 50,
+            be_flush_bubble: 25,
+            fe_bubble: 25,
+            ..Default::default()
+        };
+        let line = format_cycle_accounting("base", &c);
+        assert!(line.contains("unstalled=50.0%"));
+        assert!(line.contains("EXE=30.0%"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The closed-form cost/benefit model of the paper's Sec. 2.
+//!
+//! Notation (matching the paper): a load's exposable latency is `L`
+//! cycles; the schedule places its first use `d` cycles beyond the minimum
+//! distance; `c = d / L` is the coverage ratio (Eq. 1); `k` instances of
+//! the load are outstanding before the first use (the clustering factor);
+//! `d = (k − 1) · II` clusters exactly `k` instances (Eq. 3). The total
+//! stall reduction is `100 · (1 − (1 − c) / k)` percent (Eq. 2, plotted in
+//! Fig. 5).
+
+/// Coverage ratio `c = d / L` (Eq. 1).
+///
+/// # Panics
+///
+/// Panics if `exposable_latency == 0`.
+pub fn coverage_ratio(scheduled_extra: u32, exposable_latency: u32) -> f64 {
+    assert!(exposable_latency > 0, "exposable latency must be positive");
+    f64::from(scheduled_extra) / f64::from(exposable_latency)
+}
+
+/// Stall-reduction percentage `100 · (1 − (1 − c) / k)` (Eq. 2).
+///
+/// `c` is clamped to `[0, 1]` (a schedule cannot cover more than the whole
+/// latency usefully) and `k ≥ 1`.
+pub fn stall_reduction_percent(coverage: f64, clustering: u32) -> f64 {
+    let c = coverage.clamp(0.0, 1.0);
+    let k = f64::from(clustering.max(1));
+    100.0 * (1.0 - (1.0 - c) / k)
+}
+
+/// Clustering factor achieved by an additional scheduled latency `d` at a
+/// given II: `k = d / II + 1` (inverse of Eq. 3).
+pub fn clustering_factor(scheduled_extra: u32, ii: u32) -> u32 {
+    scheduled_extra / ii.max(1) + 1
+}
+
+/// The additional scheduled latency needed to cluster `k` instances:
+/// `d = (k − 1) · II` (Eq. 3).
+pub fn required_extra_latency(clustering: u32, ii: u32) -> u32 {
+    clustering.saturating_sub(1) * ii
+}
+
+/// Expected stall cycles over `n` kernel iterations with and without
+/// latency-tolerant scheduling (the Sec. 2.1 derivation):
+/// without, every iteration stalls `L` cycles; with, one stall of `L − d`
+/// cycles occurs every `k` iterations.
+pub fn stall_cycles(n: u64, exposable_latency: u32, scheduled_extra: u32, ii: u32) -> (u64, u64) {
+    let l = u64::from(exposable_latency);
+    let d = u64::from(scheduled_extra.min(exposable_latency));
+    let k = u64::from(clustering_factor(scheduled_extra, ii));
+    let without = n * l;
+    let with = n.div_ceil(k) * (l - d);
+    (without, with)
+}
+
+/// One point of Fig. 5: `(k, reduction%)`.
+pub type Fig5Point = (u32, f64);
+
+/// The four curves of Fig. 5 (coverage ratios 1, 0.5, 0.1, 0.01) over
+/// clustering factors 1..=8.
+pub fn fig5_curves() -> Vec<(f64, Vec<Fig5Point>)> {
+    [1.0, 0.5, 0.1, 0.01]
+        .into_iter()
+        .map(|c| {
+            let pts = (1..=8)
+                .map(|k| (k, stall_reduction_percent(c, k)))
+                .collect();
+            (c, pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_ratio_basic() {
+        assert!((coverage_ratio(2, 13) - 2.0 / 13.0).abs() < 1e-12);
+        assert_eq!(coverage_ratio(0, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn coverage_zero_latency_panics() {
+        let _ = coverage_ratio(1, 0);
+    }
+
+    #[test]
+    fn paper_example_two_thirds_reduction() {
+        // Sec. 2.1: "a clustering factor of 3 results in an overall stall
+        // reduction of two-thirds" at negligible coverage.
+        let r = stall_reduction_percent(0.0, 3);
+        assert!((r - 100.0 * (2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_coverage_kills_all_stalls() {
+        for k in 1..8 {
+            assert!((stall_reduction_percent(1.0, k) - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eq3_round_trips() {
+        for ii in 1..6 {
+            for k in 1..9 {
+                let d = required_extra_latency(k, ii);
+                assert_eq!(clustering_factor(d, ii), k);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_running_example_numbers() {
+        // II = 1, d = 2 -> k = 3; L = 13 -> stall 11 every 3 iterations.
+        assert_eq!(clustering_factor(2, 1), 3);
+        let (without, with) = stall_cycles(300, 13, 2, 1);
+        assert_eq!(without, 300 * 13);
+        assert_eq!(with, 100 * 11);
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let curves = fig5_curves();
+        assert_eq!(curves.len(), 4);
+        for (c, pts) in &curves {
+            assert_eq!(pts.len(), 8);
+            // Monotone increasing in k.
+            for w in pts.windows(2) {
+                assert!(w[1].1 >= w[0].1, "curve c={c} must rise with k");
+            }
+            // k = 1 point equals 100c.
+            assert!((pts[0].1 - 100.0 * c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduction_monotone_in_coverage() {
+        for k in 1..6 {
+            let mut prev = -1.0;
+            for i in 0..=10 {
+                let c = f64::from(i) / 10.0;
+                let r = stall_reduction_percent(c, k);
+                assert!(r >= prev);
+                prev = r;
+            }
+        }
+    }
+}

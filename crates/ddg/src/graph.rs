@@ -1,0 +1,471 @@
+//! Graph construction and the Recurrence II bound.
+
+use ltsp_ir::{AccessPattern, InstId, LoopIr, MemDepKind};
+use ltsp_machine::MachineModel;
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Register flow dependence (def → use), possibly loop-carried.
+    Flow,
+    /// Memory read-after-write.
+    MemFlow,
+    /// Memory write-after-read.
+    MemAnti,
+    /// Memory write-after-write.
+    MemOutput,
+    /// Implicit post-increment self-recurrence of a strided memory op: the
+    /// next iteration's address is available one cycle after this access
+    /// issues. These edges are *not* load-data edges, so criticality
+    /// analysis never raises their latency.
+    AddrInc,
+}
+
+/// A dependence edge with a scheduling latency and a loop-carried distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer instruction.
+    pub from: InstId,
+    /// Consumer instruction.
+    pub to: InstId,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Scheduling latency in cycles: the consumer may start `latency`
+    /// cycles after the producer (modulo `omega` iterations).
+    pub latency: u32,
+    /// Iteration distance.
+    pub omega: u32,
+}
+
+/// Closure assigning each load its *scheduling* latency (base, or the
+/// boosted hint-derived value for non-critical loads).
+pub type LoadLatencyFn<'a> = dyn Fn(InstId) -> u32 + 'a;
+
+/// The cyclic data-dependence graph of one loop.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    n: usize,
+    edges: Vec<DepEdge>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    is_load: Vec<bool>,
+}
+
+impl Ddg {
+    /// Builds the dependence graph for `lp`.
+    ///
+    /// `load_latency` supplies the scheduling latency of each load's data
+    /// result (the pipeliner passes base latencies first, then hint-boosted
+    /// values for non-critical loads). All other latencies come from the
+    /// machine model.
+    ///
+    /// Edges:
+    /// - register flow `def → use` with the producer's latency and the
+    ///   operand's `omega`;
+    /// - explicit memory dependences from [`LoopIr::mem_deps`] (flow: 1
+    ///   cycle, anti: 0, output: 1);
+    /// - a `(latency 1, omega 1)` post-increment self-edge on every strided
+    ///   (affine or symbolic-stride) memory access.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ltsp_ddg::Ddg;
+    /// use ltsp_ir::{DataClass, LoopBuilder};
+    /// use ltsp_machine::MachineModel;
+    ///
+    /// // An FP reduction: acc = acc[-1] + a[i].
+    /// let mut b = LoopBuilder::new("red");
+    /// let a = b.affine_ref("a[i]", DataClass::Fp, 0, 8, 8);
+    /// let v = b.load(a);
+    /// let _acc = b.fadd_reduce(v);
+    /// let lp = b.build()?;
+    ///
+    /// let m = MachineModel::itanium2();
+    /// let ddg = Ddg::build(&lp, &m, &|_| 6); // FP loads: base latency 6
+    /// // The fadd self-recurrence (latency 4, omega 1) bounds the II.
+    /// assert_eq!(ddg.rec_mii(), 4);
+    /// # Ok::<(), ltsp_ir::IrError>(())
+    /// ```
+    pub fn build(lp: &LoopIr, machine: &MachineModel, load_latency: &LoadLatencyFn) -> Ddg {
+        let n = lp.insts().len();
+        let mut edges = Vec::new();
+        let is_load: Vec<bool> = lp.insts().iter().map(|i| i.op().is_load()).collect();
+
+        // Register flow edges (qualifying predicates included).
+        for inst in lp.insts() {
+            for s in inst.reads() {
+                if let Some(def) = lp.def_of(s.reg) {
+                    let producer = lp.inst(def);
+                    let lat = if producer.op().is_load() {
+                        load_latency(def)
+                    } else {
+                        machine.latencies().op_latency(producer.op())
+                    };
+                    edges.push(DepEdge {
+                        from: def,
+                        to: inst.id(),
+                        kind: DepKind::Flow,
+                        latency: lat,
+                        omega: s.omega,
+                    });
+                }
+            }
+        }
+
+        // Explicit memory dependences.
+        for d in lp.mem_deps() {
+            let (kind, lat) = match d.kind {
+                MemDepKind::Flow => (DepKind::MemFlow, 1),
+                MemDepKind::Anti => (DepKind::MemAnti, 0),
+                MemDepKind::Output => (DepKind::MemOutput, 1),
+            };
+            edges.push(DepEdge {
+                from: d.from,
+                to: d.to,
+                kind,
+                latency: lat,
+                omega: d.omega,
+            });
+        }
+
+        // Post-increment self-recurrences on strided memory ops.
+        for inst in lp.insts() {
+            if let Some(m) = inst.mem() {
+                let strided = matches!(
+                    lp.memref(m).pattern(),
+                    AccessPattern::Affine { .. } | AccessPattern::SymbolicStride { .. }
+                );
+                if strided {
+                    edges.push(DepEdge {
+                        from: inst.id(),
+                        to: inst.id(),
+                        kind: DepKind::AddrInc,
+                        latency: 1,
+                        omega: 1,
+                    });
+                }
+            }
+        }
+
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (idx, e) in edges.iter().enumerate() {
+            succ[e.from.index()].push(idx);
+            pred[e.to.index()].push(idx);
+        }
+        Ddg {
+            n,
+            edges,
+            succ,
+            pred,
+            is_load,
+        }
+    }
+
+    /// Number of instructions (nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a node.
+    pub fn succs(&self, id: InstId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.succ[id.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Incoming edges of a node.
+    pub fn preds(&self, id: InstId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.pred[id.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// True if the node is a load.
+    pub fn is_load(&self, id: InstId) -> bool {
+        self.is_load[id.index()]
+    }
+
+    /// Raw outgoing edge indices (internal; used by cycle enumeration).
+    pub(crate) fn succ_raw(&self, node: usize) -> &[usize] {
+        &self.succ[node]
+    }
+
+    /// Drops every edge for which `keep` returns `false` and rebuilds the
+    /// adjacency indexes. Used by data speculation, which removes
+    /// memory-flow edges on constraining recurrence cycles (the load is
+    /// issued as an advanced load with a check).
+    pub fn retain_edges(&mut self, keep: impl Fn(&DepEdge) -> bool) {
+        self.edges.retain(|e| keep(e));
+        for v in &mut self.succ {
+            v.clear();
+        }
+        for v in &mut self.pred {
+            v.clear();
+        }
+        for (idx, e) in self.edges.iter().enumerate() {
+            self.succ[e.from.index()].push(idx);
+            self.pred[e.to.index()].push(idx);
+        }
+    }
+
+    /// Is there a schedule with initiation interval `ii`? Holds iff the
+    /// graph has no cycle with positive weight under `latency − ii·omega`.
+    pub fn feasible_ii(&self, ii: u32) -> bool {
+        // Longest-path Bellman-Ford from a virtual super-source that
+        // reaches every node with distance 0; a positive cycle keeps
+        // relaxing past |V| rounds.
+        let n = self.n;
+        if n == 0 {
+            return true;
+        }
+        let mut dist = vec![0i64; n];
+        for round in 0..=n {
+            let mut changed = false;
+            for e in &self.edges {
+                let w = i64::from(e.latency) - i64::from(ii) * i64::from(e.omega);
+                let cand = dist[e.from.index()] + w;
+                if cand > dist[e.to.index()] {
+                    dist[e.to.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+            if round == n {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The Recurrence II: the smallest II for which no recurrence cycle is
+    /// violated (Sec. 1.1). Always at least 1.
+    pub fn rec_mii(&self) -> u32 {
+        let mut hi: u32 = 1 + self.edges.iter().map(|e| e.latency).sum::<u32>();
+        if self.feasible_ii(1) {
+            return 1;
+        }
+        let mut lo = 1u32; // infeasible
+        debug_assert!(self.feasible_ii(hi));
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.feasible_ii(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Strongly connected components with more than one node or a
+    /// self-loop — i.e. the subgraphs that can contain recurrence cycles.
+    /// Returned as sorted node lists.
+    pub fn recurrence_sccs(&self) -> Vec<Vec<InstId>> {
+        let sccs = self.tarjan();
+        sccs.into_iter()
+            .filter(|scc| {
+                scc.len() > 1
+                    || self
+                        .succs(scc[0])
+                        .any(|e| e.to == scc[0])
+            })
+            .collect()
+    }
+
+    fn tarjan(&self) -> Vec<Vec<InstId>> {
+        // Iterative Tarjan SCC.
+        let n = self.n;
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut result: Vec<Vec<InstId>> = Vec::new();
+        let mut call: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+                if *ei < self.succ[v].len() {
+                    let edge = &self.edges[self.succ[v][*ei]];
+                    *ei += 1;
+                    let w = edge.to.index();
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            on_stack[w] = false;
+                            scc.push(InstId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort();
+                        result.push(scc);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_ir::{DataClass, LoopBuilder};
+    use ltsp_machine::{LatencyQuery, MachineModel};
+
+    fn base_lat(lp: &LoopIr, m: &MachineModel) -> impl Fn(InstId) -> u32 {
+        let lats: Vec<u32> = lp
+            .insts()
+            .iter()
+            .map(|i| match i.op() {
+                ltsp_ir::Opcode::Load(dc) => m.load_latency(dc, LatencyQuery::Base),
+                _ => 0,
+            })
+            .collect();
+        move |id: InstId| lats[id.index()]
+    }
+
+    #[test]
+    fn running_example_rec_mii_is_one() {
+        // ld/add/st with only post-increment recurrences: RecMII = 1.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("ex");
+        let s = b.affine_ref("s", DataClass::Int, 0, 4, 4);
+        let d = b.affine_ref("d", DataClass::Int, 1 << 20, 4, 4);
+        let c = b.live_in_gr("c");
+        let v = b.load(s);
+        let sum = b.add(v, c);
+        b.store(d, sum);
+        let lp = b.build().unwrap();
+        let f = base_lat(&lp, &m);
+        let ddg = Ddg::build(&lp, &m, &f);
+        assert_eq!(ddg.rec_mii(), 1);
+        // Three flow-ish chains: ld->add, add->st, plus 2 addr-inc edges.
+        assert_eq!(
+            ddg.edges()
+                .iter()
+                .filter(|e| e.kind == DepKind::AddrInc)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn fp_reduction_rec_mii_is_fp_latency() {
+        // acc = acc[-1] + v: cycle of one fadd (latency 4), omega 1.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let _acc = b.fadd_reduce(v);
+        let lp = b.build().unwrap();
+        let f = base_lat(&lp, &m);
+        let ddg = Ddg::build(&lp, &m, &f);
+        assert_eq!(ddg.rec_mii(), 4);
+    }
+
+    #[test]
+    fn pointer_chase_rec_mii_is_load_latency() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("chase");
+        let node = b.chase_ref("n", 0, 64, 1 << 22, 0.0);
+        let _v = b.load(node);
+        let lp = b.build().unwrap();
+        // With base latency 1 the chase recurrence gives RecMII 1; with a
+        // boosted latency 21 it gives 21.
+        let ddg1 = Ddg::build(&lp, &m, &|_| 1);
+        assert_eq!(ddg1.rec_mii(), 1);
+        let ddg21 = Ddg::build(&lp, &m, &|_| 21);
+        assert_eq!(ddg21.rec_mii(), 21);
+    }
+
+    #[test]
+    fn feasibility_is_monotone() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let _acc = b.fma_reduce(v, v);
+        let lp = b.build().unwrap();
+        let f = base_lat(&lp, &m);
+        let ddg = Ddg::build(&lp, &m, &f);
+        let rm = ddg.rec_mii();
+        for ii in 1..rm {
+            assert!(!ddg.feasible_ii(ii), "ii={ii} below RecMII must fail");
+        }
+        for ii in rm..rm + 4 {
+            assert!(ddg.feasible_ii(ii), "ii={ii} at/above RecMII must pass");
+        }
+    }
+
+    #[test]
+    fn sccs_identify_recurrences() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("mix");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x); // self AddrInc scc
+        let acc = b.fadd_reduce(v); // self flow scc
+        let _ = acc;
+        let lp = b.build().unwrap();
+        let f = base_lat(&lp, &m);
+        let ddg = Ddg::build(&lp, &m, &f);
+        let sccs = ddg.recurrence_sccs();
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn carried_distance_two_halves_pressure() {
+        // acc = acc[-2] + v: the recurrence spans 2 iterations, so
+        // RecMII = ceil(4/2) = 2.
+        use ltsp_ir::{Inst, Opcode, RegClass, SrcOperand, VReg};
+        let m = MachineModel::itanium2();
+        let acc = VReg::new(RegClass::Fr, 0);
+        let i0 = Inst::new(
+            InstId(0),
+            Opcode::Fadd,
+            Some(acc),
+            vec![SrcOperand::carried(acc, 2)],
+            None,
+        );
+        let lp = LoopIr::new("r2", vec![i0], vec![], vec![], vec![]).unwrap();
+        let ddg = Ddg::build(&lp, &m, &|_| 0);
+        assert_eq!(ddg.rec_mii(), 2);
+    }
+}

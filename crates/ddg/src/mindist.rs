@@ -1,0 +1,146 @@
+//! All-pairs longest-path distances at a fixed II.
+
+use ltsp_ir::InstId;
+
+use crate::graph::Ddg;
+
+/// The MinDist matrix of modulo scheduling: `dist(i, j)` is the minimum
+/// number of cycles instruction `j` must start after instruction `i`
+/// (longest path under edge weight `latency − II·omega`).
+///
+/// Used by the scheduler for precedence windows (`estart`) and for
+/// height-based priority, and by tests as an oracle for RecMII (a positive
+/// `dist(i, i)` means the II is infeasible).
+#[derive(Debug, Clone)]
+pub struct MinDist {
+    n: usize,
+    ii: u32,
+    dist: Vec<i64>,
+}
+
+/// Sentinel for "no path".
+const NEG_INF: i64 = i64::MIN / 4;
+
+impl MinDist {
+    /// Computes the matrix at the given II via Floyd-Warshall
+    /// (O(n³); loop bodies are small).
+    pub fn compute(ddg: &Ddg, ii: u32) -> MinDist {
+        let n = ddg.len();
+        let mut dist = vec![NEG_INF; n * n];
+        for e in ddg.edges() {
+            let w = i64::from(e.latency) - i64::from(ii) * i64::from(e.omega);
+            let idx = e.from.index() * n + e.to.index();
+            if w > dist[idx] {
+                dist[idx] = w;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik == NEG_INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = dist[k * n + j];
+                    if dkj == NEG_INF {
+                        continue;
+                    }
+                    let cand = dik + dkj;
+                    if cand > dist[i * n + j] {
+                        dist[i * n + j] = cand;
+                    }
+                }
+            }
+        }
+        MinDist { n, ii, dist }
+    }
+
+    /// The II this matrix was computed at.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Longest-path distance, or `None` if no path exists.
+    pub fn get(&self, from: InstId, to: InstId) -> Option<i64> {
+        let d = self.dist[from.index() * self.n + to.index()];
+        if d == NEG_INF {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// True when some node can reach itself with positive weight — the II
+    /// is infeasible.
+    pub fn has_positive_self_cycle(&self) -> bool {
+        (0..self.n).any(|i| self.dist[i * self.n + i] > 0)
+    }
+
+    /// Height-based scheduling priority: the longest path from the node to
+    /// any other node (at least 0). Ops that feed long chains schedule
+    /// first.
+    pub fn height(&self, node: InstId) -> i64 {
+        let row = &self.dist[node.index() * self.n..(node.index() + 1) * self.n];
+        row.iter().copied().filter(|&d| d > NEG_INF).max().unwrap_or(0).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_ir::{DataClass, LoopBuilder};
+    use ltsp_machine::MachineModel;
+
+    #[test]
+    fn chain_distances() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("chain");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x); // latency 6 given below
+        let a = b.fadd(v, v); // latency 4
+        let y = b.affine_ref("y", DataClass::Fp, 1 << 20, 8, 8);
+        b.store(y, a);
+        let lp = b.build().unwrap();
+        let ddg = crate::Ddg::build(&lp, &m, &|_| 6);
+        let md = MinDist::compute(&ddg, 1);
+        assert_eq!(md.get(ltsp_ir::InstId(0), ltsp_ir::InstId(1)), Some(6));
+        assert_eq!(md.get(ltsp_ir::InstId(0), ltsp_ir::InstId(2)), Some(10));
+        assert_eq!(md.get(ltsp_ir::InstId(2), ltsp_ir::InstId(0)), None);
+        assert!(md.height(ltsp_ir::InstId(0)) >= 10);
+    }
+
+    #[test]
+    fn self_cycle_detection_matches_feasibility() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let _ = b.fadd_reduce(v);
+        let lp = b.build().unwrap();
+        let ddg = crate::Ddg::build(&lp, &m, &|_| 6);
+        // RecMII is 4 (the fadd self-recurrence).
+        for ii in 1..8 {
+            let md = MinDist::compute(&ddg, ii);
+            assert_eq!(
+                md.has_positive_self_cycle(),
+                !ddg.feasible_ii(ii),
+                "disagreement at ii={ii}"
+            );
+        }
+    }
+
+    #[test]
+    fn carried_edge_subtracts_ii() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let acc = b.fadd_reduce(v);
+        let _ = acc;
+        let lp = b.build().unwrap();
+        let ddg = crate::Ddg::build(&lp, &m, &|_| 1);
+        let md = MinDist::compute(&ddg, 4);
+        // fadd self edge: latency 4, omega 1, weight 4 - 4 = 0.
+        assert_eq!(md.get(ltsp_ir::InstId(1), ltsp_ir::InstId(1)), Some(0));
+    }
+}

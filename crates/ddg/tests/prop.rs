@@ -1,0 +1,123 @@
+//! Property-based tests of the dependence-graph analyses.
+
+use proptest::prelude::*;
+
+use ltsp_ddg::{Ddg, MinDist};
+use ltsp_ir::{InstId, Opcode};
+use ltsp_machine::{LatencyQuery, MachineModel};
+use ltsp_workloads::random_loop;
+
+fn base_ddg(lp: &ltsp_ir::LoopIr, m: &MachineModel) -> Ddg {
+    Ddg::build(lp, m, &|id| match lp.inst(id).op() {
+        Opcode::Load(dc) => m.load_latency(dc, LatencyQuery::Base),
+        _ => 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RecMII is exactly the smallest feasible II: feasible at RecMII,
+    /// infeasible one below.
+    #[test]
+    fn rec_mii_is_minimal(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let ddg = base_ddg(&lp, &m);
+        let rm = ddg.rec_mii();
+        prop_assert!(ddg.feasible_ii(rm));
+        if rm > 1 {
+            prop_assert!(!ddg.feasible_ii(rm - 1));
+        }
+        // Monotone: everything above RecMII is feasible.
+        for ii in rm..rm + 3 {
+            prop_assert!(ddg.feasible_ii(ii));
+        }
+    }
+
+    /// MinDist agrees with Bellman-Ford feasibility: a positive self-cycle
+    /// exists exactly when the II is infeasible.
+    #[test]
+    fn mindist_agrees_with_feasibility(seed in 0u64..20_000, ii in 1u32..12) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let ddg = base_ddg(&lp, &m);
+        let md = MinDist::compute(&ddg, ii);
+        prop_assert_eq!(md.has_positive_self_cycle(), !ddg.feasible_ii(ii));
+    }
+
+    /// MinDist satisfies the triangle property on single edges: for every
+    /// edge, dist(from, to) is at least the edge's own weight.
+    #[test]
+    fn mindist_dominates_single_edges(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let ddg = base_ddg(&lp, &m);
+        let ii = ddg.rec_mii();
+        let md = MinDist::compute(&ddg, ii);
+        for e in ddg.edges() {
+            if e.from == e.to {
+                continue;
+            }
+            let w = i64::from(e.latency) - i64::from(ii) * i64::from(e.omega);
+            let d = md.get(e.from, e.to).expect("edge implies a path");
+            prop_assert!(d >= w, "dist {} below edge weight {}", d, w);
+        }
+    }
+
+    /// Raising load latencies never lowers RecMII (monotonicity used by
+    /// the criticality analysis).
+    #[test]
+    fn rec_mii_monotone_in_load_latency(seed in 0u64..20_000, boost in 1u32..30) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let base = base_ddg(&lp, &m);
+        let boosted = Ddg::build(&lp, &m, &|id| match lp.inst(id).op() {
+            Opcode::Load(dc) => m.load_latency(dc, LatencyQuery::Base).max(boost),
+            _ => 0,
+        });
+        prop_assert!(boosted.rec_mii() >= base.rec_mii());
+    }
+
+    /// Every enumerated recurrence cycle is a genuine cycle: its edges
+    /// chain correctly, it returns to its start, and its omega sum is
+    /// positive (the IR validator forbids zero-omega cycles).
+    #[test]
+    fn cycles_are_well_formed(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let ddg = base_ddg(&lp, &m);
+        for cycle in ddg.recurrence_cycles(500) {
+            prop_assert!(!cycle.edges.is_empty());
+            let n = cycle.edges.len();
+            for (i, &ei) in cycle.edges.iter().enumerate() {
+                let e = ddg.edges()[ei];
+                prop_assert_eq!(e.from, cycle.nodes[i]);
+                let next = cycle.nodes[(i + 1) % n];
+                prop_assert_eq!(e.to, next);
+            }
+            let summary = ddg.cycle_summary(&cycle, &|_| None);
+            prop_assert!(summary.omega >= 1, "recurrence cycles carry omega");
+            // The cycle's implied II never exceeds RecMII... (it bounds it
+            // from below): implied_ii <= rec_mii.
+            prop_assert!(summary.implied_ii <= ddg.rec_mii());
+        }
+    }
+
+    /// `cycle_loads` only reports loads, and every reported load is a node
+    /// on the cycle.
+    #[test]
+    fn cycle_loads_are_loads_on_the_cycle(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let lp = random_loop(seed);
+        let ddg = base_ddg(&lp, &m);
+        for cycle in ddg.recurrence_cycles(500) {
+            let nodes: std::collections::HashSet<InstId> =
+                cycle.nodes.iter().copied().collect();
+            for l in ddg.cycle_loads(&cycle) {
+                prop_assert!(lp.inst(l).op().is_load());
+                prop_assert!(nodes.contains(&l));
+            }
+        }
+    }
+}

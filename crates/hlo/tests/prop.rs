@@ -1,0 +1,117 @@
+//! Property-based tests of the prefetcher heuristics.
+
+use proptest::prelude::*;
+
+use ltsp_hlo::{run_hlo, HintReason, HloConfig};
+use ltsp_ir::AccessPattern;
+use ltsp_machine::MachineModel;
+use ltsp_workloads::random_loop;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Structural invariants of every HLO run, for any loop and trip
+    /// estimate:
+    /// - prefetch distances never exceed half the believed trip count;
+    /// - every hint has a reason and vice versa;
+    /// - invariant references are never planned or hinted;
+    /// - deduped references get neither plan nor hint;
+    /// - unprefetchable loaded references (chases, chase-derefs) are
+    ///   always hinted (heuristic 1).
+    #[test]
+    fn hlo_invariants(seed in 0u64..20_000, trip in 1.0f64..100_000.0) {
+        let m = MachineModel::itanium2();
+        let mut lp = random_loop(seed);
+        let report = run_hlo(&mut lp, &m, Some(trip), &HloConfig::default());
+        let loaded: std::collections::HashSet<_> = lp.loads().map(|(_, r)| r).collect();
+        let trip_clamp = (trip / 2.0).floor().max(1.0) as u32;
+
+        for d in &report.decisions {
+            let mr = lp.memref(d.memref);
+            if let Some(p) = d.plan {
+                prop_assert!(p.distance >= 1);
+                prop_assert!(
+                    p.distance <= trip_clamp.max(1),
+                    "distance {} above trip clamp {}", p.distance, trip_clamp
+                );
+            }
+            prop_assert_eq!(d.hint.is_some(), d.reason.is_some());
+            if d.deduped {
+                prop_assert!(d.plan.is_none() && d.hint.is_none());
+            }
+            match mr.pattern() {
+                AccessPattern::Invariant { .. } => {
+                    prop_assert!(d.plan.is_none() && d.hint.is_none());
+                }
+                AccessPattern::PointerChase { .. } if loaded.contains(&d.memref) => {
+                    prop_assert_eq!(d.reason, Some(HintReason::NotPrefetchable));
+                }
+                _ => {}
+            }
+            // Hints persist onto the memref.
+            prop_assert_eq!(mr.hint(), d.hint);
+        }
+        // Inserted prefetches match planned, non-deduped refs.
+        let planned = report
+            .decisions
+            .iter()
+            .filter(|d| d.plan.is_some())
+            .count();
+        prop_assert_eq!(report.prefetches_inserted, planned);
+    }
+
+    /// With prefetching disabled, the loop body is untouched but hints
+    /// are at least as plentiful (more exposed latency to mark).
+    #[test]
+    fn disabled_prefetch_never_shrinks_hints(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let mut on = random_loop(seed);
+        let mut off = random_loop(seed);
+        let n_before = off.insts().len();
+        let r_on = run_hlo(&mut on, &m, Some(1000.0), &HloConfig::default());
+        let cfg_off = HloConfig { prefetch_enabled: false, ..HloConfig::default() };
+        let r_off = run_hlo(&mut off, &m, Some(1000.0), &cfg_off);
+        prop_assert_eq!(off.insts().len(), n_before);
+        prop_assert!(r_off.hinted >= r_on.hinted.min(r_off.hinted));
+        prop_assert_eq!(r_off.prefetches_inserted, 0);
+    }
+
+    /// Lower trip estimates can only shorten prefetch distances.
+    #[test]
+    fn distance_monotone_in_trip(seed in 0u64..20_000, lo in 2u64..50, extra in 1u64..10_000) {
+        let m = MachineModel::itanium2();
+        let mut a = random_loop(seed);
+        let mut b = random_loop(seed);
+        let ra = run_hlo(&mut a, &m, Some(lo as f64), &HloConfig::default());
+        let rb = run_hlo(&mut b, &m, Some((lo + extra) as f64), &HloConfig::default());
+        for (da, db) in ra.decisions.iter().zip(&rb.decisions) {
+            if let (Some(pa), Some(pb)) = (da.plan, db.plan) {
+                prop_assert!(pa.distance <= pb.distance);
+            }
+        }
+    }
+
+    /// The HLO never invalidates the loop: it still validates and gains
+    /// only prefetch instructions.
+    #[test]
+    fn hlo_preserves_loop_validity(seed in 0u64..20_000) {
+        let m = MachineModel::itanium2();
+        let mut lp = random_loop(seed);
+        let before = lp.insts().len();
+        let report = run_hlo(&mut lp, &m, None, &HloConfig::default());
+        prop_assert_eq!(lp.insts().len(), before + report.prefetches_inserted);
+        for inst in &lp.insts()[before..] {
+            prop_assert!(inst.op().is_prefetch());
+            prop_assert!(inst.mem().is_some());
+        }
+        // Rebuild through the validating constructor.
+        let revalidated = ltsp_ir::LoopIr::new(
+            lp.name().to_string(),
+            lp.insts().to_vec(),
+            lp.memrefs().to_vec(),
+            lp.mem_deps().to_vec(),
+            lp.live_in().to_vec(),
+        );
+        prop_assert!(revalidated.is_ok(), "{:?}", revalidated.err());
+    }
+}

@@ -1,0 +1,627 @@
+//! Parser for the textual loop format produced by [`LoopIr`]'s `Display`.
+//!
+//! The format is lossless: `parse_loop(&lp.to_string()) == lp` for every
+//! valid loop (a property the test suite checks over random loops). It
+//! lets tools keep loops as text and makes hand-written test inputs easy:
+//!
+//! ```text
+//! loop example {
+//!   live_in g0
+//!   m0: "a[i]" [int affine(base=0x1000, stride=4) 4B]
+//!   m1: "y[i]" [int affine(base=0x200000, stride=4) 4B]
+//!   i0: ld g1 = @m0
+//!   i1: add g2 = g1, g0
+//!   i2: st g2 @m1
+//! }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::IrError;
+use crate::inst::{Inst, InstId, Opcode, SrcOperand};
+use crate::loop_ir::{LoopIr, MemDep, MemDepKind};
+use crate::memref::{
+    AccessPattern, CacheLevel, DataClass, LatencyHint, MemRefId, MemoryRef, PrefetchPlan,
+};
+use crate::reg::{RegClass, VReg};
+
+/// Error from [`parse_loop`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The text parsed but the loop failed validation.
+    Invalid(IrError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid loop: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<IrError> for ParseError {
+    fn from(e: IrError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(line: usize, s: &str) -> Result<u64, ParseError> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| err(line, format!("bad hex '{s}': {e}")))
+    } else {
+        s.parse().map_err(|e| err(line, format!("bad number '{s}': {e}")))
+    }
+}
+
+fn parse_i64(line: usize, s: &str) -> Result<i64, ParseError> {
+    s.trim()
+        .parse()
+        .map_err(|e| err(line, format!("bad integer '{s}': {e}")))
+}
+
+fn parse_vreg(line: usize, s: &str) -> Result<VReg, ParseError> {
+    let s = s.trim();
+    let (class, rest) = match s.chars().next() {
+        Some('g') => (RegClass::Gr, &s[1..]),
+        Some('f') => (RegClass::Fr, &s[1..]),
+        Some('p') => (RegClass::Pr, &s[1..]),
+        _ => return Err(err(line, format!("bad register '{s}'"))),
+    };
+    let idx: u32 = rest
+        .parse()
+        .map_err(|e| err(line, format!("bad register index '{s}': {e}")))?;
+    Ok(VReg::new(class, idx))
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<SrcOperand, ParseError> {
+    let s = s.trim();
+    if let Some(open) = s.find("[-") {
+        let close = s
+            .rfind(']')
+            .ok_or_else(|| err(line, format!("unclosed carried operand '{s}'")))?;
+        let reg = parse_vreg(line, &s[..open])?;
+        let omega: u32 = s[open + 2..close]
+            .parse()
+            .map_err(|e| err(line, format!("bad omega in '{s}': {e}")))?;
+        Ok(SrcOperand::carried(reg, omega))
+    } else {
+        Ok(SrcOperand::now(parse_vreg(line, s)?))
+    }
+}
+
+fn parse_memref_id(line: usize, s: &str) -> Result<MemRefId, ParseError> {
+    let s = s.trim();
+    let rest = s
+        .strip_prefix('m')
+        .ok_or_else(|| err(line, format!("bad memref id '{s}'")))?;
+    let idx: u32 = rest
+        .parse()
+        .map_err(|e| err(line, format!("bad memref id '{s}': {e}")))?;
+    Ok(MemRefId(idx))
+}
+
+/// Splits `key(a=1, b=2)` into `(key, {a: "1", b: "2"})`.
+fn parse_call<'a>(
+    line: usize,
+    s: &'a str,
+) -> Result<(&'a str, Vec<(&'a str, &'a str)>), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected '(' in '{s}'")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("expected ')' in '{s}'")))?;
+    let head = &s[..open];
+    let mut args = Vec::new();
+    for part in s[open + 1..close].split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = part.split_once('=') {
+            args.push((k.trim(), v.trim()));
+        } else if let Some((k, v)) = part.split_once('~') {
+            // `stride~N` (symbolic strides)
+            args.push((k.trim(), v.trim()));
+        } else {
+            args.push((part, ""));
+        }
+    }
+    Ok((head, args))
+}
+
+fn lookup<'a>(
+    line: usize,
+    args: &[(&'a str, &'a str)],
+    key: &str,
+) -> Result<&'a str, ParseError> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| err(line, format!("missing '{key}'")))
+}
+
+fn parse_pattern(line: usize, s: &str) -> Result<AccessPattern, ParseError> {
+    let (kind, args) = parse_call(line, s)?;
+    match kind {
+        "affine" => Ok(AccessPattern::Affine {
+            base: parse_u64(line, lookup(line, &args, "base")?)?,
+            stride: parse_i64(line, lookup(line, &args, "stride")?)?,
+        }),
+        "symbolic" => Ok(AccessPattern::SymbolicStride {
+            base: parse_u64(line, lookup(line, &args, "base")?)?,
+            typical_stride: parse_i64(line, lookup(line, &args, "stride")?)?,
+        }),
+        "gather" => Ok(AccessPattern::Gather {
+            index: parse_memref_id(line, lookup(line, &args, "index")?)?,
+            base: parse_u64(line, lookup(line, &args, "base")?)?,
+            elem_bytes: parse_u64(line, lookup(line, &args, "elem")?)? as u32,
+            region_bytes: parse_u64(line, lookup(line, &args, "region")?)?,
+        }),
+        "deref" => Ok(AccessPattern::Deref {
+            pointer: parse_memref_id(line, lookup(line, &args, "ptr")?)?,
+            offset: parse_u64(line, lookup(line, &args, "off")?)?,
+            region_bytes: parse_u64(line, lookup(line, &args, "region")?)?,
+        }),
+        "chase" => Ok(AccessPattern::PointerChase {
+            base: parse_u64(line, lookup(line, &args, "base")?)?,
+            node_bytes: parse_u64(line, lookup(line, &args, "node")?)?,
+            region_bytes: parse_u64(line, lookup(line, &args, "region")?)?,
+            locality: lookup(line, &args, "locality")?
+                .parse()
+                .map_err(|e| err(line, format!("bad locality: {e}")))?,
+        }),
+        "invariant" => Ok(AccessPattern::Invariant {
+            addr: parse_u64(line, lookup(line, &args, "addr")?)?,
+        }),
+        other => Err(err(line, format!("unknown access pattern '{other}'"))),
+    }
+}
+
+fn parse_memref_line(line: usize, rest: &str) -> Result<MemoryRef, ParseError> {
+    // "name" [int affine(...) 4B hint=L2 pf(d=8,L2,reduced)]
+    let rest = rest.trim();
+    let name_start = rest
+        .find('"')
+        .ok_or_else(|| err(line, "expected quoted reference name"))?;
+    let name_end = rest[name_start + 1..]
+        .find('"')
+        .map(|i| i + name_start + 1)
+        .ok_or_else(|| err(line, "unterminated reference name"))?;
+    let name = &rest[name_start + 1..name_end];
+    let body = rest[name_end + 1..].trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| err(line, "expected [ ... ] reference body"))?;
+
+    let mut tokens = split_top_level(body);
+    if tokens.len() < 3 {
+        return Err(err(line, "reference body needs data class, pattern, width"));
+    }
+    let data = match tokens.remove(0).as_str() {
+        "int" => DataClass::Int,
+        "fp" => DataClass::Fp,
+        other => return Err(err(line, format!("unknown data class '{other}'"))),
+    };
+    let pattern = parse_pattern(line, &tokens.remove(0))?;
+    let width_tok = tokens.remove(0);
+    let width: u32 = width_tok
+        .strip_suffix('B')
+        .ok_or_else(|| err(line, format!("expected width like '4B', got '{width_tok}'")))?
+        .parse()
+        .map_err(|e| err(line, format!("bad width '{width_tok}': {e}")))?;
+
+    let mut mr = MemoryRef::new(name, data, pattern, width);
+    for tok in tokens {
+        if let Some(h) = tok.strip_prefix("hint=") {
+            let hint = match h {
+                "L2" => LatencyHint::L2,
+                "L3" => LatencyHint::L3,
+                other => return Err(err(line, format!("unknown hint '{other}'"))),
+            };
+            mr.set_hint(Some(hint));
+        } else if tok.starts_with("pf(") {
+            let (_, args) = parse_call(line, &tok)?;
+            let distance = parse_u64(line, lookup(line, &args, "d")?)? as u32;
+            let mut target = None;
+            let mut reduced = false;
+            for (k, v) in &args {
+                match *k {
+                    "d" => {}
+                    "L1" => target = Some(CacheLevel::L1),
+                    "L2" => target = Some(CacheLevel::L2),
+                    "L3" => target = Some(CacheLevel::L3),
+                    "MEM" => target = Some(CacheLevel::Memory),
+                    "reduced" => reduced = true,
+                    other => {
+                        return Err(err(line, format!("unknown pf field '{other}={v}'")))
+                    }
+                }
+            }
+            mr.set_prefetch(Some(PrefetchPlan {
+                distance,
+                target: target.ok_or_else(|| err(line, "pf missing target level"))?,
+                distance_reduced: reduced,
+            }));
+        } else {
+            return Err(err(line, format!("unknown reference attribute '{tok}'")));
+        }
+    }
+    Ok(mr)
+}
+
+/// Splits on whitespace but keeps `(...)` groups intact.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn opcode_from_mnemonic(line: usize, m: &str, target: Option<CacheLevel>) -> Result<Opcode, ParseError> {
+    Ok(match m {
+        "ld" => Opcode::Load(DataClass::Int),
+        "ldf" => Opcode::Load(DataClass::Fp),
+        "st" => Opcode::Store(DataClass::Int),
+        "stf" => Opcode::Store(DataClass::Fp),
+        "lfetch" => Opcode::Prefetch(target.unwrap_or(CacheLevel::L1)),
+        "add" => Opcode::Add,
+        "sub" => Opcode::Sub,
+        "and" => Opcode::And,
+        "or" => Opcode::Or,
+        "xor" => Opcode::Xor,
+        "shl" => Opcode::Shl,
+        "shr" => Opcode::Shr,
+        "cmp" => Opcode::Cmp,
+        "tbit" => Opcode::Tbit,
+        "xma" => Opcode::Mul,
+        "ext" => Opcode::Ext,
+        "mov" => Opcode::Mov,
+        "sel" => Opcode::Sel,
+        "movl" => Opcode::MovImm,
+        "fadd" => Opcode::Fadd,
+        "fsub" => Opcode::Fsub,
+        "fmul" => Opcode::Fmul,
+        "fma" => Opcode::Fma,
+        "fcmp" => Opcode::Fcmp,
+        "fcvt" => Opcode::Fcvt,
+        "nop" => Opcode::Nop,
+        other => return Err(err(line, format!("unknown mnemonic '{other}'"))),
+    })
+}
+
+fn parse_inst_line(line: usize, id: InstId, rest: &str) -> Result<Inst, ParseError> {
+    // [(qp)] <mnemonic> [dst =] [src, src...] [@mK]
+    let mut rest = rest.trim();
+    let mut qp: Option<(SrcOperand, bool)> = None;
+    if rest.starts_with('(') {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| err(line, "unterminated qualifying predicate"))?;
+        let inner = &rest[1..close];
+        let (neg, body) = match inner.strip_prefix('!') {
+            Some(b) => (true, b),
+            None => (false, inner),
+        };
+        qp = Some((parse_operand(line, body)?, neg));
+        rest = rest[close + 1..].trim();
+    }
+    let (mem, rest) = match rest.rfind('@') {
+        Some(at) => {
+            let m = parse_memref_id(line, rest[at + 1..].trim())?;
+            (Some(m), rest[..at].trim())
+        }
+        None => (None, rest),
+    };
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().ok_or_else(|| err(line, "empty instruction"))?;
+    let operand_text = parts.next().unwrap_or("").trim();
+
+    let op = opcode_from_mnemonic(line, mnemonic, None)?;
+    let (dst, srcs_text) = match operand_text.split_once('=') {
+        Some((d, s)) => (Some(parse_vreg(line, d)?), s.trim()),
+        None => (None, operand_text),
+    };
+    let srcs = if srcs_text.is_empty() {
+        Vec::new()
+    } else {
+        srcs_text
+            .split(',')
+            .map(|s| parse_operand(line, s))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    if op.is_memory() && mem.is_none() {
+        return Err(err(line, "memory instruction needs an @mK reference"));
+    }
+    Ok(match qp {
+        None => Inst::new(id, op, dst, srcs, mem),
+        Some((q, neg)) => Inst::new_predicated(id, op, dst, srcs, mem, q, neg),
+    })
+}
+
+/// Parses a loop from the textual format written by [`LoopIr`]'s
+/// `Display` implementation.
+///
+/// # Errors
+///
+/// [`ParseError::Syntax`] for malformed text (with the line number) and
+/// [`ParseError::Invalid`] when the parsed loop fails [`LoopIr`]
+/// validation.
+///
+/// # Example
+///
+/// ```
+/// use ltsp_ir::{parse_loop, DataClass, LoopBuilder};
+///
+/// let mut b = LoopBuilder::new("roundtrip");
+/// let a = b.affine_ref("a[i]", DataClass::Fp, 0x1000, 8, 8);
+/// let v = b.load(a);
+/// let _ = b.fadd_reduce(v);
+/// let lp = b.build()?;
+/// let reparsed = parse_loop(&lp.to_string()).unwrap();
+/// assert_eq!(lp, reparsed);
+/// # Ok::<(), ltsp_ir::IrError>(())
+/// ```
+pub fn parse_loop(text: &str) -> Result<LoopIr, ParseError> {
+    let mut name = None;
+    let mut live_in = Vec::new();
+    let mut memrefs: Vec<MemoryRef> = Vec::new();
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut mem_deps: Vec<MemDep> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("loop ") {
+            let n = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(lineno, "expected '{' after loop name"))?;
+            name = Some(n.trim().to_string());
+        } else if line == "}" {
+            break;
+        } else if let Some(rest) = line.strip_prefix("live_in ") {
+            for part in rest.split(',') {
+                live_in.push(parse_vreg(lineno, part)?);
+            }
+        } else if let Some(rest) = line.strip_prefix("dep ") {
+            // dep i0 -> i2 mem-flow omega=1
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 5 || tokens[1] != "->" {
+                return Err(err(lineno, "expected 'dep iA -> iB kind omega=N'"));
+            }
+            let parse_inst_id = |s: &str| -> Result<InstId, ParseError> {
+                s.strip_prefix('i')
+                    .and_then(|n| n.parse().ok())
+                    .map(InstId)
+                    .ok_or_else(|| err(lineno, format!("bad instruction id '{s}'")))
+            };
+            let kind = match tokens[3] {
+                "mem-flow" => MemDepKind::Flow,
+                "mem-anti" => MemDepKind::Anti,
+                "mem-output" => MemDepKind::Output,
+                other => return Err(err(lineno, format!("unknown dep kind '{other}'"))),
+            };
+            let omega = tokens[4]
+                .strip_prefix("omega=")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(lineno, "bad omega"))?;
+            mem_deps.push(MemDep {
+                from: parse_inst_id(tokens[0])?,
+                to: parse_inst_id(tokens[2])?,
+                kind,
+                omega,
+            });
+        } else if let Some((head, rest)) = line.split_once(':') {
+            let head = head.trim();
+            if let Some(n) = head.strip_prefix('m') {
+                let expected: u32 = n
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad memref id '{head}': {e}")))?;
+                if expected as usize != memrefs.len() {
+                    return Err(err(lineno, "memory references must appear in order"));
+                }
+                memrefs.push(parse_memref_line(lineno, rest)?);
+            } else if let Some(n) = head.strip_prefix('i') {
+                let expected: u32 = n
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad instruction id '{head}': {e}")))?;
+                if expected as usize != insts.len() {
+                    return Err(err(lineno, "instructions must appear in order"));
+                }
+                insts.push(parse_inst_line(lineno, InstId(expected), rest)?);
+            } else {
+                return Err(err(lineno, format!("unrecognized line '{line}'")));
+            }
+        } else {
+            return Err(err(lineno, format!("unrecognized line '{line}'")));
+        }
+    }
+
+    let name = name.ok_or_else(|| err(1, "missing 'loop NAME {' header"))?;
+
+    // Prefetch instructions print as `lfetch`, losing their target level;
+    // recover it from the reference's prefetch plan.
+    for inst in &mut insts {
+        if let Opcode::Prefetch(_) = inst.op() {
+            if let Some(m) = inst.mem() {
+                if let Some(plan) = memrefs.get(m.index()).and_then(|r| r.prefetch()) {
+                    *inst = Inst::new(
+                        inst.id(),
+                        Opcode::Prefetch(plan.target),
+                        inst.dst(),
+                        inst.srcs().to_vec(),
+                        inst.mem(),
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(LoopIr::new(name, insts, memrefs, mem_deps, live_in)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    #[test]
+    fn parses_hand_written_loop() {
+        let text = r#"
+loop example {
+  live_in g0
+  m0: "a[i]" [int affine(base=0x1000, stride=4) 4B]
+  m1: "y[i]" [int affine(base=0x200000, stride=4) 4B]
+  i0: ld g1 = @m0
+  i1: add g2 = g1, g0
+  i2: st g2 @m1
+}
+"#;
+        let lp = parse_loop(text).unwrap();
+        assert_eq!(lp.name(), "example");
+        assert_eq!(lp.insts().len(), 3);
+        assert_eq!(lp.memrefs().len(), 2);
+        assert_eq!(lp.live_in().len(), 1);
+    }
+
+    #[test]
+    fn round_trips_every_pattern() {
+        let mut b = LoopBuilder::new("all-patterns");
+        let a = b.affine_ref("a[i]", DataClass::Fp, 0x1000, 8, 8);
+        let sym = b.symbolic_ref("s[i*n]", DataClass::Fp, 0x2000, 4096, 8);
+        let idx = b.affine_ref("b[i]", DataClass::Int, 0x3000, 4, 4);
+        let g = b.gather_ref("a[b[i]]", DataClass::Int, idx, 0x10_0000, 4, 1 << 20);
+        let node = b.chase_ref("node", 0x20_0000, 64, 1 << 22, 0.125);
+        let fld = b.deref_ref("node->f", DataClass::Int, node, 128, 1 << 22, 8);
+        let inv = b.invariant_ref("scale", DataClass::Fp, 0x8000, 8);
+        let va = b.load(a);
+        let vs = b.load(sym);
+        let vi = b.load(idx);
+        let vg = b.load(g);
+        let vn = b.load(node);
+        let vf = b.load(fld);
+        let vv = b.load(inv);
+        let t = b.fadd(va, vs);
+        let u = b.fma_reduce(t, vv);
+        let w = b.add(vi, vg);
+        let x = b.add(w, vf);
+        let _ = (u, vn, x);
+        let out = b.affine_ref("y[i]", DataClass::Int, 0x9000_0000, 4, 4);
+        b.store(out, x);
+        let lp = b.build().unwrap();
+
+        let text = lp.to_string();
+        let reparsed = parse_loop(&text).unwrap();
+        assert_eq!(lp, reparsed, "round trip failed for:\n{text}");
+    }
+
+    #[test]
+    fn round_trips_annotations() {
+        use crate::memref::{CacheLevel, PrefetchPlan};
+        let mut b = LoopBuilder::new("annot");
+        let a = b.affine_ref("a[i]", DataClass::Int, 0, 4, 4);
+        let v = b.load(a);
+        let _ = b.add(v, v);
+        let mut lp = b.build().unwrap();
+        lp.memref_mut(a).set_hint(Some(LatencyHint::L3));
+        lp.memref_mut(a).set_prefetch(Some(PrefetchPlan {
+            distance: 12,
+            target: CacheLevel::L2,
+            distance_reduced: true,
+        }));
+        let reparsed = parse_loop(&lp.to_string()).unwrap();
+        assert_eq!(lp, reparsed);
+    }
+
+    #[test]
+    fn round_trips_mem_deps_and_carried_operands() {
+        use crate::loop_ir::MemDepKind;
+        let mut b = LoopBuilder::new("deps");
+        let a = b.affine_ref("a[i]", DataClass::Int, 0, 4, 4);
+        let v = b.load(a);
+        let acc = b.add_reduce(v);
+        let out = b.affine_ref("a2[i]", DataClass::Int, 1 << 20, 4, 4);
+        let st = b.store(out, acc);
+        b.mem_dep(st, InstId(0), MemDepKind::Flow, 1);
+        let lp = b.build().unwrap();
+        let reparsed = parse_loop(&lp.to_string()).unwrap();
+        assert_eq!(lp, reparsed);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "loop x {\n  m0: garbage\n}";
+        let e = parse_loop(text).unwrap_err();
+        match e {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_loops() {
+        let text = "loop bad {\n  i0: add g0 = g9\n}";
+        let e = parse_loop(text).unwrap_err();
+        assert!(matches!(e, ParseError::Invalid(_)), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_ids() {
+        let text = r#"
+loop x {
+  m0: "a" [int affine(base=0x0, stride=4) 4B]
+  i1: ld g0 = @m0
+}
+"#;
+        let e = parse_loop(text).unwrap_err();
+        assert!(matches!(e, ParseError::Syntax { .. }));
+    }
+}

@@ -1,0 +1,22 @@
+//! Property test: the textual format is lossless over random loops.
+
+use proptest::prelude::*;
+
+use ltsp_ir::parse_loop;
+use ltsp_workloads::random_loop;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse_loop(lp.to_string()) == lp` for arbitrary generated loops:
+    /// every access pattern, carried operand, annotation and memory
+    /// dependence survives the round trip.
+    #[test]
+    fn display_parse_round_trip(seed in 0u64..100_000) {
+        let lp = random_loop(seed);
+        let text = lp.to_string();
+        let reparsed = parse_loop(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(lp, reparsed);
+    }
+}

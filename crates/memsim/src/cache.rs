@@ -1,0 +1,391 @@
+//! The simulated data-memory hierarchy: L1D/L2/L3, TLB, in-flight fills.
+
+use std::collections::HashMap;
+
+use ltsp_ir::{CacheLevel, DataClass};
+use ltsp_machine::CacheGeometry;
+
+/// One set-associative, LRU cache level. Tags are stored per set in MRU
+/// order (front = most recent).
+#[derive(Debug, Clone)]
+struct SetAssocCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl SetAssocCache {
+    fn new(capacity_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        let line_shift = line_bytes.trailing_zeros();
+        assert_eq!(1 << line_shift, line_bytes, "line size must be a power of two");
+        let sets = capacity_bytes / (u64::from(ways) * u64::from(line_bytes));
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache {
+            sets: vec![Vec::new(); sets as usize],
+            ways: ways as usize,
+            line_shift,
+            set_mask: sets - 1,
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line)
+    }
+
+    /// Probes for the line; on hit, refreshes LRU position.
+    fn probe(&mut self, addr: u64) -> bool {
+        let (set, line) = self.locate(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts the line as MRU, evicting the LRU way if needed.
+    fn insert(&mut self, addr: u64) {
+        let (set, line) = self.locate(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            return;
+        }
+        if ways.len() == self.ways {
+            ways.pop();
+        }
+        ways.insert(0, line);
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// Fully-associative-by-sets LRU TLB over pages.
+#[derive(Debug, Clone)]
+struct Tlb {
+    entries: Vec<u64>,
+    capacity: usize,
+    page_shift: u32,
+}
+
+impl Tlb {
+    fn new(entries: u32, page_bytes: u64) -> Self {
+        let page_shift = page_bytes.trailing_zeros();
+        assert_eq!(1u64 << page_shift, page_bytes, "page size must be a power of two");
+        Tlb {
+            entries: Vec::new(),
+            capacity: entries as usize,
+            page_shift,
+        }
+    }
+
+    /// Returns `true` on a TLB *miss* (and installs the page).
+    fn access_misses(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let p = self.entries.remove(pos);
+            self.entries.insert(0, p);
+            false
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, page);
+            true
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycles until the data is available to the pipeline.
+    pub latency: u32,
+    /// Where the line was found (the fill source for misses).
+    pub level: CacheLevel,
+    /// Whether address translation missed the TLB.
+    pub tlb_miss: bool,
+    /// Whether the access merged with an in-flight fill.
+    pub merged: bool,
+}
+
+/// The complete simulated memory system. Cache and TLB state persists
+/// across loop executions of a benchmark, which is what makes low
+/// trip-count loops with small footprints cheap (their lines stay warm) —
+/// the regression scenario of the paper's Sec. 4.2.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    geo: CacheGeometry,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    tlb: Tlb,
+    /// In-flight line fills: 128-byte-line address → completion time.
+    inflight: HashMap<u64, u64>,
+    /// Earliest cycle at which main memory can start the next line fill
+    /// (bandwidth serialization).
+    next_memory_fill: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from the machine's geometry.
+    pub fn new(geo: CacheGeometry) -> Self {
+        MemorySystem {
+            l1: SetAssocCache::new(geo.l1.capacity_bytes, geo.l1.ways, geo.l1.line_bytes),
+            l2: SetAssocCache::new(geo.l2.capacity_bytes, geo.l2.ways, geo.l2.line_bytes),
+            l3: SetAssocCache::new(geo.l3.capacity_bytes, geo.l3.ways, geo.l3.line_bytes),
+            tlb: Tlb::new(geo.tlb.entries, geo.tlb.page_bytes),
+            inflight: HashMap::new(),
+            next_memory_fill: 0,
+            geo,
+        }
+    }
+
+    /// Reserves the next memory-fill slot at or after `now`, returning the
+    /// cycles until the fill completes (memory latency plus any bandwidth
+    /// queueing delay).
+    fn memory_fill_latency(&mut self, now: u64) -> u32 {
+        let start = now.max(self.next_memory_fill);
+        self.next_memory_fill = start + u64::from(self.geo.memory_fill_interval);
+        ((start - now) + u64::from(self.geo.memory_latency)) as u32
+    }
+
+    fn inflight_key(&self, addr: u64) -> u64 {
+        addr >> self.geo.l2.line_bytes.trailing_zeros()
+    }
+
+    fn drain_inflight(&mut self, now: u64) {
+        self.inflight.retain(|_, &mut done| done > now);
+    }
+
+    /// A demand load or store at absolute cycle `now`.
+    ///
+    /// Misses install the line in every level on the fill path (FP data
+    /// bypasses L1D) and register an in-flight fill; later accesses to the
+    /// same line before completion pay only the remaining latency —
+    /// this is the memory-level-parallelism the paper's load clustering
+    /// exploits.
+    pub fn demand_access(
+        &mut self,
+        addr: u64,
+        data: DataClass,
+        now: u64,
+        is_store: bool,
+    ) -> AccessOutcome {
+        self.drain_inflight(now);
+        let tlb_miss = self.tlb.access_misses(addr);
+        let extra = if tlb_miss { self.geo.tlb.miss_penalty } else { 0 };
+
+        // Merge with an in-flight fill: pay only the remaining cycles.
+        let key = self.inflight_key(addr);
+        if let Some(&done) = self.inflight.get(&key) {
+            // The line is already on its way; promote into the caches (it
+            // was inserted at fill start) and report the remainder.
+            let remaining = (done - now) as u32;
+            return AccessOutcome {
+                latency: remaining.max(1) + extra,
+                level: CacheLevel::L2, // delivered via the L2 fill path
+                tlb_miss,
+                merged: true,
+            };
+        }
+
+        let use_l1 = data == DataClass::Int;
+        if use_l1 && self.l1.probe(addr) {
+            return AccessOutcome {
+                latency: self.geo.l1.best_latency + extra,
+                level: CacheLevel::L1,
+                tlb_miss,
+                merged: false,
+            };
+        }
+        if self.l2.probe(addr) {
+            if use_l1 {
+                self.l1.insert(addr);
+            }
+            return AccessOutcome {
+                latency: self.geo.l2.best_latency + extra,
+                level: CacheLevel::L2,
+                tlb_miss,
+                merged: false,
+            };
+        }
+        if self.l3.probe(addr) {
+            self.l2.insert(addr);
+            if use_l1 {
+                self.l1.insert(addr);
+            }
+            return AccessOutcome {
+                latency: self.geo.l3.best_latency + extra,
+                level: CacheLevel::L3,
+                tlb_miss,
+                merged: false,
+            };
+        }
+        // Memory fill (bandwidth-limited).
+        let latency = self.memory_fill_latency(now) + extra;
+        self.l3.insert(addr);
+        self.l2.insert(addr);
+        if use_l1 {
+            self.l1.insert(addr);
+        }
+        if !is_store {
+            self.inflight.insert(key, now + u64::from(latency));
+        }
+        AccessOutcome {
+            latency,
+            level: CacheLevel::Memory,
+            tlb_miss,
+            merged: false,
+        }
+    }
+
+    /// A software prefetch into `target` at cycle `now`. Returns the cycles
+    /// until the fill completes (the OzQ entry's lifetime). Never faults,
+    /// does not touch L1 unless targeted there.
+    pub fn prefetch(&mut self, addr: u64, target: CacheLevel, now: u64) -> u32 {
+        self.drain_inflight(now);
+        let tlb_miss = self.tlb.access_misses(addr);
+        let extra = if tlb_miss { self.geo.tlb.miss_penalty } else { 0 };
+        let key = self.inflight_key(addr);
+        if let Some(&done) = self.inflight.get(&key) {
+            return (done - now) as u32 + extra;
+        }
+        // Where is the line now?
+        let latency = if self.l2.probe(addr) {
+            self.geo.l2.best_latency
+        } else if self.l3.probe(addr) {
+            self.l2.insert(addr);
+            self.geo.l3.best_latency
+        } else {
+            let lat = self.memory_fill_latency(now);
+            self.l3.insert(addr);
+            self.l2.insert(addr);
+            self.inflight.insert(key, now + u64::from(lat + extra));
+            lat
+        };
+        if target == CacheLevel::L1 {
+            self.l1.insert(addr);
+        }
+        latency + extra
+    }
+
+    /// Empties all caches, the TLB and in-flight state.
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.l3.clear();
+        self.tlb.clear();
+        self.inflight.clear();
+        self.next_memory_fill = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_machine::MachineModel;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(*MachineModel::itanium2().caches())
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut s = sys();
+        let first = s.demand_access(0x1_0000, DataClass::Int, 0, false);
+        assert_eq!(first.level, CacheLevel::Memory);
+        assert!(first.latency >= 165);
+        // Long after the fill completes:
+        let second = s.demand_access(0x1_0000, DataClass::Int, 1000, false);
+        assert_eq!(second.level, CacheLevel::L1);
+        assert_eq!(second.latency, 1);
+    }
+
+    #[test]
+    fn fp_bypasses_l1() {
+        let mut s = sys();
+        s.demand_access(0x2_0000, DataClass::Fp, 0, false);
+        let again = s.demand_access(0x2_0000, DataClass::Fp, 1000, false);
+        assert_eq!(again.level, CacheLevel::L2, "FP hits L2, not L1");
+        assert_eq!(again.latency, 5);
+    }
+
+    #[test]
+    fn inflight_merge_pays_remaining_latency() {
+        let mut s = sys();
+        let first = s.demand_access(0x3_0000, DataClass::Int, 0, false);
+        let full = u64::from(first.latency);
+        // 40 cycles later, same line: remaining = full - 40.
+        let second = s.demand_access(0x3_0008, DataClass::Int, 40, false);
+        assert!(second.merged);
+        assert_eq!(u64::from(second.latency), full - 40);
+    }
+
+    #[test]
+    fn lru_eviction_in_l1() {
+        let mut s = sys();
+        // L1: 16KB, 4-way, 64B lines, 64 sets. Fill 5 lines in set 0.
+        for k in 0..5u64 {
+            // set index bits: addr >> 6 & 63 == 0 -> addr multiples of 64*64.
+            s.demand_access(k * 64 * 64, DataClass::Int, k * 10_000, false);
+        }
+        // First line evicted from L1 but still in L2.
+        let back = s.demand_access(0, DataClass::Int, 1_000_000, false);
+        assert_eq!(back.level, CacheLevel::L2);
+    }
+
+    #[test]
+    fn prefetch_fills_target_level() {
+        let mut s = sys();
+        let lat = s.prefetch(0x9_0000, CacheLevel::L2, 0);
+        assert!(lat >= 165, "cold prefetch goes to memory");
+        // After the fill, a demand access hits L2 (prefetch skipped L1).
+        let hit = s.demand_access(0x9_0000, DataClass::Int, 1000, false);
+        assert_eq!(hit.level, CacheLevel::L2);
+        // Prefetching again is cheap.
+        let lat2 = s.prefetch(0x9_0000, CacheLevel::L2, 2000);
+        assert_eq!(lat2, 5);
+    }
+
+    #[test]
+    fn demand_after_prefetch_in_flight_merges() {
+        let mut s = sys();
+        let lat = s.prefetch(0xA_0000, CacheLevel::L2, 0);
+        let d = s.demand_access(0xA_0000, DataClass::Int, 50, false);
+        assert!(d.merged);
+        assert_eq!(u64::from(d.latency), u64::from(lat) - 50);
+    }
+
+    #[test]
+    fn tlb_miss_penalty_applies_once_per_page() {
+        let mut s = sys();
+        let a = s.demand_access(0x50_0000, DataClass::Int, 0, false);
+        assert!(a.tlb_miss);
+        let b = s.demand_access(0x50_0040, DataClass::Int, 1000, false);
+        assert!(!b.tlb_miss, "same 16K page is cached in the TLB");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = sys();
+        s.demand_access(0x1_0000, DataClass::Int, 0, false);
+        s.clear();
+        let again = s.demand_access(0x1_0000, DataClass::Int, 10_000, false);
+        assert_eq!(again.level, CacheLevel::Memory);
+        assert!(again.tlb_miss);
+    }
+}

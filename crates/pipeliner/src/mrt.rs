@@ -1,0 +1,230 @@
+//! The modulo reservation table.
+
+use ltsp_ir::{InstId, UnitClass};
+use ltsp_machine::IssueResources;
+
+/// Which physical slot class an instruction actually occupies in its row
+/// (A-class ops land on either an I or an M slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TakenSlot {
+    M,
+    I,
+    F,
+    B,
+}
+
+/// Modulo reservation table: tracks, for each of the II rows, which
+/// instructions occupy which issue slots. Placement wraps schedule time
+/// modulo II.
+#[derive(Debug, Clone)]
+pub struct Mrt {
+    ii: u32,
+    res: IssueResources,
+    rows: Vec<Vec<(InstId, TakenSlot)>>,
+}
+
+impl Mrt {
+    /// Creates an empty table for the given II and issue resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, res: IssueResources) -> Self {
+        assert!(ii > 0, "II must be positive");
+        Mrt {
+            ii,
+            res,
+            rows: vec![Vec::new(); ii as usize],
+        }
+    }
+
+    /// The table's II.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn row_of(&self, time: i64) -> usize {
+        (time.rem_euclid(i64::from(self.ii))) as usize
+    }
+
+    fn free_in_row(&self, row: usize, class: UnitClass) -> Option<TakenSlot> {
+        let mut m = 0u32;
+        let mut i = 0u32;
+        let mut f = 0u32;
+        let mut b = 0u32;
+        for &(_, s) in &self.rows[row] {
+            match s {
+                TakenSlot::M => m += 1,
+                TakenSlot::I => i += 1,
+                TakenSlot::F => f += 1,
+                TakenSlot::B => b += 1,
+            }
+        }
+        match class {
+            UnitClass::M => (m < self.res.m).then_some(TakenSlot::M),
+            UnitClass::I => (i < self.res.i).then_some(TakenSlot::I),
+            UnitClass::F => (f < self.res.f).then_some(TakenSlot::F),
+            UnitClass::B => (b < self.res.b).then_some(TakenSlot::B),
+            UnitClass::A => {
+                if i < self.res.i {
+                    Some(TakenSlot::I)
+                } else if m < self.res.m {
+                    Some(TakenSlot::M)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// True if an instruction of `class` fits at `time` without eviction.
+    pub fn fits(&self, time: i64, class: UnitClass) -> bool {
+        self.free_in_row(self.row_of(time), class).is_some()
+    }
+
+    /// Places an instruction at `time`.
+    ///
+    /// Returns `true` on success; `false` if the row has no free compatible
+    /// slot (use [`Mrt::place_forced`] to evict).
+    pub fn place(&mut self, inst: InstId, time: i64, class: UnitClass) -> bool {
+        let row = self.row_of(time);
+        match self.free_in_row(row, class) {
+            Some(slot) => {
+                self.rows[row].push((inst, slot));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forces an instruction into the row at `time`, evicting occupants as
+    /// needed. Returns the evicted instructions.
+    ///
+    /// For a fixed-class op, one occupant of that class is evicted. For an
+    /// A-class op, an occupant is taken from the I slots if any, otherwise
+    /// from the M slots. The *most recently placed* occupant is evicted,
+    /// which in the iterative scheduler corresponds to the lowest-priority
+    /// one placed so far.
+    pub fn place_forced(&mut self, inst: InstId, time: i64, class: UnitClass) -> Vec<InstId> {
+        if self.place(inst, time, class) {
+            return Vec::new();
+        }
+        let row = self.row_of(time);
+        let victim_class = match class {
+            UnitClass::M => TakenSlot::M,
+            UnitClass::I => TakenSlot::I,
+            UnitClass::F => TakenSlot::F,
+            UnitClass::B => TakenSlot::B,
+            UnitClass::A => {
+                // Both I and M are full (place() failed). Prefer evicting
+                // from I to keep M slots for memory ops.
+                TakenSlot::I
+            }
+        };
+        let pos = self.rows[row]
+            .iter()
+            .rposition(|&(_, s)| s == victim_class)
+            .expect("row reported full for this class, so an occupant exists");
+        let (victim, slot) = self.rows[row].remove(pos);
+        self.rows[row].push((inst, slot));
+        vec![victim]
+    }
+
+    /// Removes an instruction from the row it occupies at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not in that row.
+    pub fn remove(&mut self, inst: InstId, time: i64) {
+        let row = self.row_of(time);
+        let pos = self.rows[row]
+            .iter()
+            .position(|&(i, _)| i == inst)
+            .expect("instruction must occupy the row it is removed from");
+        self.rows[row].remove(pos);
+    }
+
+    /// Total occupied slots (for tests/statistics).
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> IssueResources {
+        IssueResources {
+            m: 2,
+            i: 2,
+            f: 2,
+            b: 1,
+        }
+    }
+
+    #[test]
+    fn wraps_modulo_ii() {
+        let mut mrt = Mrt::new(2, res());
+        assert!(mrt.place(InstId(0), 0, UnitClass::M));
+        assert!(mrt.place(InstId(1), 2, UnitClass::M), "same row as time 0");
+        assert!(
+            !mrt.place(InstId(2), 4, UnitClass::M),
+            "row 0 M slots now full"
+        );
+        assert!(mrt.place(InstId(2), 1, UnitClass::M), "row 1 free");
+    }
+
+    #[test]
+    fn a_class_prefers_i_then_m() {
+        let mut mrt = Mrt::new(1, res());
+        assert!(mrt.place(InstId(0), 0, UnitClass::A));
+        assert!(mrt.place(InstId(1), 0, UnitClass::A));
+        assert!(mrt.place(InstId(2), 0, UnitClass::A));
+        assert!(mrt.place(InstId(3), 0, UnitClass::A));
+        assert!(!mrt.place(InstId(4), 0, UnitClass::A), "4 shared slots");
+        // But a pure M op no longer fits either: A ops spilled into M.
+        assert!(!mrt.fits(0, UnitClass::M));
+    }
+
+    #[test]
+    fn forced_placement_evicts_most_recent() {
+        let mut mrt = Mrt::new(1, res());
+        assert!(mrt.place(InstId(0), 0, UnitClass::M));
+        assert!(mrt.place(InstId(1), 0, UnitClass::M));
+        let evicted = mrt.place_forced(InstId(2), 0, UnitClass::M);
+        assert_eq!(evicted, vec![InstId(1)]);
+        assert_eq!(mrt.occupancy(), 2);
+    }
+
+    #[test]
+    fn forced_placement_without_conflict_evicts_nothing() {
+        let mut mrt = Mrt::new(1, res());
+        let evicted = mrt.place_forced(InstId(0), 0, UnitClass::F);
+        assert!(evicted.is_empty());
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut mrt = Mrt::new(1, res());
+        assert!(mrt.place(InstId(0), 0, UnitClass::F));
+        assert!(mrt.place(InstId(1), 0, UnitClass::F));
+        assert!(!mrt.fits(0, UnitClass::F));
+        mrt.remove(InstId(0), 0);
+        assert!(mrt.fits(0, UnitClass::F));
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be positive")]
+    fn zero_ii_panics() {
+        let _ = Mrt::new(0, res());
+    }
+
+    #[test]
+    fn negative_time_wraps() {
+        let mut mrt = Mrt::new(3, res());
+        assert!(mrt.place(InstId(0), -1, UnitClass::M)); // row 2
+        assert!(mrt.place(InstId(1), 2, UnitClass::M));
+        assert!(!mrt.place(InstId(2), 5, UnitClass::M), "row 2 full");
+    }
+}

@@ -1,0 +1,520 @@
+//! The top-level pipelining driver with the paper's fallback ladder.
+
+use std::error::Error;
+use std::fmt;
+
+use ltsp_ddg::Ddg;
+use ltsp_ir::{InstId, LatencyHint, LoopIr, Opcode};
+use ltsp_machine::{LatencyQuery, MachineModel};
+
+use crate::criticality::{classify_loads_with, LoadClass, LoadClassification};
+use crate::regalloc::{allocate_rotating, RegAllocation};
+use crate::schedule::ModuloSchedule;
+use crate::scheduler::{acyclic_schedule, ModuloScheduler};
+
+/// Tunables for the pipelining driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Eviction budget per scheduling attempt, as a multiple of the number
+    /// of instructions.
+    pub budget_factor: u32,
+    /// Cap on enumerated recurrence cycles during criticality analysis.
+    pub cycle_cap: usize,
+    /// How far above Min II the driver escalates before declaring
+    /// pipelining unprofitable.
+    pub max_ii_slack: u32,
+    /// Enable the balanced-recurrence extension: distribute a violating
+    /// cycle's slack among its loads (partial boosts) instead of marking
+    /// them all critical. Off by default (the paper's algorithm).
+    pub balance_cycle_slack: bool,
+    /// Enable data speculation (paper Sec. 3.3: one of the optimizations
+    /// "done to reduce the recurrence cycle lengths" when the Recurrence
+    /// II exceeds the Resource II): memory-flow edges on constraining
+    /// cycles are broken by issuing the load as an advanced load
+    /// (`ld.a`/`chk.a`); the recovery check's cost is not modeled (checks
+    /// are cheap A-class ops and mis-speculation is assumed rare).
+    pub data_speculation: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            budget_factor: 8,
+            cycle_cap: 10_000,
+            max_ii_slack: 16,
+            balance_cycle_slack: false,
+            data_speculation: false,
+        }
+    }
+}
+
+/// Statistics of one pipelining run (feeds the paper's Sec. 3.3/4.5
+/// numbers: extra scheduling attempts, register usage, boosts applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Resource II lower bound.
+    pub res_mii: u32,
+    /// Recurrence II lower bound (base latencies).
+    pub rec_mii: u32,
+    /// `max(res_mii, rec_mii)`.
+    pub min_ii: u32,
+    /// Modulo-scheduling attempts performed (each II × latency setting).
+    pub schedule_attempts: u32,
+    /// True when register allocation forced the driver to drop the
+    /// latency boosts (first rung of the fallback ladder).
+    pub dropped_boosts: bool,
+    /// Loads scheduled at a boosted latency in the final schedule.
+    pub boosted_loads: usize,
+    /// Loads marked critical by the recurrence analysis.
+    pub critical_loads: usize,
+    /// Memory-flow dependences broken by data speculation.
+    pub speculated_edges: usize,
+}
+
+/// A successfully pipelined loop.
+#[derive(Debug, Clone)]
+pub struct PipelinedLoop {
+    /// The kernel schedule.
+    pub schedule: ModuloSchedule,
+    /// Rotating/static register usage.
+    pub regs: RegAllocation,
+    /// Final per-load classification (reflects any dropped boosts).
+    pub classification: LoadClassification,
+    /// Run statistics.
+    pub stats: PipelineStats,
+}
+
+impl PipelinedLoop {
+    /// The scheduling latency the kernel assumed for each load —
+    /// `None` for non-loads. Useful for analysis and tests.
+    pub fn scheduled_load_latency(
+        &self,
+        lp: &LoopIr,
+        machine: &MachineModel,
+        inst: InstId,
+    ) -> Option<u32> {
+        match lp.inst(inst).op() {
+            Opcode::Load(dc) => {
+                Some(machine.load_latency(dc, self.classification.query(inst)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pipelining was rejected; the caller should fall back to the acyclic
+/// schedule (see [`acyclic_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Scheduling attempts consumed before giving up.
+    pub attempts: u32,
+    /// The Min II that could not be realized within the II budget.
+    pub min_ii: u32,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipelining unprofitable after {} attempts from Min II {}",
+            self.attempts, self.min_ii
+        )
+    }
+}
+
+impl Error for PipelineError {}
+
+fn build_ddg<'a>(
+    lp: &'a LoopIr,
+    machine: &'a MachineModel,
+    query: impl Fn(InstId) -> LatencyQuery + 'a,
+) -> Ddg {
+    Ddg::build(lp, machine, &move |id| {
+        if let Opcode::Load(dc) = lp.inst(id).op() {
+            machine.load_latency(dc, query(id))
+        } else {
+            0
+        }
+    })
+}
+
+/// Pipelines a loop with latency-tolerant scheduling (paper Sec. 3.3).
+///
+/// `hint_of` supplies the expected-latency hint per load under the active
+/// policy (HLO hints, blanket settings, or none for the baseline).
+///
+/// Procedure:
+/// 1. Resource II and base-latency Recurrence II give Min II.
+/// 2. Criticality analysis decides which loads may be boosted.
+/// 3. Modulo scheduling runs at increasing II; after each successful
+///    schedule, rotating register allocation is attempted.
+/// 4. On allocation failure the boosts are dropped at the same II; if that
+///    also fails the II is escalated with boosts kept off, matching the
+///    paper's ladder ("first reduce the non-critical load latencies …,
+///    then continue to iterate at successively higher IIs").
+///
+/// # Errors
+///
+/// [`PipelineError`] when no schedule within `min_ii + max_ii_slack` (also
+/// capped at the acyclic schedule length) both schedules and allocates.
+///
+/// # Example
+///
+/// ```
+/// use ltsp_ir::{DataClass, LatencyHint, LoopBuilder};
+/// use ltsp_machine::MachineModel;
+/// use ltsp_pipeliner::{pipeline_loop, PipelineOptions};
+///
+/// let mut b = LoopBuilder::new("ex");
+/// let src = b.affine_ref("src", DataClass::Int, 0, 4, 4);
+/// let dst = b.affine_ref("dst", DataClass::Int, 1 << 20, 4, 4);
+/// let c = b.live_in_gr("c");
+/// let v = b.load(src);
+/// let s = b.add(v, c);
+/// b.store(dst, s);
+/// let lp = b.build()?;
+///
+/// let m = MachineModel::itanium2();
+/// // Blanket L3 hints: the load is non-critical, so the II stays at 1
+/// // and latency-buffer stages absorb the scheduled latency (Fig. 4).
+/// let p = pipeline_loop(&lp, &m, &|_| Some(LatencyHint::L3), &PipelineOptions::default())
+///     .expect("pipelines");
+/// assert_eq!(p.schedule.ii(), 1);
+/// assert_eq!(p.stats.boosted_loads, 1);
+/// assert!(p.schedule.stage_count() > 3);
+/// # Ok::<(), ltsp_ir::IrError>(())
+/// ```
+pub fn pipeline_loop(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    hint_of: &dyn Fn(InstId) -> Option<LatencyHint>,
+    opts: &PipelineOptions,
+) -> Result<PipelinedLoop, PipelineError> {
+    let mut ddg_base = build_ddg(lp, machine, |_| LatencyQuery::Base);
+    let res_mii = machine.res_mii(lp);
+    let mut rec_mii = ddg_base.rec_mii();
+
+    // Data speculation (Sec. 3.3): when recurrences dominate, break the
+    // memory-flow edges sitting on cycles that force the II above the
+    // Resource II.
+    let mut speculated: Vec<(InstId, InstId, u32)> = Vec::new();
+    if opts.data_speculation && rec_mii > res_mii {
+        for cycle in ddg_base.recurrence_cycles(opts.cycle_cap) {
+            let summary = ddg_base.cycle_summary(&cycle, &|_| None);
+            if summary.implied_ii <= res_mii {
+                continue;
+            }
+            for &ei in &cycle.edges {
+                let e = ddg_base.edges()[ei];
+                if e.kind == ltsp_ddg::DepKind::MemFlow {
+                    let key = (e.from, e.to, e.omega);
+                    if !speculated.contains(&key) {
+                        speculated.push(key);
+                    }
+                }
+            }
+        }
+        if !speculated.is_empty() {
+            let spec = speculated.clone();
+            ddg_base.retain_edges(|e| {
+                e.kind != ltsp_ddg::DepKind::MemFlow
+                    || !spec.contains(&(e.from, e.to, e.omega))
+            });
+            rec_mii = ddg_base.rec_mii();
+        }
+    }
+    let min_ii = res_mii.max(rec_mii);
+
+    let cls = classify_loads_with(
+        lp,
+        machine,
+        &ddg_base,
+        hint_of,
+        opts.cycle_cap,
+        opts.balance_cycle_slack,
+    );
+    let critical_loads = lp
+        .insts()
+        .iter()
+        .filter(|i| cls.class(i.id()) == Some(LoadClass::Critical))
+        .count();
+
+    // Profitability ceiling: beyond the acyclic schedule length, the global
+    // code scheduler does at least as well without pipelining overhead.
+    let acyclic_len = acyclic_schedule(lp, machine, &ddg_base).ii();
+    let max_ii = (min_ii + opts.max_ii_slack).min(acyclic_len.max(min_ii));
+
+    let mut attempts = 0u32;
+    let mut stats = PipelineStats {
+        res_mii,
+        rec_mii,
+        min_ii,
+        schedule_attempts: 0,
+        dropped_boosts: false,
+        boosted_loads: cls.boosted_count(),
+        critical_loads,
+        speculated_edges: speculated.len(),
+    };
+
+    let mut base_phase_start = min_ii;
+    if cls.boosted_count() > 0 {
+        let mut ddg_boosted = build_ddg(lp, machine, |id| cls.query(id));
+        if !speculated.is_empty() {
+            let spec = speculated.clone();
+            ddg_boosted.retain_edges(|e| {
+                e.kind != ltsp_ddg::DepKind::MemFlow
+                    || !spec.contains(&(e.from, e.to, e.omega))
+            });
+        }
+        let scheduler = ModuloScheduler::new(lp, machine, &ddg_boosted);
+        let mut alloc_failed_at: Option<u32> = None;
+        let base_scheduler = ModuloScheduler::new(lp, machine, &ddg_base);
+        for ii in min_ii..=max_ii {
+            attempts += 1;
+            let Ok(sched) = scheduler.schedule_at(ii, opts.budget_factor) else {
+                // The boosted problem is harder to place; if the *base*
+                // latencies schedule at this II, escalating would trade a
+                // permanently higher II for the boosts — containment says
+                // drop the boosts instead.
+                attempts += 1;
+                if base_scheduler.schedule_at(ii, opts.budget_factor).is_ok() {
+                    alloc_failed_at = Some(ii);
+                    break;
+                }
+                continue;
+            };
+            match allocate_rotating(lp, &sched, machine) {
+                Ok(regs) => {
+                    stats.schedule_attempts = attempts;
+                    return Ok(PipelinedLoop {
+                        schedule: sched,
+                        regs,
+                        classification: cls,
+                        stats,
+                    });
+                }
+                Err(_) => {
+                    // First rung of the ladder: drop boosts at this II.
+                    alloc_failed_at = Some(ii);
+                    break;
+                }
+            }
+        }
+        base_phase_start = alloc_failed_at.unwrap_or(min_ii);
+        stats.dropped_boosts = true;
+        stats.boosted_loads = 0;
+    }
+
+    // Base-latency phase (also the whole procedure when nothing is
+    // boosted).
+    let scheduler = ModuloScheduler::new(lp, machine, &ddg_base);
+    for ii in base_phase_start..=max_ii {
+        attempts += 1;
+        let Ok(sched) = scheduler.schedule_at(ii, opts.budget_factor) else {
+            continue;
+        };
+        if let Ok(regs) = allocate_rotating(lp, &sched, machine) {
+            stats.schedule_attempts = attempts;
+            let classification = if stats.dropped_boosts {
+                LoadClassification::all_base(lp)
+            } else {
+                cls
+            };
+            return Ok(PipelinedLoop {
+                schedule: sched,
+                regs,
+                classification,
+                stats,
+            });
+        }
+    }
+
+    Err(PipelineError {
+        attempts,
+        min_ii,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_ir::{DataClass, LoopBuilder};
+
+    fn running_example() -> LoopIr {
+        let mut b = LoopBuilder::new("ex");
+        let s = b.affine_ref("s", DataClass::Int, 0, 4, 4);
+        let d = b.affine_ref("d", DataClass::Int, 1 << 20, 4, 4);
+        let c = b.live_in_gr("c");
+        let v = b.load(s);
+        let sum = b.add(v, c);
+        b.store(d, sum);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_pipelines_running_example() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let p = pipeline_loop(&lp, &m, &|_| None, &PipelineOptions::default()).unwrap();
+        assert_eq!(p.schedule.ii(), 1);
+        assert_eq!(p.schedule.stage_count(), 3);
+        assert_eq!(p.stats.boosted_loads, 0);
+        assert!(!p.stats.dropped_boosts);
+    }
+
+    #[test]
+    fn l3_hint_grows_stages_at_same_ii() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let base = pipeline_loop(&lp, &m, &|_| None, &PipelineOptions::default()).unwrap();
+        let boosted = pipeline_loop(
+            &lp,
+            &m,
+            &|_| Some(LatencyHint::L3),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(base.schedule.ii(), boosted.schedule.ii(), "II unchanged");
+        assert!(boosted.schedule.stage_count() > base.schedule.stage_count());
+        assert_eq!(boosted.stats.boosted_loads, 1);
+        // The load is scheduled at the typical L3 latency.
+        assert_eq!(
+            boosted.scheduled_load_latency(&lp, &m, InstId(0)),
+            Some(21)
+        );
+        assert_eq!(base.scheduled_load_latency(&lp, &m, InstId(0)), Some(1));
+    }
+
+    #[test]
+    fn chase_loop_keeps_chase_at_base() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("mcf");
+        let node = b.chase_ref("node->child", 0, 64, 1 << 22, 0.1);
+        let fld = b.deref_ref("node->f", DataClass::Int, node, 8, 1 << 22, 8);
+        let _nv = b.load(node);
+        let fv = b.load(fld);
+        let _acc = b.add_reduce(fv);
+        let lp = b.build().unwrap();
+        let p = pipeline_loop(
+            &lp,
+            &m,
+            &|_| Some(LatencyHint::L3),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(p.stats.critical_loads, 1);
+        assert_eq!(p.stats.boosted_loads, 1);
+        assert_eq!(p.scheduled_load_latency(&lp, &m, InstId(0)), Some(1));
+        assert_eq!(p.scheduled_load_latency(&lp, &m, InstId(1)), Some(21));
+        assert_eq!(p.schedule.ii(), 1, "II survives the boost");
+    }
+
+    #[test]
+    fn register_overflow_drops_boosts() {
+        // A wide FP loop where blanket L3 boosting at II=1 would need
+        // ~22 regs per load value across many loads: force the ladder.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("wide");
+        let mut vals = Vec::new();
+        for k in 0..4u64 {
+            let x = b.affine_ref(&format!("x{k}"), DataClass::Fp, k << 24, 8, 8);
+            vals.push(b.load(x));
+        }
+        // Consume all values so they stay live.
+        let mut acc = b.fadd(vals[0], vals[1]);
+        acc = b.fadd(acc, vals[2]);
+        acc = b.fadd(acc, vals[3]);
+        let y = b.affine_ref("y", DataClass::Fp, 9 << 24, 8, 8);
+        b.store(y, acc);
+        let lp = b.build().unwrap();
+        // II floor: 5 mem ops -> ResMII 3. Boosted lifetimes ~22+ cycles:
+        // 4 loads * ceil(22/3 + 1) ≈ 32 FP regs — fits. Tighten by using a
+        // tiny FP file to force the drop.
+        use ltsp_machine::{IssueResources, RegisterFiles};
+        let tight = MachineModel::new(
+            *m.issue(),
+            *m.latencies(),
+            *m.caches(),
+            RegisterFiles {
+                rotating_fr: 16,
+                ..*m.registers()
+            },
+        );
+        let _ = IssueResources { m: 2, i: 2, f: 2, b: 1 };
+        let p = pipeline_loop(
+            &lp,
+            &tight,
+            &|_| Some(LatencyHint::L3),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert!(p.stats.dropped_boosts, "ladder must drop the boosts");
+        assert_eq!(p.stats.boosted_loads, 0);
+        assert!(p.stats.schedule_attempts >= 2);
+    }
+
+    #[test]
+    fn data_speculation_breaks_memory_recurrences() {
+        use ltsp_ir::MemDepKind;
+        let m = MachineModel::itanium2();
+        // a[i] = c * a[i-1] + b[i], carried through memory.
+        let mut b = LoopBuilder::new("iir");
+        let a_prev = b.affine_ref("a[i-1]", DataClass::Fp, 0, 8, 8);
+        let bb = b.affine_ref("b[i]", DataClass::Fp, 1 << 24, 8, 8);
+        let a_out = b.affine_ref("a[i]", DataClass::Fp, 8, 8, 8);
+        let c = b.live_in_fr("c");
+        let va = b.load(a_prev);
+        let vb = b.load(bb);
+        let r = b.fma(c, va, vb);
+        let st = b.store(a_out, r);
+        b.mem_dep(st, ltsp_ir::InstId(0), MemDepKind::Flow, 1);
+        let lp = b.build().unwrap();
+
+        let plain = pipeline_loop(&lp, &m, &|_| None, &PipelineOptions::default()).unwrap();
+        // Cycle: st -> ld (1) + ld data (6) + fma (4) = 11 per iteration.
+        assert_eq!(plain.stats.rec_mii, 11);
+        assert_eq!(plain.schedule.ii(), 11);
+        assert_eq!(plain.stats.speculated_edges, 0);
+
+        let spec_opts = PipelineOptions {
+            data_speculation: true,
+            ..PipelineOptions::default()
+        };
+        let spec = pipeline_loop(&lp, &m, &|_| None, &spec_opts).unwrap();
+        assert_eq!(spec.stats.speculated_edges, 1);
+        assert!(
+            spec.schedule.ii() < plain.schedule.ii(),
+            "speculation must reduce the II: {} vs {}",
+            spec.schedule.ii(),
+            plain.schedule.ii()
+        );
+        assert_eq!(spec.schedule.ii(), spec.stats.res_mii.max(spec.stats.rec_mii));
+    }
+
+    #[test]
+    fn speculation_leaves_resource_bound_loops_alone() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let opts = PipelineOptions {
+            data_speculation: true,
+            ..PipelineOptions::default()
+        };
+        let p = pipeline_loop(&lp, &m, &|_| None, &opts).unwrap();
+        assert_eq!(p.stats.speculated_edges, 0);
+    }
+
+    #[test]
+    fn stats_expose_min_ii_components() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let _ = b.fadd_reduce(v);
+        let lp = b.build().unwrap();
+        let p = pipeline_loop(&lp, &m, &|_| None, &PipelineOptions::default()).unwrap();
+        assert_eq!(p.stats.rec_mii, 4);
+        assert_eq!(p.stats.res_mii, 1);
+        assert_eq!(p.stats.min_ii, 4);
+        assert_eq!(p.schedule.ii(), 4);
+    }
+}

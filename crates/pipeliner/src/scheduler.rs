@@ -1,0 +1,358 @@
+//! Iterative modulo scheduling (Rau, MICRO-27) and the acyclic fallback.
+
+use ltsp_ddg::{Ddg, MinDist};
+use ltsp_ir::{InstId, LoopIr};
+use ltsp_machine::MachineModel;
+
+use crate::mrt::Mrt;
+use crate::schedule::ModuloSchedule;
+
+/// Why an attempt to schedule at a particular II failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleFailure {
+    /// A recurrence cycle makes this II infeasible outright.
+    InfeasibleIi,
+    /// The eviction budget ran out before a fixed point was reached.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for ScheduleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleFailure::InfeasibleIi => write!(f, "II infeasible for recurrences"),
+            ScheduleFailure::BudgetExhausted => write!(f, "scheduling budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleFailure {}
+
+/// Iterative modulo scheduler over a prepared dependence graph.
+///
+/// The DDG's edge latencies already reflect the latency-tolerance policy
+/// (non-critical hinted loads carry their boosted latencies), so the
+/// scheduler itself is policy-agnostic.
+#[derive(Debug)]
+pub struct ModuloScheduler<'a> {
+    lp: &'a LoopIr,
+    machine: &'a MachineModel,
+    ddg: &'a Ddg,
+}
+
+impl<'a> ModuloScheduler<'a> {
+    /// Creates a scheduler for one loop.
+    pub fn new(lp: &'a LoopIr, machine: &'a MachineModel, ddg: &'a Ddg) -> Self {
+        ModuloScheduler { lp, machine, ddg }
+    }
+
+    /// Attempts to find a kernel schedule at exactly `ii`.
+    ///
+    /// Height-based priority: operations feeding the longest dependence
+    /// chains schedule first. Each operation gets its earliest start from
+    /// already-scheduled predecessors, then the II consecutive slots from
+    /// there are probed in the reservation table; if none fits, the
+    /// operation is placed by force (evicting the most recent conflicting
+    /// occupant) at `max(estart, previous placement + 1)` to guarantee
+    /// progress. Dependence-violated successors are unscheduled. The total
+    /// number of placements is bounded by `budget_factor × n`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleFailure::InfeasibleIi`] when a recurrence exceeds `ii`;
+    /// [`ScheduleFailure::BudgetExhausted`] when placement thrashes.
+    pub fn schedule_at(
+        &self,
+        ii: u32,
+        budget_factor: u32,
+    ) -> Result<ModuloSchedule, ScheduleFailure> {
+        if !self.ddg.feasible_ii(ii) {
+            return Err(ScheduleFailure::InfeasibleIi);
+        }
+        let n = self.lp.insts().len();
+        let md = MinDist::compute(self.ddg, ii);
+        let heights: Vec<i64> = (0..n).map(|i| md.height(InstId(i as u32))).collect();
+
+        let mut time: Vec<Option<i64>> = vec![None; n];
+        let mut last_time: Vec<i64> = vec![-1; n];
+        let mut mrt = Mrt::new(ii, *self.machine.issue());
+        let mut budget = u64::from(budget_factor) * n as u64;
+
+        loop {
+            // Highest-priority unscheduled op (height desc, id asc).
+            let next = (0..n)
+                .filter(|&i| time[i].is_none())
+                .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)));
+            let Some(op_idx) = next else {
+                break;
+            };
+            if budget == 0 {
+                return Err(ScheduleFailure::BudgetExhausted);
+            }
+            budget -= 1;
+
+            let op = InstId(op_idx as u32);
+            let class = self.lp.inst(op).unit_class();
+
+            // Earliest start from scheduled predecessors.
+            let mut estart: i64 = 0;
+            for e in self.ddg.preds(op) {
+                if e.from == op {
+                    continue; // self-recurrences are honored by feasible_ii
+                }
+                if let Some(tp) = time[e.from.index()] {
+                    let lb = tp + i64::from(e.latency) - i64::from(ii) * i64::from(e.omega);
+                    estart = estart.max(lb);
+                }
+            }
+
+            // Probe II consecutive slots, then force.
+            let mut placed_at: Option<i64> = None;
+            for t in estart..estart + i64::from(ii) {
+                if mrt.fits(t, class) {
+                    placed_at = Some(t);
+                    break;
+                }
+            }
+            let t = placed_at.unwrap_or_else(|| estart.max(last_time[op_idx] + 1));
+
+            for victim in mrt.place_forced(op, t, class) {
+                let vt = time[victim.index()]
+                    .expect("evicted instruction was scheduled");
+                let _ = vt;
+                time[victim.index()] = None;
+            }
+            time[op_idx] = Some(t);
+            last_time[op_idx] = t;
+
+            // Unschedule successors whose dependence is now violated.
+            for e in self.ddg.succs(op) {
+                if e.to == op {
+                    continue;
+                }
+                if let Some(ts) = time[e.to.index()] {
+                    let lb = t + i64::from(e.latency) - i64::from(ii) * i64::from(e.omega);
+                    if lb > ts {
+                        mrt.remove(e.to, ts);
+                        time[e.to.index()] = None;
+                    }
+                }
+            }
+        }
+
+        let times: Vec<i64> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+        debug_assert!(self.verify(ii, &times), "schedule violates dependences");
+        Ok(ModuloSchedule::new(ii, times))
+    }
+
+    /// Checks every dependence edge under the modulo constraint.
+    fn verify(&self, ii: u32, times: &[i64]) -> bool {
+        self.ddg.edges().iter().all(|e| {
+            let lhs = times[e.from.index()] + i64::from(e.latency);
+            let rhs = times[e.to.index()] + i64::from(ii) * i64::from(e.omega);
+            lhs <= rhs
+        })
+    }
+}
+
+/// Greedy acyclic list schedule used when pipelining is rejected: the loop
+/// body is scheduled once, respecting same-iteration dependences and issue
+/// resources, and iterations do not overlap. Returned as a [`ModuloSchedule`]
+/// whose II equals the schedule length (a single-stage "pipeline"), which
+/// the simulator executes as an ordinary, non-pipelined loop.
+pub fn acyclic_schedule(lp: &LoopIr, machine: &MachineModel, ddg: &Ddg) -> ModuloSchedule {
+    let n = lp.insts().len();
+    // Horizon: generous upper bound on the schedule length.
+    let horizon: i64 = ddg
+        .edges()
+        .iter()
+        .map(|e| i64::from(e.latency))
+        .sum::<i64>()
+        + n as i64
+        + 1;
+    let mut mrt = Mrt::new(horizon as u32, *machine.issue());
+    let mut time: Vec<Option<i64>> = vec![None; n];
+
+    // Repeatedly place any op whose same-iteration predecessors are done
+    // (the IR validator guarantees omega-0 acyclicity).
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut progressed = false;
+        for idx in 0..n {
+            if time[idx].is_some() {
+                continue;
+            }
+            let op = InstId(idx as u32);
+            let ready = ddg
+                .preds(op)
+                .filter(|e| e.omega == 0 && e.from != op)
+                .all(|e| time[e.from.index()].is_some());
+            if !ready {
+                continue;
+            }
+            let mut estart: i64 = 0;
+            for e in ddg.preds(op) {
+                if e.omega == 0 && e.from != op {
+                    let tp = time[e.from.index()].expect("checked ready");
+                    estart = estart.max(tp + i64::from(e.latency));
+                }
+            }
+            let class = lp.inst(op).unit_class();
+            let mut t = estart;
+            while !mrt.fits(t, class) {
+                t += 1;
+            }
+            assert!(mrt.place(op, t, class), "fits() said the slot was free");
+            time[idx] = Some(t);
+            remaining -= 1;
+            progressed = true;
+        }
+        assert!(progressed, "omega-0 dependences are acyclic by validation");
+    }
+
+    let times: Vec<i64> = time.into_iter().map(|t| t.expect("all placed")).collect();
+    let len = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            // Include the producing latency so the loop "length" covers
+            // in-flight results (coarse; the simulator measures reality).
+            let lat: i64 = ddg
+                .succs(InstId(i as u32))
+                .filter(|e| e.omega == 0)
+                .map(|e| i64::from(e.latency))
+                .max()
+                .unwrap_or(1);
+            t + lat.max(1)
+        })
+        .max()
+        .unwrap_or(1);
+    ModuloSchedule::new(len.max(1) as u32, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_ir::{DataClass, LoopBuilder, Opcode};
+    use ltsp_machine::LatencyQuery;
+
+    fn ddg_with(lp: &LoopIr, m: &MachineModel, boost: u32) -> Ddg {
+        Ddg::build(lp, m, &|id| {
+            if let Opcode::Load(dc) = lp.inst(id).op() {
+                m.load_latency(dc, LatencyQuery::Base).max(boost)
+            } else {
+                0
+            }
+        })
+    }
+
+    fn running_example() -> LoopIr {
+        let mut b = LoopBuilder::new("ex");
+        let s = b.affine_ref("s", DataClass::Int, 0, 4, 4);
+        let d = b.affine_ref("d", DataClass::Int, 1 << 20, 4, 4);
+        let c = b.live_in_gr("c");
+        let v = b.load(s);
+        let sum = b.add(v, c);
+        b.store(d, sum);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn running_example_schedules_at_ii_1() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = ddg_with(&lp, &m, 0);
+        let sched = ModuloScheduler::new(&lp, &m, &ddg)
+            .schedule_at(1, 8)
+            .unwrap();
+        assert_eq!(sched.ii(), 1);
+        // ld at 0, add at 1, st at 2 -> 3 stages (paper Fig. 2/3).
+        assert_eq!(sched.stage_count(), 3);
+    }
+
+    #[test]
+    fn boosted_load_grows_stages_not_ii() {
+        // Scheduling the load for latency 3 (d = 2) gives 5 stages at the
+        // same II (paper Fig. 4).
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = ddg_with(&lp, &m, 3);
+        let sched = ModuloScheduler::new(&lp, &m, &ddg)
+            .schedule_at(1, 8)
+            .unwrap();
+        assert_eq!(sched.ii(), 1);
+        assert_eq!(sched.stage_count(), 5);
+    }
+
+    #[test]
+    fn infeasible_ii_rejected() {
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("red");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let v = b.load(x);
+        let _ = b.fadd_reduce(v);
+        let lp = b.build().unwrap();
+        let ddg = ddg_with(&lp, &m, 0);
+        let sch = ModuloScheduler::new(&lp, &m, &ddg);
+        assert_eq!(sch.schedule_at(3, 8).unwrap_err(), ScheduleFailure::InfeasibleIi);
+        assert!(sch.schedule_at(4, 8).is_ok());
+    }
+
+    #[test]
+    fn resource_bound_loop_respects_mrt() {
+        // 6 independent loads on 2 M slots: II 3 works, II 2 cannot.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("mem");
+        for k in 0..6u64 {
+            let r = b.affine_ref(&format!("p{k}"), DataClass::Int, k << 22, 4, 4);
+            let _ = b.load(r);
+        }
+        let lp = b.build().unwrap();
+        let ddg = ddg_with(&lp, &m, 0);
+        let sch = ModuloScheduler::new(&lp, &m, &ddg);
+        let s3 = sch.schedule_at(3, 8).unwrap();
+        assert_eq!(s3.ii(), 3);
+        // At II 2 the MRT can never hold 6 M ops; budget runs out.
+        assert_eq!(
+            sch.schedule_at(2, 8).unwrap_err(),
+            ScheduleFailure::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn schedule_respects_all_edges_property() {
+        // A denser loop: dot-product with two streams and a reduction.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("dot");
+        let x = b.affine_ref("x", DataClass::Fp, 0, 8, 8);
+        let y = b.affine_ref("y", DataClass::Fp, 1 << 24, 8, 8);
+        let vx = b.load(x);
+        let vy = b.load(y);
+        let _acc = b.fma_reduce(vx, vy);
+        let lp = b.build().unwrap();
+        let ddg = ddg_with(&lp, &m, 6);
+        let sch = ModuloScheduler::new(&lp, &m, &ddg);
+        // RecMII = 4 (fma self-dep); schedule there.
+        let s = sch.schedule_at(4, 8).unwrap();
+        for e in ddg.edges() {
+            assert!(
+                s.time(e.from) + i64::from(e.latency)
+                    <= s.time(e.to) + i64::from(4 * e.omega),
+                "edge {:?} violated",
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn acyclic_fallback_is_dependence_correct() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = ddg_with(&lp, &m, 0);
+        let s = acyclic_schedule(&lp, &m, &ddg);
+        assert_eq!(s.stage_count(), 1, "no overlap in the fallback");
+        // ld(1) -> add at >= 1 -> st at >= 2.
+        assert!(s.time(InstId(1)) >= s.time(InstId(0)) + 1);
+        assert!(s.time(InstId(2)) >= s.time(InstId(1)) + 1);
+        assert!(s.ii() >= 3);
+    }
+}

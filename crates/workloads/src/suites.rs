@@ -1,0 +1,504 @@
+//! The synthetic SPEC CPU2000 / CPU2006 suites.
+//!
+//! Each benchmark the paper charts is modeled as a mix of kernels whose
+//! memory behaviour induces the qualitative result the paper reports for
+//! it (see the crate docs and DESIGN.md). Benchmarks the paper shows as
+//! flat carry no hot pipelined loops.
+
+use ltsp_ir::DataClass;
+use ltsp_memsim::StreamMode;
+
+use crate::bench::{Benchmark, LoopSpec, Suite};
+use crate::kernels;
+use crate::trip::TripDistribution as T;
+
+fn spec(
+    name: &str,
+    lp: ltsp_ir::LoopIr,
+    trips: T,
+    entries: u32,
+    mode: StreamMode,
+) -> LoopSpec {
+    LoopSpec::simple(name, lp, trips, entries, mode)
+}
+
+/// A benchmark dominated by well-prefetched FP streaming: policy changes
+/// barely move it.
+fn streaming_fp(name: &'static str, suite: Suite, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "stream",
+            kernels::triad(name),
+            T::Uniform { lo: 400, hi: 800 },
+            6,
+            StreamMode::Progressive,
+        )],
+        pipelined_fraction: f,
+    }
+}
+
+/// A benchmark with delinquent FP gathers over a `region` working set:
+/// the prototypical gainer.
+fn fp_gather(name: &'static str, suite: Suite, region: u64, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "gather",
+            kernels::gather_update(name, DataClass::Fp, region),
+            T::Uniform { lo: 300, hi: 700 },
+            12,
+            StreamMode::Progressive,
+        )],
+        pipelined_fraction: f,
+    }
+}
+
+/// Symbolic-stride FP sweeps (clamped prefetch distance; latency exposed).
+fn fp_symbolic(name: &'static str, suite: Suite, stride: i64, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "column-walk",
+            kernels::symbolic_walk(name, stride),
+            T::Uniform { lo: 300, hi: 600 },
+            12,
+            StreamMode::Progressive,
+        )],
+        pipelined_fraction: f,
+    }
+}
+
+/// Pointer-array dereference chains (reduced-distance indirect prefetch).
+fn fp_pointer_array(name: &'static str, suite: Suite, region: u64, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "ptr-walk",
+            kernels::pointer_array_walk(name, region),
+            T::Uniform { lo: 200, hi: 500 },
+            12,
+            StreamMode::Progressive,
+        )],
+        pipelined_fraction: f,
+    }
+}
+
+/// Compute-bound FP benchmark: pipelined loops exist but stalls are rare.
+fn compute_bound(name: &'static str, suite: Suite, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "compute",
+            kernels::compute_heavy(name),
+            T::Uniform { lo: 200, hi: 400 },
+            6,
+            StreamMode::Progressive,
+        )],
+        pipelined_fraction: f,
+    }
+}
+
+/// Warm integer scanning (bzip2/gzip-like): L1/L2-resident once warm.
+fn warm_int(name: &'static str, suite: Suite, trip: u64, f: f64) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![spec(
+            "scan",
+            kernels::reduction_int(name, 4),
+            T::Uniform {
+                lo: trip / 2,
+                hi: trip * 2,
+            },
+            80,
+            StreamMode::Restart,
+        )
+        // Static analysis sees a scan with unknown bounds and guesses
+        // optimistically — the no-PGO failure mode of Fig. 9.
+        .with_static_estimate(150.0)],
+        pipelined_fraction: f,
+    }
+}
+
+
+/// Appends a small, warm, low-trip-count helper loop to a benchmark: real
+/// applications run many such loops, and they are exactly what blanket
+/// boosting without a trip-count threshold punishes (Fig. 7, n = 0).
+fn with_setup_loop(mut b: Benchmark, entries: u32) -> Benchmark {
+    b.loops.push(spec(
+        "setup",
+        kernels::reduction_int("setup", 4),
+        T::Uniform { lo: 3, hi: 9 },
+        entries,
+        StreamMode::Restart,
+    ));
+    b
+}
+
+/// The 429.mcf / 181.mcf model: the Sec. 4.4 pointer-chase loop (trip
+/// count ≈ 2.3, delinquent fields) plus a high-trip delinquent integer
+/// gather (the headroom-experiment gainer).
+fn mcf(name: &'static str, suite: Suite) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        loops: vec![
+            spec(
+                "refresh_potential",
+                kernels::mcf_refresh("refresh_potential", 48 << 20),
+                T::Mixture(vec![(0.75, 2), (0.25, 3)]), // mean 2.25 ≈ 2.3
+                250,
+                StreamMode::Progressive,
+            ),
+            spec(
+                "arc-sweep",
+                kernels::gather_update("arc-sweep", DataClass::Int, 64 << 20),
+                T::Uniform { lo: 300, hi: 900 },
+                12,
+                StreamMode::Progressive,
+            ),
+        ],
+        pipelined_fraction: 0.4,
+    }
+}
+
+/// 464.h264ref: hot low-trip motion-search loop over an L1-warm window.
+fn h264ref() -> Benchmark {
+    Benchmark {
+        name: "464.h264ref",
+        suite: Suite::Cpu2006,
+        loops: vec![
+            spec(
+                "FastFullPelBlockMotionSearch",
+                kernels::motion_search("motion-search"),
+                T::Uniform { lo: 8, hi: 12 }, // "around 10"
+                400,
+                StreamMode::Restart,
+            )
+            .with_static_estimate(100.0),
+            spec(
+                "interpolate",
+                kernels::stream_sum("interpolate", DataClass::Int, 4),
+                T::Uniform { lo: 100, hi: 300 },
+                10,
+                StreamMode::Progressive,
+            ),
+        ],
+        pipelined_fraction: 0.25,
+    }
+}
+
+/// 177.mesa: training trip count 154, reference trip count 8, warm data.
+fn mesa() -> Benchmark {
+    Benchmark {
+        name: "177.mesa",
+        suite: Suite::Cpu2000,
+        loops: vec![spec(
+            "gl_write_texture_span",
+            kernels::texture_span("texture-span"),
+            T::Fixed(8),
+            500,
+            StreamMode::Restart,
+        )
+        .with_train(T::Fixed(154))
+        .with_static_estimate(154.0)],
+        pipelined_fraction: 0.15,
+    }
+}
+
+/// 445.gobmk: L2-resident indirect references, low runtime trip counts,
+/// but optimistic static estimates — the no-PGO worst case.
+fn gobmk() -> Benchmark {
+    Benchmark {
+        name: "445.gobmk",
+        suite: Suite::Cpu2006,
+        loops: vec![spec(
+            "board-scan",
+            kernels::hash_walk("board-scan", 8 * 1024),
+            T::Uniform { lo: 4, hi: 8 },
+            400,
+            StreamMode::Restart,
+        )
+        .with_static_estimate(128.0)],
+        pipelined_fraction: 0.25,
+    }
+}
+
+/// The CPU2006 suite (the 29 benchmarks of Figs. 7–9).
+pub fn cpu2006() -> Vec<Benchmark> {
+    use Suite::Cpu2006 as S6;
+    vec![
+        Benchmark::flat("400.perlbench", S6),
+        warm_int("401.bzip2", S6, 150, 0.1),
+        Benchmark::flat("403.gcc", S6),
+        streaming_fp("410.bwaves", S6, 0.4),
+        compute_bound("416.gamess", S6, 0.3),
+        mcf("429.mcf", S6),
+        with_setup_loop(fp_gather("433.milc", S6, 20 << 20, 0.2), 1500),
+        with_setup_loop(fp_symbolic("434.zeusmp", S6, 2048, 0.1), 1500),
+        with_setup_loop(fp_pointer_array("435.gromacs", S6, 12 << 20, 0.12), 1500),
+        streaming_fp("436.cactusADM", S6, 0.45),
+        with_setup_loop(fp_symbolic("437.leslie3d", S6, 4096, 0.12), 1500),
+        Benchmark {
+            name: "444.namd",
+            suite: S6,
+            loops: vec![
+                spec(
+                    "pairlist",
+                    kernels::pointer_array_walk("pairlist", 32 << 20),
+                    T::Uniform { lo: 300, hi: 600 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+                spec(
+                    "forces",
+                    kernels::gather_update("forces", DataClass::Fp, 24 << 20),
+                    T::Uniform { lo: 300, hi: 600 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+            ],
+            pipelined_fraction: 0.3,
+        },
+        gobmk(),
+        Benchmark::flat("447.dealII", S6),
+        with_setup_loop(fp_gather("450.soplex", S6, 28 << 20, 0.15), 1500),
+        Benchmark::flat("453.povray", S6),
+        compute_bound("454.calculix", S6, 0.3),
+        warm_int("456.hmmer", S6, 200, 0.3),
+        Benchmark::flat("458.sjeng", S6),
+        with_setup_loop(fp_symbolic("459.GemsFDTD", S6, 2048, 0.12), 1500),
+        Benchmark {
+            name: "462.libquantum",
+            suite: S6,
+            loops: vec![
+                spec(
+                    "toffoli",
+                    kernels::symbolic_walk("toffoli", 4096),
+                    T::Uniform { lo: 500, hi: 1000 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+                spec(
+                    "sigma-x",
+                    kernels::gather_update("sigma-x", DataClass::Fp, 40 << 20),
+                    T::Uniform { lo: 500, hi: 1000 },
+                    8,
+                    StreamMode::Progressive,
+                ),
+            ],
+            pipelined_fraction: 0.25,
+        },
+        h264ref(),
+        compute_bound("465.tonto", S6, 0.25),
+        streaming_fp("470.lbm", S6, 0.5),
+        with_setup_loop(fp_pointer_array("471.omnetpp", S6, 40 << 20, 0.1), 1500),
+        Benchmark {
+            name: "473.astar",
+            suite: S6,
+            loops: vec![spec(
+                "wayfind",
+                kernels::gather_update("wayfind", DataClass::Int, 28 << 20),
+                T::Uniform { lo: 25, hi: 55 },
+                40,
+                StreamMode::Progressive,
+            )],
+            pipelined_fraction: 0.18,
+        },
+        Benchmark {
+            name: "481.wrf",
+            suite: S6,
+            loops: vec![
+                spec(
+                    "advect",
+                    kernels::symbolic_walk("advect", 8192),
+                    T::Uniform { lo: 200, hi: 500 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+                spec(
+                    "physics",
+                    kernels::stencil3("physics"),
+                    T::Uniform { lo: 200, hi: 500 },
+                    8,
+                    StreamMode::Progressive,
+                ),
+            ],
+            pipelined_fraction: 0.18,
+        },
+        with_setup_loop(fp_gather("482.sphinx3", S6, 16 << 20, 0.15), 1500),
+        Benchmark::flat("483.xalancbmk", S6),
+    ]
+}
+
+/// The CPU2000 suite (the 26 benchmarks of Figs. 7–8).
+pub fn cpu2000() -> Vec<Benchmark> {
+    use Suite::Cpu2000 as S0;
+    vec![
+        warm_int("164.gzip", S0, 100, 0.1),
+        with_setup_loop(streaming_fp("168.wupwise", S0, 0.4), 1500),
+        with_setup_loop(streaming_fp("171.swim", S0, 0.5), 1500),
+        Benchmark {
+            name: "172.mgrid",
+            suite: S0,
+            loops: vec![spec(
+                "resid",
+                kernels::stencil3("resid"),
+                T::Uniform { lo: 300, hi: 600 },
+                6,
+                StreamMode::Progressive,
+            )],
+            pipelined_fraction: 0.5,
+        },
+        with_setup_loop(fp_symbolic("173.applu", S0, 4096, 0.1), 1500),
+        Benchmark::flat("175.vpr", S0),
+        Benchmark::flat("176.gcc", S0),
+        mesa(),
+        with_setup_loop(fp_symbolic("178.galgel", S0, 2048, 0.1), 1500),
+        Benchmark {
+            name: "179.art",
+            suite: S0,
+            loops: vec![
+                spec(
+                    "match",
+                    kernels::gather_update("match", DataClass::Fp, 48 << 20),
+                    T::Uniform { lo: 400, hi: 800 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+                spec(
+                    "simtest",
+                    kernels::symbolic_walk("simtest", 4096),
+                    T::Uniform { lo: 400, hi: 800 },
+                    8,
+                    StreamMode::Progressive,
+                ),
+            ],
+            pipelined_fraction: 0.28,
+        },
+        mcf("181.mcf", S0),
+        with_setup_loop(fp_gather("183.equake", S0, 20 << 20, 0.18), 1500),
+        Benchmark::flat("186.crafty", S0),
+        with_setup_loop(fp_gather("187.facerec", S0, 16 << 20, 0.15), 1500),
+        with_setup_loop(fp_pointer_array("188.ammp", S0, 24 << 20, 0.15), 1500),
+        with_setup_loop(fp_symbolic("189.lucas", S0, 8192, 0.1), 1500),
+        with_setup_loop(fp_gather("191.fma3d", S0, 12 << 20, 0.1), 1500),
+        Benchmark::flat("197.parser", S0),
+        Benchmark {
+            name: "200.sixtrack",
+            suite: S0,
+            loops: vec![
+                spec(
+                    "track",
+                    kernels::pointer_array_walk("track", 28 << 20),
+                    T::Uniform { lo: 300, hi: 600 },
+                    12,
+                    StreamMode::Progressive,
+                ),
+                spec(
+                    "thin6d",
+                    kernels::symbolic_walk("thin6d", 8192),
+                    T::Uniform { lo: 300, hi: 600 },
+                    8,
+                    StreamMode::Progressive,
+                ),
+            ],
+            pipelined_fraction: 0.3,
+        },
+        Benchmark::flat("252.eon", S0),
+        Benchmark::flat("253.perlbmk", S0),
+        Benchmark::flat("254.gap", S0),
+        Benchmark::flat("255.vortex", S0),
+        warm_int("256.bzip2", S0, 150, 0.2),
+        Benchmark {
+            name: "300.twolf",
+            suite: S0,
+            loops: vec![spec(
+                "netlist-scan",
+                kernels::reduction_int("netlist-scan", 4),
+                T::Uniform { lo: 8, hi: 16 },
+                300,
+                StreamMode::Restart,
+            )
+            .with_static_estimate(96.0)],
+            pipelined_fraction: 0.05,
+        },
+        with_setup_loop(fp_symbolic("301.apsi", S0, 2048, 0.1), 1500),
+    ]
+}
+
+/// Looks up a benchmark by name in either suite.
+pub fn find_benchmark(name: &str) -> Option<Benchmark> {
+    cpu2006()
+        .into_iter()
+        .chain(cpu2000())
+        .find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper_charts() {
+        assert_eq!(cpu2006().len(), 29);
+        assert_eq!(cpu2000().len(), 26);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = cpu2006()
+            .iter()
+            .chain(cpu2000().iter())
+            .map(|b| b.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn mcf_models_the_sec44_loop() {
+        let b = find_benchmark("429.mcf").unwrap();
+        let rp = &b.loops[0];
+        assert!(rp.name.contains("refresh_potential"));
+        let mean = rp.ref_trips.mean();
+        assert!((2.0..2.6).contains(&mean), "trip ≈ 2.3, got {mean}");
+    }
+
+    #[test]
+    fn mesa_has_train_ref_mismatch() {
+        let b = find_benchmark("177.mesa").unwrap();
+        let l = &b.loops[0];
+        assert_eq!(l.ref_trips.mean(), 8.0);
+        assert_eq!(l.train_trips.mean(), 154.0);
+    }
+
+    #[test]
+    fn gobmk_static_estimate_is_optimistic() {
+        let b = find_benchmark("445.gobmk").unwrap();
+        let l = &b.loops[0];
+        assert!(l.static_trip_estimate > 10.0 * l.ref_trips.mean());
+    }
+
+    #[test]
+    fn every_loop_builds_and_fractions_are_sane() {
+        for b in cpu2006().iter().chain(cpu2000().iter()) {
+            assert!((0.0..=1.0).contains(&b.pipelined_fraction), "{}", b.name);
+            for l in &b.loops {
+                assert!(!l.loop_ir.insts().is_empty(), "{}/{}", b.name, l.name);
+                assert!(l.entries > 0);
+            }
+            if b.loops.is_empty() {
+                assert_eq!(b.pipelined_fraction, 0.0, "{}", b.name);
+            }
+        }
+    }
+}

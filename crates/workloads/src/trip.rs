@@ -1,0 +1,116 @@
+//! Trip-count distributions.
+
+use ltsp_ir::SplitMix64;
+
+/// A distribution of loop trip counts, sampled per loop entry.
+///
+/// Distinct training and reference distributions on the same loop model
+/// the PGO train/ref mismatch cases of the paper (177.mesa).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TripDistribution {
+    /// Every entry runs exactly `n` iterations.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]` inclusive.
+    Uniform {
+        /// Smallest trip count.
+        lo: u64,
+        /// Largest trip count.
+        hi: u64,
+    },
+    /// A weighted mixture of fixed trip counts; weights need not sum to 1.
+    Mixture(Vec<(f64, u64)>),
+}
+
+impl TripDistribution {
+    /// Samples one trip count (always ≥ 1).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        match self {
+            TripDistribution::Fixed(n) => (*n).max(1),
+            TripDistribution::Uniform { lo, hi } => {
+                let (lo, hi) = (*lo.min(hi), *hi.max(lo));
+                (lo + rng.next_below(hi - lo + 1)).max(1)
+            }
+            TripDistribution::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                let mut x = rng.next_f64() * total;
+                for (w, n) in parts {
+                    if x < *w {
+                        return (*n).max(1);
+                    }
+                    x -= w;
+                }
+                parts.last().map_or(1, |&(_, n)| n.max(1))
+            }
+        }
+    }
+
+    /// The distribution's mean — what a block-count profile would report
+    /// as the loop's average trip count.
+    pub fn mean(&self) -> f64 {
+        match self {
+            TripDistribution::Fixed(n) => *n as f64,
+            TripDistribution::Uniform { lo, hi } => (*lo as f64 + *hi as f64) / 2.0,
+            TripDistribution::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                if total == 0.0 {
+                    1.0
+                } else {
+                    parts.iter().map(|(w, n)| w * *n as f64).sum::<f64>() / total
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = TripDistribution::Fixed(7);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7);
+        }
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_mean_matches() {
+        let d = TripDistribution::Uniform { lo: 5, hi: 15 };
+        let mut rng = SplitMix64::new(2);
+        let mut sum = 0u64;
+        for _ in 0..2000 {
+            let s = d.sample(&mut rng);
+            assert!((5..=15).contains(&s));
+            sum += s;
+        }
+        let avg = sum as f64 / 2000.0;
+        assert!((avg - 10.0).abs() < 0.5, "avg={avg}");
+        assert_eq!(d.mean(), 10.0);
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        // 90% trip 2, 10% trip 1000: high mean, mostly short runs — the
+        // paper's "low-trip executions counterbalanced by very long ones".
+        let d = TripDistribution::Mixture(vec![(0.9, 2), (0.1, 1000)]);
+        assert!((d.mean() - (0.9 * 2.0 + 0.1 * 1000.0)).abs() < 1e-9);
+        let mut rng = SplitMix64::new(3);
+        let mut big = 0;
+        for _ in 0..1000 {
+            if d.sample(&mut rng) == 1000 {
+                big += 1;
+            }
+        }
+        assert!((50..200).contains(&big), "~10% big: {big}");
+    }
+
+    #[test]
+    fn zero_floor() {
+        let d = TripDistribution::Fixed(0);
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(d.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The Fig. 7 experiment in miniature: sweep the trip-count threshold and
+//! watch low-trip loops flip from regression to neutrality while high-trip
+//! delinquent loops keep their gains.
+//!
+//! Run with: `cargo run --release --example headroom_sweep`
+
+use ltsp::core::{
+    benchmark_gain, run_benchmark, CompileConfig, LatencyPolicy, RunConfig,
+};
+use ltsp::machine::MachineModel;
+use ltsp::workloads::find_benchmark;
+
+fn main() {
+    let machine = MachineModel::itanium2();
+    let names = ["464.h264ref", "429.mcf", "462.libquantum", "177.mesa"];
+    let thresholds = [0u32, 8, 16, 32, 64];
+
+    println!("headroom experiment (all loads hinted L3, PGO trip counts)\n");
+    print!("{:<16}", "benchmark");
+    for n in thresholds {
+        print!(" {:>8}", format!("n={n}"));
+    }
+    println!();
+
+    for name in names {
+        let bench = find_benchmark(name).expect("benchmark exists");
+        let base = run_benchmark(
+            &bench,
+            &machine,
+            &RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline)),
+        );
+        print!("{name:<16}");
+        for n in thresholds {
+            let rc = RunConfig::new(
+                CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(n),
+            );
+            let var = run_benchmark(&bench, &machine, &rc);
+            print!(" {:>7.2}%", benchmark_gain(&bench, &base, &var));
+        }
+        println!();
+    }
+
+    println!(
+        "\n464.h264ref (hot loop trip ≈ 10, L1-warm) regresses until the\n\
+         threshold excludes it; 429.mcf keeps its high-trip gather gains;\n\
+         177.mesa is the PGO train/ref mismatch: its profile says trip 154,\n\
+         reality is 8, so no threshold saves it (Sec. 4.2)."
+    );
+}

@@ -1,0 +1,71 @@
+//! The paper's Sec. 4.4 case study: 429.mcf's `refresh_potential()` loop.
+//!
+//! A pointer chase (`node = node->child`) cannot be prefetched and forms a
+//! recurrence, so it stays at its base latency; the delinquent field loads
+//! hanging off the chase have slack and are boosted. At an average trip
+//! count of only 2.3, clustering two instances per entry still wins big.
+//!
+//! Run with: `cargo run --release --example mcf_pointer_chase`
+
+use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::ir::SplitMix64;
+use ltsp::machine::MachineModel;
+use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
+use ltsp::workloads::{mcf_refresh, TripDistribution};
+
+fn main() {
+    let machine = MachineModel::itanium2();
+    let lp = mcf_refresh("refresh_potential", 48 << 20);
+    println!("{lp}\n");
+
+    let trips = TripDistribution::Mixture(vec![(0.75, 2), (0.25, 3)]); // mean 2.25
+    let entries = 800u32;
+
+    let mut totals = Vec::new();
+    for policy in [LatencyPolicy::Baseline, LatencyPolicy::HloHints] {
+        let cfg = CompileConfig::new(policy); // threshold 32, PGO defaults
+        let compiled = compile_loop_with_profile(&lp, &machine, &cfg, trips.mean());
+        let stats = compiled.stats.expect("pipelines");
+        println!(
+            "policy {policy}: II={} stages={} boosted={} critical={}",
+            compiled.kernel.ii(),
+            compiled.kernel.stage_count(),
+            stats.boosted_loads,
+            stats.critical_loads
+        );
+
+        let mut ex = Executor::new(
+            &compiled.lp,
+            &compiled.kernel,
+            &machine,
+            compiled.regs_total,
+            ExecutorConfig {
+                stream_mode: StreamMode::Progressive,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut rng = SplitMix64::new(2024);
+        for _ in 0..entries {
+            ex.run_entry(trips.sample(&mut rng));
+        }
+        let c = ex.counters();
+        println!(
+            "  {} cycles over {} entries; data stalls {:.1}%\n",
+            c.total,
+            entries,
+            100.0 * c.be_exe_bubble as f64 / c.total as f64
+        );
+        totals.push(c.total);
+    }
+
+    println!(
+        "loop speedup from HLO-directed hints: {:+.1}% (paper reports ~40%)",
+        100.0 * (totals[0] as f64 / totals[1] as f64 - 1.0)
+    );
+    println!(
+        "Note the chase load itself stays at base latency (critical), and\n\
+         the trip-count threshold (32) is overridden for the unprefetchable\n\
+         fields: expected long latencies justify boosting even at trip 2.3\n\
+         (Sec. 3.1)."
+    );
+}

@@ -1,0 +1,65 @@
+//! Inside the HLO: run the software prefetcher over loops with different
+//! access patterns and print the prefetch plans and latency hints it
+//! assigns (the heuristics of the paper's Sec. 3.2).
+//!
+//! Run with: `cargo run --release --example prefetch_hints`
+
+use ltsp::hlo::{run_hlo, HloConfig};
+use ltsp::ir::DataClass;
+use ltsp::machine::MachineModel;
+use ltsp::workloads::{
+    gather_update, hash_walk, mcf_refresh, saxpy, stencil3, symbolic_walk,
+};
+
+fn main() {
+    let machine = MachineModel::itanium2();
+    let loops = vec![
+        ("saxpy (plain FP streams)", saxpy("saxpy")),
+        ("stencil3 (overlapping streams)", stencil3("stencil3")),
+        (
+            "gather a[b[i]] (indirect, 2b)",
+            gather_update("gather", DataClass::Fp, 1 << 24),
+        ),
+        (
+            "symbolic stride a[i*n] (TLB clamp, 2a)",
+            symbolic_walk("symbolic", 4096),
+        ),
+        (
+            "mcf pointer chase (unprefetchable, 1)",
+            mcf_refresh("mcf", 1 << 25),
+        ),
+        (
+            "wide integer scan (OzQ pressure, 3)",
+            hash_walk("hash", 1 << 20),
+        ),
+    ];
+
+    for (label, mut lp) in loops {
+        let report = run_hlo(&mut lp, &machine, Some(1000.0), &HloConfig::default());
+        println!("== {label}");
+        println!(
+            "   II estimate {}, {} prefetches inserted, {} refs hinted",
+            report.ii_estimate, report.prefetches_inserted, report.hinted
+        );
+        for d in &report.decisions {
+            let mr = lp.memref(d.memref);
+            print!("   {:<24} {:<9}", mr.name(), mr.pattern().kind_name());
+            if d.deduped {
+                print!(" covered-by-leading-ref");
+            }
+            if let Some(p) = d.plan {
+                print!(
+                    " prefetch(d={}, {}{})",
+                    p.distance,
+                    p.target,
+                    if p.distance_reduced { ", reduced" } else { "" }
+                );
+            }
+            if let Some(h) = d.hint {
+                print!(" hint={h} [{:?}]", d.reason.expect("hint has a reason"));
+            }
+            println!();
+        }
+        println!();
+    }
+}

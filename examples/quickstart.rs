@@ -1,0 +1,68 @@
+//! Quickstart: build a loop, compile it with latency-tolerant software
+//! pipelining, and watch the schedule and simulated stalls change.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::ir::{DataClass, LoopBuilder};
+use ltsp::machine::MachineModel;
+use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
+
+fn main() {
+    // The paper's running example: ld4 / add / st4 with post-increment —
+    // but with a large stride, so every load misses the caches.
+    let mut b = LoopBuilder::new("quickstart");
+    let src = b.affine_ref("a[i]", DataClass::Int, 0x10_0000, 256, 4);
+    let dst = b.affine_ref("y[i]", DataClass::Int, 0x4000_0000, 4, 4);
+    let nine = b.live_in_gr("r9");
+    let v = b.load(src);
+    let sum = b.add(v, nine);
+    b.store(dst, sum);
+    let lp = b.build().expect("well-formed loop");
+    println!("{lp}\n");
+
+    let machine = MachineModel::itanium2();
+    let trip = 2000u64;
+
+    for policy in [LatencyPolicy::Baseline, LatencyPolicy::AllLoadsL3] {
+        let cfg = CompileConfig::new(policy)
+            .with_threshold(0)
+            .with_prefetch(false); // expose the raw latency, as in Sec. 2
+        let compiled = compile_loop_with_profile(&lp, &machine, &cfg, trip as f64);
+        println!(
+            "policy {policy}: II={} stages={} boosted-loads={}",
+            compiled.kernel.ii(),
+            compiled.kernel.stage_count(),
+            compiled.stats.map_or(0, |s| s.boosted_loads),
+        );
+        println!("{}", compiled.kernel.dump(&compiled.lp));
+
+        let mut ex = Executor::new(
+            &compiled.lp,
+            &compiled.kernel,
+            &machine,
+            compiled.regs_total,
+            ExecutorConfig {
+                stream_mode: StreamMode::Progressive,
+                ..ExecutorConfig::default()
+            },
+        );
+        ex.run_entry(trip);
+        let c = ex.counters();
+        println!(
+            "  {} cycles for {} iterations ({:.2} cycles/iter); data stalls {} ({:.1}%)\n",
+            c.total,
+            trip,
+            c.total as f64 / trip as f64,
+            c.be_exe_bubble,
+            100.0 * c.be_exe_bubble as f64 / c.total as f64
+        );
+    }
+
+    println!(
+        "The boosted schedule runs the same II with more stages; the load\n\
+         latency is covered by the schedule and clustered across kernel\n\
+         iterations, so the stall share collapses — the effect the paper\n\
+         quantifies in Eq. 2 and measures in Sec. 4."
+    );
+}

@@ -1,0 +1,217 @@
+//! `ltspc` — a command-line driver for the latency-tolerant pipelining
+//! compiler: read a loop in the textual IR format, compile it under a
+//! policy, and print the kernel schedule, assembly and (optionally) a
+//! simulated execution.
+//!
+//! ```text
+//! ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo]
+//!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
+//!       [--asm] [--simulate ITERS]
+//! ```
+//!
+//! Example input (see `ltsp_ir::parse_loop` for the grammar):
+//!
+//! ```text
+//! loop example {
+//!   live_in g0
+//!   m0: "a[i]" [int affine(base=0x1000, stride=256) 4B]
+//!   m1: "y[i]" [int affine(base=0x2000000, stride=4) 4B]
+//!   i0: ld g1 = @m0
+//!   i1: add g2 = g1, g0
+//!   i2: st g2 @m1
+//! }
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::ir::parse_loop;
+use ltsp::machine::MachineModel;
+use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
+use ltsp::pipeliner::{assign_registers, emit_kernel, form_bundles};
+
+struct Options {
+    input: String,
+    policy: LatencyPolicy,
+    trip: f64,
+    threshold: u32,
+    prefetch: bool,
+    balanced: bool,
+    speculate: bool,
+    asm: bool,
+    simulate: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--trip N]\n\
+         \x20             [--threshold N] [--no-prefetch] [--balanced] [--speculate]\n\
+         \x20             [--asm] [--simulate ITERS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut input = None;
+    let mut o = Options {
+        input: String::new(),
+        policy: LatencyPolicy::HloHints,
+        trip: 100.0,
+        threshold: 32,
+        prefetch: true,
+        balanced: false,
+        speculate: false,
+        asm: false,
+        simulate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--policy" => {
+                o.policy = match args.next().as_deref() {
+                    Some("baseline") => LatencyPolicy::Baseline,
+                    Some("l3") => LatencyPolicy::AllLoadsL3,
+                    Some("fpl2") => LatencyPolicy::AllFpLoadsL2,
+                    Some("hlo") => LatencyPolicy::HloHints,
+                    _ => usage(),
+                }
+            }
+            "--trip" => o.trip = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--threshold" => {
+                o.threshold = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--no-prefetch" => o.prefetch = false,
+            "--balanced" => o.balanced = true,
+            "--speculate" => o.speculate = true,
+            "--asm" => o.asm = true,
+            "--simulate" => {
+                o.simulate =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--help" | "-h" => usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    o.input = input.unwrap_or_else(|| usage());
+    o
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let text = if o.input == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("ltspc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&o.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ltspc: cannot read {}: {e}", o.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let lp = match parse_loop(&text) {
+        Ok(lp) => lp,
+        Err(e) => {
+            eprintln!("ltspc: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let machine = MachineModel::itanium2();
+    let cfg = CompileConfig::new(o.policy)
+        .with_threshold(o.threshold)
+        .with_prefetch(o.prefetch)
+        .with_balanced_recurrences(o.balanced)
+        .with_data_speculation(o.speculate);
+    let compiled = compile_loop_with_profile(&lp, &machine, &cfg, o.trip);
+
+    println!(
+        "{}: policy={} trip-estimate={} prefetches={} hinted-refs={}",
+        lp.name(),
+        o.policy,
+        o.trip,
+        compiled.hlo.prefetches_inserted,
+        compiled.hlo.hinted
+    );
+    if let Some(stats) = compiled.stats {
+        println!(
+            "pipelined: II={} (ResMII={} RecMII={}) stages={} boosted={} critical={} speculated={}{}",
+            compiled.kernel.ii(),
+            stats.res_mii,
+            stats.rec_mii,
+            compiled.kernel.stage_count(),
+            stats.boosted_loads,
+            stats.critical_loads,
+            stats.speculated_edges,
+            if stats.dropped_boosts {
+                " (boosts dropped by register pressure)"
+            } else {
+                ""
+            }
+        );
+        if let Some(regs) = compiled.regs {
+            println!(
+                "registers: GR {} FR {} PR {} (rotating)",
+                regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+            );
+        }
+    } else {
+        println!(
+            "not pipelined (acyclic fallback): schedule length {}",
+            compiled.kernel.ii()
+        );
+    }
+    println!();
+    print!("{}", compiled.kernel.dump(&compiled.lp));
+
+    if o.asm {
+        println!();
+        match assign_registers(&compiled.lp, &compiled.kernel, &machine) {
+            Ok(assign) => print!("{}", emit_kernel(&compiled.lp, &compiled.kernel, &assign)),
+            Err(e) => eprintln!("ltspc: register assignment failed: {e}"),
+        }
+        let bundled = form_bundles(&compiled.lp, &compiled.kernel);
+        println!(
+            "bundles: {} ({} bytes of code, {} nop slots)",
+            bundled.bundle_count(),
+            bundled.code_bytes(),
+            bundled.nop_slots()
+        );
+    }
+
+    if let Some(iters) = o.simulate {
+        let mut ex = Executor::new(
+            &compiled.lp,
+            &compiled.kernel,
+            &machine,
+            compiled.regs_total,
+            ExecutorConfig {
+                stream_mode: StreamMode::Progressive,
+                ..ExecutorConfig::default()
+            },
+        );
+        ex.run_entry(iters.max(1));
+        let c = ex.counters();
+        println!(
+            "\nsimulated {iters} iterations: {} cycles ({:.2}/iter), \
+             data stalls {:.1}%, OzQ stalls {:.1}%, loads L1/L2/L3/mem = {}/{}/{}/{}",
+            c.total,
+            c.total as f64 / iters.max(1) as f64,
+            100.0 * c.be_exe_bubble as f64 / c.total.max(1) as f64,
+            100.0 * c.be_l1d_fpu_bubble as f64 / c.total.max(1) as f64,
+            c.l1_hits,
+            c.l2_hits,
+            c.l3_hits,
+            c.mem_loads,
+        );
+    }
+    ExitCode::SUCCESS
+}

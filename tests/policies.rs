@@ -1,0 +1,122 @@
+//! Policy-semantics integration tests: which loads get boosted under each
+//! [`LatencyPolicy`], and how trip-count information gates it.
+
+use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::ir::{DataClass, InstId};
+use ltsp::machine::MachineModel;
+use ltsp::workloads::{gather_update, mcf_refresh, motion_search, saxpy, stream_sum};
+
+fn machine() -> MachineModel {
+    MachineModel::itanium2()
+}
+
+fn boosted(lp: &ltsp::ir::LoopIr, policy: LatencyPolicy, threshold: u32, trip: f64) -> usize {
+    let cfg = CompileConfig::new(policy).with_threshold(threshold);
+    compile_loop_with_profile(lp, &machine(), &cfg, trip)
+        .stats
+        .map_or(0, |s| s.boosted_loads)
+}
+
+#[test]
+fn baseline_never_boosts() {
+    for lp in [
+        saxpy("s"),
+        mcf_refresh("m", 1 << 25),
+        gather_update("g", DataClass::Fp, 1 << 24),
+    ] {
+        assert_eq!(boosted(&lp, LatencyPolicy::Baseline, 0, 10_000.0), 0);
+    }
+}
+
+#[test]
+fn all_loads_l3_boosts_every_non_critical_load() {
+    let lp = saxpy("s");
+    // saxpy: two FP loads, both non-critical.
+    assert_eq!(boosted(&lp, LatencyPolicy::AllLoadsL3, 0, 10_000.0), 2);
+}
+
+#[test]
+fn fp_policy_boosts_only_fp() {
+    let int_loop = stream_sum("i", DataClass::Int, 256);
+    let fp_loop = stream_sum("f", DataClass::Fp, 256);
+    assert_eq!(boosted(&int_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0), 0);
+    assert_eq!(boosted(&fp_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0), 1);
+}
+
+#[test]
+fn threshold_gates_blanket_policies() {
+    let lp = saxpy("s");
+    assert!(boosted(&lp, LatencyPolicy::AllLoadsL3, 32, 100.0) > 0);
+    assert_eq!(boosted(&lp, LatencyPolicy::AllLoadsL3, 32, 10.0), 0);
+    // Exactly at the threshold counts as above it.
+    assert!(boosted(&lp, LatencyPolicy::AllLoadsL3, 32, 32.0) > 0);
+}
+
+#[test]
+fn hlo_hints_boost_delinquents_regardless_of_trip_count() {
+    // The Sec. 4.4 scenario: unprefetchable chase fields boosted at trip
+    // 2.3 even with threshold 32.
+    let lp = mcf_refresh("m", 1 << 25);
+    assert!(boosted(&lp, LatencyPolicy::HloHints, 32, 2.3) >= 2);
+    // But prefetchable references respect the threshold (h264ref stays
+    // unboosted at trip 10).
+    let ms = motion_search("ms");
+    assert_eq!(boosted(&ms, LatencyPolicy::HloHints, 32, 10.0), 0);
+}
+
+#[test]
+fn fp_default_l2_rider_applies_only_to_hlo_policy() {
+    // saxpy's FP loads are fully prefetched (no HLO hint), so any boost
+    // under HloHints comes from the default FP-L2 rider.
+    let lp = saxpy("s");
+    let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+    assert!(cfg.fp_default_l2);
+    let c = compile_loop_with_profile(&lp, &machine(), &cfg, 1000.0);
+    assert_eq!(c.stats.unwrap().boosted_loads, 2, "FP default L2 applies");
+
+    let mut no_rider = CompileConfig::new(LatencyPolicy::HloHints);
+    no_rider.fp_default_l2 = false;
+    let c2 = compile_loop_with_profile(&lp, &machine(), &no_rider, 1000.0);
+    assert_eq!(c2.stats.unwrap().boosted_loads, 0, "without the rider: none");
+}
+
+#[test]
+fn chase_load_is_always_critical() {
+    let lp = mcf_refresh("m", 1 << 25);
+    let m = machine();
+    for policy in [
+        LatencyPolicy::AllLoadsL3,
+        LatencyPolicy::HloHints,
+        LatencyPolicy::AllFpLoadsL2,
+    ] {
+        let cfg = CompileConfig::new(policy).with_threshold(0);
+        let c = compile_loop_with_profile(&lp, &m, &cfg, 10_000.0);
+        // InstId(0) is the chase load; it must stay at base latency.
+        assert_eq!(
+            c.scheduled_load_latency_of(&m, InstId(0)),
+            Some(1),
+            "{policy}: the chase must not be boosted"
+        );
+    }
+}
+
+#[test]
+fn hint_surface_grows_when_prefetching_is_disabled() {
+    let lp = gather_update("g", DataClass::Fp, 1 << 24);
+    let m = machine();
+    let on = compile_loop_with_profile(
+        &lp,
+        &m,
+        &CompileConfig::new(LatencyPolicy::HloHints),
+        1000.0,
+    );
+    let off = compile_loop_with_profile(
+        &lp,
+        &m,
+        &CompileConfig::new(LatencyPolicy::HloHints).with_prefetch(false),
+        1000.0,
+    );
+    assert!(on.hlo.prefetches_inserted > 0);
+    assert_eq!(off.hlo.prefetches_inserted, 0);
+    assert!(off.stats.unwrap().boosted_loads >= on.stats.unwrap().boosted_loads);
+}

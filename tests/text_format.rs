@@ -1,0 +1,76 @@
+//! Integration tests of the textual IR format across the whole stack:
+//! every workload kernel survives a display/parse round trip, and the
+//! reparsed loop compiles to an identical kernel.
+
+use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::ir::{parse_loop, DataClass, LoopIr};
+use ltsp::machine::MachineModel;
+use ltsp::workloads::{
+    compute_heavy, gather_update, hash_walk, mcf_refresh, memory_recurrence, motion_search,
+    pointer_array_walk, reduction_int, saxpy, stencil3, stream_sum, symbolic_walk, texture_span,
+    triad,
+};
+
+fn kernel_library() -> Vec<LoopIr> {
+    vec![
+        stream_sum("stream-fp", DataClass::Fp, 8),
+        stream_sum("stream-int", DataClass::Int, 256),
+        saxpy("saxpy"),
+        triad("triad"),
+        stencil3("stencil3"),
+        gather_update("gather-fp", DataClass::Fp, 1 << 24),
+        gather_update("gather-int", DataClass::Int, 1 << 22),
+        mcf_refresh("mcf", 1 << 25),
+        motion_search("motion"),
+        texture_span("texture"),
+        hash_walk("hash", 1 << 17),
+        symbolic_walk("symbolic", 4096),
+        pointer_array_walk("ptrs", 1 << 24),
+        compute_heavy("compute"),
+        reduction_int("scan", 4),
+        memory_recurrence("iir"),
+    ]
+}
+
+#[test]
+fn every_kernel_round_trips_textually() {
+    for lp in kernel_library() {
+        let text = lp.to_string();
+        let reparsed = parse_loop(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{text}", lp.name()));
+        assert_eq!(lp, reparsed, "{} round trip", lp.name());
+    }
+}
+
+#[test]
+fn reparsed_loops_compile_identically() {
+    let m = MachineModel::itanium2();
+    let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+    for lp in kernel_library() {
+        let reparsed = parse_loop(&lp.to_string()).expect("round trip");
+        let a = compile_loop_with_profile(&lp, &m, &cfg, 500.0);
+        let b = compile_loop_with_profile(&reparsed, &m, &cfg, 500.0);
+        assert_eq!(
+            a.kernel,
+            b.kernel,
+            "{}: kernels diverge after text round trip",
+            lp.name()
+        );
+        assert_eq!(a.regs_total, b.regs_total);
+    }
+}
+
+#[test]
+fn post_hlo_loops_round_trip_too() {
+    // The HLO mutates the loop (prefetch instructions, hints); the textual
+    // format must carry those annotations as well.
+    let m = MachineModel::itanium2();
+    let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+    for lp in kernel_library() {
+        let compiled = compile_loop_with_profile(&lp, &m, &cfg, 500.0);
+        let text = compiled.lp.to_string();
+        let reparsed = parse_loop(&text)
+            .unwrap_or_else(|e| panic!("{}: post-HLO parse failed: {e}\n{text}", lp.name()));
+        assert_eq!(compiled.lp, reparsed, "{} post-HLO round trip", lp.name());
+    }
+}
