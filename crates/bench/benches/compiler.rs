@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the compiler passes and the simulator substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ltsp_bench::Bench;
 use ltsp_core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
 use ltsp_ddg::{Ddg, MinDist};
 use ltsp_ir::{DataClass, Opcode};
@@ -11,41 +11,35 @@ use ltsp_memsim::{Executor, ExecutorConfig, MemorySystem, StreamMode};
 use ltsp_pipeliner::ModuloScheduler;
 use ltsp_workloads::{mcf_refresh, saxpy, stencil3};
 
-fn ddg_passes(c: &mut Criterion) {
-    let m = MachineModel::itanium2();
+fn ddg_passes(b: &Bench, m: &MachineModel) {
     let lp = mcf_refresh("mcf", 1 << 25);
-    c.bench_function("ddg/build_mcf", |b| {
-        b.iter(|| {
-            let ddg = Ddg::build(black_box(&lp), &m, &|id| {
-                if let Opcode::Load(dc) = lp.inst(id).op() {
-                    m.load_latency(dc, LatencyQuery::Base)
-                } else {
-                    0
-                }
-            });
-            black_box(ddg.len())
-        })
+    b.bench("ddg/build_mcf", || {
+        let ddg = Ddg::build(black_box(&lp), m, &|id| {
+            if let Opcode::Load(dc) = lp.inst(id).op() {
+                m.load_latency(dc, LatencyQuery::Base)
+            } else {
+                0
+            }
+        });
+        black_box(ddg.len())
     });
-    let ddg = Ddg::build(&lp, &m, &|_| 1);
-    c.bench_function("ddg/rec_mii_mcf", |b| {
-        b.iter(|| black_box(ddg.rec_mii()))
+    let ddg = Ddg::build(&lp, m, &|_| 1);
+    b.bench("ddg/rec_mii_mcf", || black_box(ddg.rec_mii()));
+    b.bench("ddg/mindist_mcf", || {
+        black_box(MinDist::compute(&ddg, 4).ii())
     });
-    c.bench_function("ddg/mindist_mcf", |b| {
-        b.iter(|| black_box(MinDist::compute(&ddg, 4).ii()))
-    });
-    c.bench_function("ddg/cycles_mcf", |b| {
-        b.iter(|| black_box(ddg.recurrence_cycles(10_000).len()))
+    b.bench("ddg/cycles_mcf", || {
+        black_box(ddg.recurrence_cycles(10_000).len())
     });
 }
 
-fn scheduling(c: &mut Criterion) {
-    let m = MachineModel::itanium2();
+fn scheduling(b: &Bench, m: &MachineModel) {
     for (name, lp) in [
         ("saxpy", saxpy("saxpy")),
         ("stencil3", stencil3("stencil3")),
         ("mcf", mcf_refresh("mcf", 1 << 25)),
     ] {
-        let ddg = Ddg::build(&lp, &m, &|id| {
+        let ddg = Ddg::build(&lp, m, &|id| {
             if let Opcode::Load(dc) = lp.inst(id).op() {
                 m.load_latency(dc, LatencyQuery::Base)
             } else {
@@ -53,58 +47,52 @@ fn scheduling(c: &mut Criterion) {
             }
         });
         let min_ii = m.res_mii(&lp).max(ddg.rec_mii());
-        c.bench_function(&format!("pipeliner/modulo_schedule_{name}"), |b| {
-            b.iter(|| {
-                let s = ModuloScheduler::new(&lp, &m, &ddg)
-                    .schedule_at(min_ii, 8)
-                    .expect("schedulable");
-                black_box(s.stage_count())
-            })
+        b.bench(&format!("pipeliner/modulo_schedule_{name}"), || {
+            let s = ModuloScheduler::new(&lp, m, &ddg)
+                .schedule_at(min_ii, 8)
+                .expect("schedulable");
+            black_box(s.stage_count())
         });
-        c.bench_function(&format!("pipeliner/full_compile_{name}"), |b| {
-            let cfg = CompileConfig::new(LatencyPolicy::HloHints);
-            b.iter(|| {
-                black_box(compile_loop_with_profile(&lp, &m, &cfg, 500.0).kernel.ii())
-            })
+        let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+        b.bench(&format!("pipeliner/full_compile_{name}"), || {
+            black_box(compile_loop_with_profile(&lp, m, &cfg, 500.0).kernel.ii())
         });
     }
 }
 
-fn simulator(c: &mut Criterion) {
-    let m = MachineModel::itanium2();
-    c.bench_function("memsim/cache_demand_hit", |b| {
+fn simulator(b: &Bench, m: &MachineModel) {
+    {
         let mut sys = MemorySystem::new(*m.caches());
         sys.demand_access(0x1000, DataClass::Int, 0, false);
         let mut t = 1000u64;
-        b.iter(|| {
+        b.bench("memsim/cache_demand_hit", move || {
             t += 10;
             black_box(sys.demand_access(0x1000, DataClass::Int, t, false).latency)
-        })
-    });
+        });
+    }
     let lp = saxpy("saxpy");
     let cfg = CompileConfig::new(LatencyPolicy::HloHints);
-    let compiled = compile_loop_with_profile(&lp, &m, &cfg, 1000.0);
-    c.bench_function("memsim/run_entry_1000_iters", |b| {
-        b.iter(|| {
-            let mut ex = Executor::new(
-                &compiled.lp,
-                &compiled.kernel,
-                &m,
-                compiled.regs_total,
-                ExecutorConfig {
-                    stream_mode: StreamMode::Progressive,
-                    ..ExecutorConfig::default()
-                },
-            );
-            ex.run_entry(1000);
-            black_box(ex.counters().total)
-        })
+    let compiled = compile_loop_with_profile(&lp, m, &cfg, 1000.0);
+    b.bench("memsim/run_entry_1000_iters", || {
+        let mut ex = Executor::new(
+            &compiled.lp,
+            &compiled.kernel,
+            m,
+            compiled.regs_total,
+            ExecutorConfig {
+                stream_mode: StreamMode::Progressive,
+                ..ExecutorConfig::default()
+            },
+        );
+        ex.run_entry(1000);
+        black_box(ex.counters().total)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = ddg_passes, scheduling, simulator
+fn main() {
+    let b = Bench::new();
+    let m = MachineModel::itanium2();
+    ddg_passes(&b, &m);
+    scheduling(&b, &m);
+    simulator(&b, &m);
 }
-criterion_main!(benches);

@@ -1,61 +1,55 @@
-//! One Criterion target per paper artifact: each bench regenerates a
-//! scaled-down version of the corresponding table/figure, so `cargo bench`
-//! exercises every experiment end to end and tracks its cost.
+//! One bench per paper artifact: each entry regenerates a scaled-down
+//! version of the corresponding table/figure, so `cargo bench` exercises
+//! every experiment end to end and tracks its cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use ltsp_bench::{
     compile_time, fig10, fig5, fig7, fig8, fig9, mcf_case_study, no_prefetch_headroom, regstats,
+    Bench,
 };
 use ltsp_machine::MachineModel;
 
 const SCALE: f64 = 0.02;
 
-fn figures(c: &mut Criterion) {
-    let m = MachineModel::itanium2();
-    c.bench_function("experiments/fig5_theory_and_validation", |b| {
-        b.iter(|| black_box(fig5().simulated_reduction))
+fn figures(b: &Bench, m: &MachineModel) {
+    b.bench("experiments/fig5_theory_and_validation", || {
+        black_box(fig5().simulated_reduction)
     });
-    c.bench_function("experiments/fig7_headroom_thresholds", |b| {
-        b.iter(|| {
-            let (f06, f00) = fig7(&m, SCALE);
-            black_box((f06.geomean(3), f00.geomean(3)))
-        })
+    b.bench("experiments/fig7_headroom_thresholds", || {
+        let (f06, f00) = fig7(m, SCALE);
+        black_box((f06.geomean(3), f00.geomean(3)))
     });
-    c.bench_function("experiments/fig8_fp_l2_vs_hlo", |b| {
-        b.iter(|| {
-            let (f06, f00) = fig8(&m, SCALE);
-            black_box((f06.geomean(1), f00.geomean(1)))
-        })
+    b.bench("experiments/fig8_fp_l2_vs_hlo", || {
+        let (f06, f00) = fig8(m, SCALE);
+        black_box((f06.geomean(1), f00.geomean(1)))
     });
-    c.bench_function("experiments/fig9_no_pgo", |b| {
-        b.iter(|| black_box(fig9(&m, SCALE).geomean(1)))
+    b.bench("experiments/fig9_no_pgo", || {
+        black_box(fig9(m, SCALE).geomean(1))
     });
-    c.bench_function("experiments/fig10_cycle_accounting", |b| {
-        b.iter(|| black_box(fig10(&m, SCALE).exe_bubble_delta()))
+    b.bench("experiments/fig10_cycle_accounting", || {
+        black_box(fig10(m, SCALE).exe_bubble_delta())
     });
 }
 
-fn case_studies(c: &mut Criterion) {
-    let m = MachineModel::itanium2();
-    c.bench_function("experiments/sec44_mcf_case_study", |b| {
-        b.iter(|| black_box(mcf_case_study(&m, 60).loop_speedup))
+fn case_studies(b: &Bench, m: &MachineModel) {
+    b.bench("experiments/sec44_mcf_case_study", || {
+        black_box(mcf_case_study(m, 60).loop_speedup)
     });
-    c.bench_function("experiments/sec45_register_stats", |b| {
-        b.iter(|| black_box(regstats(&m, SCALE).growth()))
+    b.bench("experiments/sec45_register_stats", || {
+        black_box(regstats(m, SCALE).growth())
     });
-    c.bench_function("experiments/sec33_compile_time", |b| {
-        b.iter(|| black_box(compile_time(&m, SCALE).growth()))
+    b.bench("experiments/sec33_compile_time", || {
+        black_box(compile_time(m, SCALE).growth())
     });
-    c.bench_function("experiments/sec42_no_prefetch_headroom", |b| {
-        b.iter(|| black_box(no_prefetch_headroom(&m, SCALE).rows.len()))
+    b.bench("experiments/sec42_no_prefetch_headroom", || {
+        black_box(no_prefetch_headroom(m, SCALE).rows.len())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures, case_studies
+fn main() {
+    let b = Bench::new();
+    let m = MachineModel::itanium2();
+    figures(&b, &m);
+    case_studies(&b, &m);
 }
-criterion_main!(benches);

@@ -3,27 +3,52 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations] [--scale X]
+//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations]
+//!           [--scale X] [--csv] [--trace-out FILE] [--metrics-out FILE] [-v]
 //! ```
 //!
 //! `--scale` multiplies each loop's simulated entry count (default 1.0;
 //! use e.g. 0.1 for a quick pass). `--csv` switches the per-benchmark
-//! gain experiments to CSV output for external plotting.
+//! gain experiments to CSV output for external plotting. `--trace-out`
+//! writes a JSONL span/event trace of the run, `--metrics-out` a JSON
+//! metrics snapshot, and `-v` narrates experiment progress on stderr
+//! (per-experiment wall-clock timing included).
 
 use ltsp_bench::{
     balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10, fig5, fig7,
     fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
-    mve_code_size_ablation,
-    no_prefetch_headroom, ozq_capacity_ablation, regstats, versioning_experiment,
+    mve_code_size_ablation, no_prefetch_headroom, ozq_capacity_ablation, regstats,
+    versioning_experiment,
 };
 use ltsp_machine::MachineModel;
+use ltsp_telemetry::Telemetry;
 use std::io::Write as _;
 
 /// Prints without panicking on a closed pipe (`reproduce ... | head`).
 fn emit(text: &str) {
     let mut out = std::io::stdout().lock();
-    if out.write_all(text.as_bytes()).and_then(|()| out.write_all(b"\n")).is_err() {
+    if out
+        .write_all(text.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+        .is_err()
+    {
         std::process::exit(0);
+    }
+}
+
+/// Writes one telemetry artifact, reporting failures on stderr.
+fn write_artifact(
+    path: Option<&str>,
+    what: &str,
+    f: impl FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
+) {
+    let Some(path) = path else { return };
+    let res = std::fs::File::create(path)
+        .map(std::io::BufWriter::new)
+        .and_then(|mut w| f(&mut w));
+    if let Err(e) = res {
+        eprintln!("reproduce: cannot write {what} {path}: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -32,70 +57,107 @@ fn main() {
     let mut which = "all".to_string();
     let mut scale = 1.0f64;
     let mut csv = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut verbose = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv = true,
             "--scale" => {
-                scale = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale requires a number");
-                        std::process::exit(2);
-                    });
+                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale requires a number");
+                    std::process::exit(2);
+                });
             }
+            "--trace-out" => trace_out = it.next().cloned(),
+            "--metrics-out" => metrics_out = it.next().cloned(),
+            "-v" | "--verbose" => verbose = true,
             other => which = other.to_string(),
         }
     }
 
+    let tel = if trace_out.is_some() || metrics_out.is_some() || verbose {
+        Telemetry::enabled_with(verbose)
+    } else {
+        Telemetry::disabled()
+    };
     let machine = MachineModel::itanium2();
     let run_all = which == "all";
     let table = |e: &ltsp_bench::GainExperiment| if csv { e.to_csv() } else { e.render() };
+    // Each artifact runs under a span so `-v` narrates progress with
+    // wall-clock timing and `--trace-out` records the run's timeline.
+    let ran = |name: &str| tel.info(format!("reproducing {name} (scale {scale})"));
 
     if run_all || which == "fig5" {
+        ran("fig5");
+        let _s = tel.span("experiment:fig5");
         emit(&fig5().render());
     }
     if run_all || which == "fig7" {
+        ran("fig7");
+        let _s = tel.span("experiment:fig7");
         let (f06, f00) = fig7(&machine, scale);
         emit(&table(&f06));
         emit(&table(&f00));
     }
     if run_all || which == "fig8" {
+        ran("fig8");
+        let _s = tel.span("experiment:fig8");
         let (f06, f00) = fig8(&machine, scale);
         emit(&table(&f06));
         emit(&table(&f00));
     }
     if run_all || which == "fig9" {
+        ran("fig9");
+        let _s = tel.span("experiment:fig9");
         emit(&table(&fig9(&machine, scale)));
     }
     if run_all || which == "fig10" {
+        ran("fig10");
+        let _s = tel.span("experiment:fig10");
         emit(&fig10(&machine, scale).render());
     }
     if run_all || which == "mcf" {
+        ran("mcf");
+        let _s = tel.span("experiment:mcf");
         let entries = ((900.0 * scale) as u32).max(50);
         emit(&mcf_case_study(&machine, entries).render());
     }
     if run_all || which == "regstats" {
+        ran("regstats");
+        let _s = tel.span("experiment:regstats");
         emit(&regstats(&machine, scale).render());
     }
     if run_all || which == "compiletime" {
+        ran("compiletime");
+        let _s = tel.span("experiment:compiletime");
         emit(&compile_time(&machine, scale).render());
     }
     if run_all || which == "noprefetch" {
+        ran("noprefetch");
+        let _s = tel.span("experiment:noprefetch");
         emit(&table(&no_prefetch_headroom(&machine, scale)));
     }
     if run_all || which == "versioning" {
+        ran("versioning");
+        let _s = tel.span("experiment:versioning");
         emit(&table(&versioning_experiment(&machine, scale)));
     }
     if run_all || which == "sampling" {
+        ran("sampling");
+        let _s = tel.span("experiment:sampling");
         emit(&table(&miss_sampling_experiment(&machine, scale)));
     }
     if run_all || which == "balanced" {
+        ran("balanced");
+        let _s = tel.span("experiment:balanced");
         let entries = ((800.0 * scale) as u32).max(100);
         emit(&balanced_recurrence_experiment(&machine, entries).render());
     }
     if run_all || which == "ablations" {
+        ran("ablations");
+        let _s = tel.span("experiment:ablations");
         emit(&ozq_capacity_ablation(&machine).render());
         let (missing, warm) = boost_magnitude_ablation(&machine);
         emit(&missing.render());
@@ -105,4 +167,9 @@ fn main() {
         emit(&width_gain.render());
         emit(&width_k.render());
     }
+
+    write_artifact(trace_out.as_deref(), "trace", |w| tel.write_events_jsonl(w));
+    write_artifact(metrics_out.as_deref(), "metrics", |w| {
+        tel.write_metrics_json(w)
+    });
 }

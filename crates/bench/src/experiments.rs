@@ -218,10 +218,8 @@ pub fn no_prefetch_headroom(machine: &MachineModel, scale: f64) -> GainExperimen
     benchs.extend(cpu2000());
     // Baseline also compiles without prefetching (same-compiler-option
     // comparison, only the latency scheduling differs).
-    let base_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::Baseline).with_prefetch(false),
-    )
-    .with_entry_scale(scale);
+    let base_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline).with_prefetch(false))
+        .with_entry_scale(scale);
     let base = run_suite(&benchs, machine, &base_rc);
     let var_rc = RunConfig::new(
         CompileConfig::new(LatencyPolicy::AllLoadsL3)
@@ -266,8 +264,7 @@ impl AccountingResult {
     /// Percent change of the OzQ-full bucket (paper: +8%).
     pub fn l1d_bubble_delta(&self) -> f64 {
         100.0
-            * (self.hlo.be_l1d_fpu_bubble as f64
-                / self.baseline.be_l1d_fpu_bubble.max(1) as f64
+            * (self.hlo.be_l1d_fpu_bubble as f64 / self.baseline.be_l1d_fpu_bubble.max(1) as f64
                 - 1.0)
     }
 
@@ -276,17 +273,14 @@ impl AccountingResult {
     /// pipelined-loop boundaries).
     pub fn rse_delta(&self) -> f64 {
         100.0
-            * (self.loop_hlo.be_rse_bubble as f64
-                / self.loop_baseline.be_rse_bubble.max(1) as f64
+            * (self.loop_hlo.be_rse_bubble as f64 / self.loop_baseline.be_rse_bubble.max(1) as f64
                 - 1.0)
     }
 
     /// Percent change of unstalled execution across the hot loops
     /// (paper: +1.2% from the extra epilog iterations).
     pub fn unstalled_delta(&self) -> f64 {
-        100.0
-            * (self.loop_hlo.unstalled as f64 / self.loop_baseline.unstalled.max(1) as f64
-                - 1.0)
+        100.0 * (self.loop_hlo.unstalled as f64 / self.loop_baseline.unstalled.max(1) as f64 - 1.0)
     }
 
     /// OzQ-full fractions over the hot loops (paper: 8.2% → 9.4%).
@@ -302,7 +296,11 @@ impl AccountingResult {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "Fig. 10 — CPU2006 cycle accounting (no PGO)");
-        let _ = writeln!(s, "{}", format_cycle_accounting("baseline ", &self.baseline));
+        let _ = writeln!(
+            s,
+            "{}",
+            format_cycle_accounting("baseline ", &self.baseline)
+        );
         let _ = writeln!(s, "{}", format_cycle_accounting("HLO hints", &self.hlo));
         let (oz_b, oz_h) = self.ozq_full_fractions();
         let _ = writeln!(
@@ -322,14 +320,10 @@ impl AccountingResult {
 /// Runs the Fig. 10 experiment.
 pub fn fig10(machine: &MachineModel, scale: f64) -> AccountingResult {
     let benchs = cpu2006();
-    let base_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false),
-    )
-    .with_entry_scale(scale);
-    let hlo_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false),
-    )
-    .with_entry_scale(scale);
+    let base_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false))
+        .with_entry_scale(scale);
+    let hlo_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false))
+        .with_entry_scale(scale);
     let base = run_suite(&benchs, machine, &base_rc);
     let hlo = run_suite(&benchs, machine, &hlo_rc);
     let (baseline, hlo_padded) = suite_cycle_accounting(&benchs, &base, &hlo);
@@ -391,7 +385,10 @@ mod tests {
         let f = fig9(&m, SCALE);
         let blanket = f.geomean(0);
         let hlo = f.geomean(1);
-        assert!(hlo > blanket, "HLO {hlo:.2}% must beat blanket {blanket:.2}%");
+        assert!(
+            hlo > blanket,
+            "HLO {hlo:.2}% must beat blanket {blanket:.2}%"
+        );
         assert!(hlo > 0.5, "HLO without PGO should still gain: {hlo:.2}%");
         // gobmk is the persisting loss.
         let gobmk = f.gain_of("445.gobmk", 1).unwrap();

@@ -4,8 +4,8 @@
 //! boost magnitude).
 
 use ltsp_core::{
-    benchmark_gain, compile_loop_with_profile, run_suite, run_suite_sampled,
-    run_suite_versioned, CompileConfig, LatencyPolicy, RunConfig,
+    benchmark_gain, compile_loop_with_profile, run_suite, run_suite_sampled, run_suite_versioned,
+    CompileConfig, LatencyPolicy, RunConfig,
 };
 use ltsp_ir::DataClass;
 use ltsp_machine::{CacheGeometry, MachineModel};
@@ -76,10 +76,8 @@ pub fn versioning_experiment(machine: &MachineModel, scale: f64) -> GainExperime
 /// without PGO, where static information is weakest.
 pub fn miss_sampling_experiment(machine: &MachineModel, scale: f64) -> GainExperiment {
     let benchs = cpu2006();
-    let base_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false),
-    )
-    .with_entry_scale(scale);
+    let base_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false))
+        .with_entry_scale(scale);
     let base = run_suite(&benchs, machine, &base_rc);
 
     let hlo = run_suite(
@@ -292,15 +290,15 @@ pub fn issue_width_ablation() -> (AblationSeries, AblationSeries) {
             &CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0),
             600.0,
         );
-        let d = machine
-            .load_latency(ltsp_ir::DataClass::Int, ltsp_machine::LatencyQuery::Hinted(ltsp_ir::LatencyHint::L3))
-            - 1;
+        let d = machine.load_latency(
+            ltsp_ir::DataClass::Int,
+            ltsp_machine::LatencyQuery::Hinted(ltsp_ir::LatencyHint::L3),
+        ) - 1;
         ks.push((width, f64::from(clustering_factor(d, boosted.kernel.ii()))));
     }
     (
         AblationSeries {
-            title: "Ablation — boosted-loop gain vs machine issue width (M slots)"
-                .to_string(),
+            title: "Ablation — boosted-loop gain vs machine issue width (M slots)".to_string(),
             points: gains,
             unit: "%",
         },
@@ -382,8 +380,7 @@ pub fn boost_magnitude_ablation(base_machine: &MachineModel) -> (AblationSeries,
                     ex.counters().total
                 };
                 let tb = run(&CompileConfig::new(LatencyPolicy::Baseline));
-                let tx =
-                    run(&CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0));
+                let tx = run(&CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0));
                 (boost, 100.0 * (tb as f64 / tx.max(1) as f64 - 1.0))
             })
             .collect::<Vec<_>>()
@@ -535,9 +532,7 @@ mod tests {
         // entirely (gain snaps back to ~0) — an emergent register-file
         // cliff backing the paper's "not advisable to schedule loads for
         // more than 20-30 cycles".
-        let at = |x: u32, s: &AblationSeries| {
-            s.points.iter().find(|&&(v, _)| v == x).unwrap().1
-        };
+        let at = |x: u32, s: &AblationSeries| s.points.iter().find(|&&(v, _)| v == x).unwrap().1;
         assert!(at(31, &warm) < at(2, &warm), "bigger boosts cost more");
         assert!(at(31, &warm) < -20.0);
         assert!(

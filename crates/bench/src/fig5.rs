@@ -105,7 +105,10 @@ pub fn fig5() -> Fig5Result {
     // d and k from the boosted schedule.
     let l = (cb.be_exe_bubble as f64 / trip as f64).max(1.0);
     let d = f64::from(
-        machine.load_latency(DataClass::Int, ltsp_machine::LatencyQuery::Hinted(ltsp_ir::LatencyHint::L3)) - 1,
+        machine.load_latency(
+            DataClass::Int,
+            ltsp_machine::LatencyQuery::Hinted(ltsp_ir::LatencyHint::L3),
+        ) - 1,
     );
     let k = theory::clustering_factor(d as u32, boost.kernel.ii());
     let predicted = theory::stall_reduction_percent((d / l).min(1.0), k);

@@ -25,6 +25,7 @@ mod experiments;
 mod extensions;
 mod fig5;
 mod mcf;
+pub mod microbench;
 mod stats;
 
 pub use experiments::{
@@ -32,9 +33,10 @@ pub use experiments::{
 };
 pub use extensions::{
     balanced_recurrence_experiment, boost_magnitude_ablation, issue_width_ablation,
-    miss_sampling_experiment, mve_code_size_ablation, ozq_capacity_ablation,
-    versioning_experiment, AblationSeries, BalancedResult,
+    miss_sampling_experiment, mve_code_size_ablation, ozq_capacity_ablation, versioning_experiment,
+    AblationSeries, BalancedResult,
 };
 pub use fig5::{fig5, Fig5Result};
 pub use mcf::{mcf_case_study, McfCaseStudy};
+pub use microbench::{Bench, BenchResult};
 pub use stats::{compile_time, regstats, CompileTimeResult, RegStatsResult};

@@ -70,7 +70,10 @@ pub fn mcf_case_study(machine: &MachineModel, entries: u32) -> McfCaseStudy {
                     .map(|_| ())
                     .and_then(|()| scheduled_latency(&hinted, machine, i.id()))?;
                 if lat > 1 {
-                    Some(ltsp_core::theory::clustering_factor(lat - 1, hinted.kernel.ii()))
+                    Some(ltsp_core::theory::clustering_factor(
+                        lat - 1,
+                        hinted.kernel.ii(),
+                    ))
                 } else {
                     None
                 }
@@ -121,8 +124,7 @@ fn scheduled_latency(
         Opcode::Load(_) => {
             // Distance between the load and its first scheduled use.
             let t_def = c.kernel.time(inst);
-            c.lp
-                .insts()
+            c.lp.insts()
                 .iter()
                 .filter(|u| {
                     u.srcs()
@@ -135,8 +137,7 @@ fn scheduled_latency(
                         .iter()
                         .find(|s| Some(s.reg) == c.lp.inst(inst).dst())
                         .map_or(0, |s| s.omega);
-                    (c.kernel.time(u.id()) + i64::from(c.kernel.ii()) * i64::from(omega)
-                        - t_def)
+                    (c.kernel.time(u.id()) + i64::from(c.kernel.ii()) * i64::from(omega) - t_def)
                         .max(1) as u32
                 })
                 .max()

@@ -1,0 +1,150 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! Replaces Criterion for this workspace (the build must work with no
+//! network access): each `harness = false` bench target constructs a
+//! [`Bench`], registers closures, and gets median/min wall-clock timing
+//! per iteration on stdout. Name filters passed on the command line select
+//! a subset (`cargo bench -p ltsp-bench -- fig7`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness configuration and name filters.
+pub struct Bench {
+    filters: Vec<String>,
+    /// Measurement samples per benchmark.
+    pub samples: u32,
+    /// Target wall-clock time per sample; iteration counts adapt to it.
+    pub sample_time: Duration,
+}
+
+/// One benchmark's timing summary (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Iterations per sample used for measurement.
+    pub iters: u64,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// A harness taking name filters from `std::env::args` (every non-flag
+    /// argument is a substring filter; `--bench`/`--exact` and other
+    /// harness flags cargo passes are ignored).
+    pub fn new() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Bench {
+            filters,
+            samples: 10,
+            sample_time: Duration::from_millis(50),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs one benchmark: calibrates an iteration count to roughly
+    /// [`Bench::sample_time`], then times `samples` batches and prints the
+    /// median/min per-iteration cost. Returns `None` when filtered out.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Option<BenchResult> {
+        if !self.selected(name) {
+            return None;
+        }
+        // Calibration: grow the batch until it costs ~sample_time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_time || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.sample_time.as_nanos() / elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            iters = (iters * grow.max(2)).min(1 << 30);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            iters,
+        };
+        println!(
+            "{name:<44} {:>12}/iter (min {:>12}, {} iters x {} samples)",
+            format_ns(result.median_ns),
+            format_ns(result.min_ns),
+            iters,
+            self.samples,
+        );
+        Some(result)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let b = Bench {
+            filters: vec![],
+            samples: 3,
+            sample_time: Duration::from_micros(200),
+        };
+        let r = b.bench("smoke/add", || 2u64 + 2).unwrap();
+        assert!(r.median_ns >= 0.0);
+        assert!(r.iters >= 1);
+        assert_eq!(format_ns(1.5e3), "1.500 us");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+    }
+
+    #[test]
+    fn filters_by_substring() {
+        let b = Bench {
+            filters: vec!["fig7".to_string()],
+            samples: 1,
+            sample_time: Duration::from_micros(50),
+        };
+        assert!(b.bench("experiments/fig9", || 1).is_none());
+        assert!(b.bench("experiments/fig7", || 1).is_some());
+    }
+}

@@ -86,14 +86,10 @@ fn spill_estimate(run: &SuiteRun) -> u64 {
 /// Computes the Sec. 4.5 register statistics.
 pub fn regstats(machine: &MachineModel, scale: f64) -> RegStatsResult {
     let benchs = cpu2006();
-    let base_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false),
-    )
-    .with_entry_scale(scale);
-    let hlo_rc = RunConfig::new(
-        CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false),
-    )
-    .with_entry_scale(scale);
+    let base_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::Baseline).with_pgo(false))
+        .with_entry_scale(scale);
+    let hlo_rc = RunConfig::new(CompileConfig::new(LatencyPolicy::HloHints).with_pgo(false))
+        .with_entry_scale(scale);
     let base = run_suite(&benchs, machine, &base_rc);
     let hlo = run_suite(&benchs, machine, &hlo_rc);
 
@@ -159,8 +155,7 @@ impl CompileTimeResult {
 pub fn compile_time(machine: &MachineModel, scale: f64) -> CompileTimeResult {
     let benchs = cpu2006();
     let attempts = |policy: LatencyPolicy| -> u64 {
-        let rc = RunConfig::new(CompileConfig::new(policy).with_pgo(false))
-            .with_entry_scale(scale);
+        let rc = RunConfig::new(CompileConfig::new(policy).with_pgo(false)).with_entry_scale(scale);
         run_suite(&benchs, machine, &rc)
             .runs
             .iter()

@@ -1,13 +1,14 @@
 //! The compiler driver: HLO → criticality → latency-tolerant pipelining.
 
-use ltsp_hlo::{run_hlo, HintReason, HloReport};
+use ltsp_hlo::{run_hlo_traced, HintReason, HloReport};
 use ltsp_ir::{DataClass, InstId, LatencyHint, LoopIr, Opcode, RegClass};
-use ltsp_machine::MachineModel;
 use ltsp_machine::LatencyQuery;
+use ltsp_machine::MachineModel;
 use ltsp_pipeliner::{
-    acyclic_schedule, pipeline_loop, LoadClassification, ModuloSchedule, PipelineStats,
+    acyclic_schedule, pipeline_loop_traced, LoadClassification, ModuloSchedule, PipelineStats,
     RegAllocation,
 };
+use ltsp_telemetry::{Event, Telemetry};
 
 use crate::config::{CompileConfig, LatencyPolicy};
 
@@ -46,11 +47,7 @@ impl CompiledLoop {
     /// The latency the final schedule assumed for a load (`None` for
     /// non-loads): the hint-derived expected latency for boosted loads,
     /// the base latency otherwise (and always for the acyclic fallback).
-    pub fn scheduled_load_latency_of(
-        &self,
-        machine: &MachineModel,
-        inst: InstId,
-    ) -> Option<u32> {
+    pub fn scheduled_load_latency_of(&self, machine: &MachineModel, inst: InstId) -> Option<u32> {
         match self.lp.inst(inst).op() {
             Opcode::Load(dc) => {
                 let q = self
@@ -99,8 +96,7 @@ fn hint_for_load(
                 return None;
             }
             // Default L2 hint for unhinted FP loads.
-            (cfg.fp_default_l2 && dc == DataClass::Fp && above_threshold)
-                .then_some(LatencyHint::L2)
+            (cfg.fp_default_l2 && dc == DataClass::Fp && above_threshold).then_some(LatencyHint::L2)
         }
         LatencyPolicy::MissSampled => {
             // Sampled latencies are direct evidence of exposed misses, so
@@ -196,15 +192,101 @@ pub fn compile_loop_with_profile(
     cfg: &CompileConfig,
     trip_estimate: f64,
 ) -> CompiledLoop {
+    compile_loop_with_profile_traced(lp, machine, cfg, trip_estimate, &Telemetry::disabled())
+}
+
+/// Emits one [`Event::BoostAssigned`] per load the final kernel schedules
+/// at a boosted latency: the heuristic that justified the hint, the base
+/// and scheduled latencies, the chosen stage count `k = ceil(lat/II)` and
+/// the latency tolerance bought, `d = (k−1)·II`.
+fn emit_boost_events(
+    tel: &Telemetry,
+    lp: &LoopIr,
+    machine: &MachineModel,
+    cfg: &CompileConfig,
+    hlo: &HloReport,
+    cls: &LoadClassification,
+    ii: u32,
+) {
+    let mut boosted = 0u64;
+    for inst in lp.insts() {
+        let dc = match inst.op() {
+            Opcode::Load(dc) => dc,
+            _ => continue,
+        };
+        let query = cls.query(inst.id());
+        if query == LatencyQuery::Base {
+            continue;
+        }
+        let base_latency = machine.load_latency(dc, LatencyQuery::Base);
+        let scheduled_latency = machine.load_latency(dc, query);
+        let ii = ii.max(1);
+        let k = scheduled_latency.div_ceil(ii).max(1);
+        let heuristic = match cfg.policy {
+            LatencyPolicy::MissSampled => "sampled",
+            LatencyPolicy::HloHints => inst
+                .mem()
+                .and_then(|m| hlo.decisions.get(m.index()))
+                .and_then(|d| d.reason)
+                .map_or("policy", HintReason::id),
+            _ => "policy",
+        };
+        tel.emit(Event::BoostAssigned {
+            loop_name: lp.name().to_string(),
+            load: format!("i{}", inst.id().index()),
+            heuristic,
+            base_latency,
+            scheduled_latency,
+            k,
+            boost: (k - 1) * ii,
+            ii,
+            slack: i64::from(k * ii) - i64::from(scheduled_latency),
+        });
+        boosted += 1;
+    }
+    tel.counter_add("compile.boosted_loads", boosted);
+}
+
+/// [`compile_loop_with_profile`] with the whole decision trail recorded on
+/// a telemetry sink: HLO hint marking, criticality verdicts, scheduling
+/// attempts and fallbacks (via the traced HLO/pipeliner entry points),
+/// per-phase wall-clock spans, and a [`Event::BoostAssigned`] per load the
+/// kernel schedules at a boosted latency.
+pub fn compile_loop_with_profile_traced(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    cfg: &CompileConfig,
+    trip_estimate: f64,
+    tel: &Telemetry,
+) -> CompiledLoop {
     let mut lp = lp.clone();
-    let hlo = run_hlo(&mut lp, machine, Some(trip_estimate), &cfg.hlo);
+    let hlo = {
+        let _span = tel.span(format!("hlo:{}", lp.name()));
+        run_hlo_traced(&mut lp, machine, Some(trip_estimate), &cfg.hlo, tel)
+    };
 
     let hint_fn = |inst: InstId| hint_for_load(&lp, &hlo, cfg, trip_estimate, inst);
-    match pipeline_loop(&lp, machine, &hint_fn, &cfg.pipeline) {
+    let pipelined = {
+        let _span = tel.span(format!("pipeline:{}", lp.name()));
+        pipeline_loop_traced(&lp, machine, &hint_fn, &cfg.pipeline, tel)
+    };
+    tel.counter_add("compile.loops", 1);
+    match pipelined {
         Ok(p) => {
             let regs_total = p.regs.total(RegClass::Gr)
                 + p.regs.total(RegClass::Fr)
                 + p.regs.total(RegClass::Pr);
+            if tel.is_enabled() {
+                emit_boost_events(
+                    tel,
+                    &lp,
+                    machine,
+                    cfg,
+                    &hlo,
+                    &p.classification,
+                    p.schedule.ii(),
+                );
+            }
             CompiledLoop {
                 kernel: p.schedule,
                 pipelined: true,
@@ -217,7 +299,15 @@ pub fn compile_loop_with_profile(
                 lp,
             }
         }
-        Err(_) => {
+        Err(e) => {
+            if tel.is_enabled() {
+                tel.emit(Event::AcyclicFallback {
+                    loop_name: lp.name().to_string(),
+                    attempts: e.attempts,
+                    min_ii: e.min_ii,
+                });
+                tel.counter_add("compile.acyclic_fallbacks", 1);
+            }
             // Rebuild the base-latency DDG for the fallback.
             let ddg = ltsp_ddg::Ddg::build(&lp, machine, &|id| {
                 if let Opcode::Load(dc) = lp.inst(id).op() {
@@ -257,9 +347,16 @@ mod tests {
     #[test]
     fn baseline_compiles_and_pipelines() {
         let lp = saxpy("s");
-        let c = compile_loop(&lp, &machine(), &CompileConfig::new(LatencyPolicy::Baseline));
+        let c = compile_loop(
+            &lp,
+            &machine(),
+            &CompileConfig::new(LatencyPolicy::Baseline),
+        );
         assert!(c.pipelined);
-        assert!(c.hlo.prefetches_inserted > 0, "prefetching is on by default");
+        assert!(
+            c.hlo.prefetches_inserted > 0,
+            "prefetching is on by default"
+        );
         assert_eq!(c.stats.unwrap().boosted_loads, 0);
     }
 
@@ -327,9 +424,7 @@ mod tests {
         assert!(off.hlo.prefetches_inserted == 0);
         assert!(on.hlo.prefetches_inserted > 0);
         // Boost count under the default FP L2 rider stays >= on's.
-        assert!(
-            off.stats.unwrap().boosted_loads >= on.stats.unwrap().boosted_loads
-        );
+        assert!(off.stats.unwrap().boosted_loads >= on.stats.unwrap().boosted_loads);
     }
 
     #[test]

@@ -18,15 +18,18 @@
 
 mod compile;
 mod config;
-mod runner;
 mod report;
+mod runner;
 pub mod theory;
 
-pub use compile::{compile_loop, compile_loop_with_profile, sample_miss_hints, CompiledLoop};
+pub use compile::{
+    compile_loop, compile_loop_with_profile, compile_loop_with_profile_traced, sample_miss_hints,
+    CompiledLoop,
+};
 pub use config::{CompileConfig, LatencyPolicy};
-pub use report::{format_gain_table, format_cycle_accounting, geomean_gain};
+pub use report::{format_cycle_accounting, format_gain_table, geomean_gain};
 pub use runner::{
     benchmark_gain, run_benchmark, run_benchmark_sampled, run_benchmark_versioned, run_suite,
-    run_suite_sampled, run_suite_versioned, suite_cycle_accounting, BenchRun, LoopRun,
-    RunConfig, SuiteRun,
+    run_suite_sampled, run_suite_versioned, suite_cycle_accounting, BenchRun, LoopRun, RunConfig,
+    SuiteRun,
 };

@@ -83,6 +83,23 @@ mod tests {
     }
 
     #[test]
+    fn geomean_clamps_at_total_loss() {
+        // -100% is a zero speedup factor; the ln-clamp keeps it finite and
+        // the mean stays in (-100, 0].
+        let g = geomean_gain(&[-100.0]);
+        assert!(g.is_finite());
+        assert!(g <= -99.0 && g > -100.0 - 1e-9, "clamped near -100: {g}");
+        // One total loss dominates any finite gains but never overflows.
+        let mixed = geomean_gain(&[-100.0, 50.0, 50.0]);
+        assert!(mixed.is_finite() && mixed < 0.0);
+    }
+
+    #[test]
+    fn geomean_single_negative_gain_is_identity() {
+        assert!((geomean_gain(&[-25.0]) - -25.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn table_contains_all_rows() {
         let rows = vec![
             ("429.mcf".to_string(), vec![12.0, 14.0]),
@@ -92,6 +109,31 @@ mod tests {
         assert!(t.contains("429.mcf"));
         assert!(t.contains("Geomean"));
         assert!(t.contains("n=32"));
+    }
+
+    #[test]
+    fn table_columns_align() {
+        // Rows with names shorter and longer than "benchmark": every line
+        // must come out the same width, i.e. the columns line up.
+        let rows = vec![
+            ("429.mcf".to_string(), vec![12.0]),
+            ("444.namd_long_name".to_string(), vec![-3.5]),
+        ];
+        let t = format_gain_table("Fig. 8", &["hlo"], &rows);
+        let widths: Vec<usize> = t
+            .lines()
+            .skip(1) // title line is free-form
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(widths.len() >= 4, "header + 2 rows + geomean");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged columns: {widths:?}\n{t}"
+        );
+        // The numeric cells keep their fixed 13-char field: " {:>11.2}%".
+        for line in t.lines().skip(2) {
+            assert!(line.ends_with('%'), "numeric rows end in %: {line:?}");
+        }
     }
 
     #[test]

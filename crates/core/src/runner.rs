@@ -3,9 +3,10 @@
 use ltsp_ir::SplitMix64;
 use ltsp_machine::MachineModel;
 use ltsp_memsim::{CycleCounters, Executor, ExecutorConfig};
+use ltsp_telemetry::Telemetry;
 use ltsp_workloads::{Benchmark, LoopSpec};
 
-use crate::compile::compile_loop_with_profile;
+use crate::compile::compile_loop_with_profile_traced;
 use crate::config::CompileConfig;
 
 /// Configuration of one experimental run.
@@ -22,6 +23,9 @@ pub struct RunConfig {
     pub entry_scale: f64,
     /// Execution-model knobs (front-end/flush/RSE fixed costs).
     pub exec: ExecutorConfig,
+    /// Telemetry sink receiving compiler decision traces, phase spans and
+    /// simulator metrics. Disabled by default (zero overhead).
+    pub telemetry: Telemetry,
 }
 
 impl RunConfig {
@@ -32,12 +36,19 @@ impl RunConfig {
             seed: 0x5EED_0001,
             entry_scale: 1.0,
             exec: ExecutorConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Sets the entry scale.
     pub fn with_entry_scale(mut self, scale: f64) -> Self {
         self.entry_scale = scale;
+        self
+    }
+
+    /// Attaches a telemetry sink (shared — clones feed the same sink).
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.telemetry = tel.clone();
         self
     }
 }
@@ -110,18 +121,19 @@ fn fnv(s: &str) -> u64 {
     h
 }
 
-fn run_loop(
-    bench_name: &str,
-    spec: &LoopSpec,
-    machine: &MachineModel,
-    rc: &RunConfig,
-) -> LoopRun {
+fn run_loop(bench_name: &str, spec: &LoopSpec, machine: &MachineModel, rc: &RunConfig) -> LoopRun {
     let trip_estimate = if rc.compile.pgo {
         spec.train_trips.mean()
     } else {
         spec.static_trip_estimate
     };
-    let compiled = compile_loop_with_profile(&spec.loop_ir, machine, &rc.compile, trip_estimate);
+    let compiled = compile_loop_with_profile_traced(
+        &spec.loop_ir,
+        machine,
+        &rc.compile,
+        trip_estimate,
+        &rc.telemetry,
+    );
 
     let loop_seed = rc.seed ^ fnv(bench_name) ^ fnv(&spec.name);
     let exec_cfg = ExecutorConfig {
@@ -136,12 +148,17 @@ fn run_loop(
         compiled.regs_total,
         exec_cfg,
     );
+    ex.attach_telemetry(&rc.telemetry);
     let entries = ((f64::from(spec.entries) * rc.entry_scale).ceil() as u32).max(1);
     let mut trip_rng = SplitMix64::new(loop_seed ^ 0x7219);
-    for _ in 0..entries {
-        let trip = spec.ref_trips.sample(&mut trip_rng);
-        ex.run_entry(trip);
+    {
+        let _span = rc.telemetry.span(format!("simulate:{}", spec.name));
+        for _ in 0..entries {
+            let trip = spec.ref_trips.sample(&mut trip_rng);
+            ex.run_entry(trip);
+        }
     }
+    ex.export_metrics("sim");
 
     let (stats, regs) = (compiled.stats, compiled.regs);
     LoopRun {
@@ -182,8 +199,22 @@ fn run_loop_versioned(
         ..rc.compile.clone()
     };
     let boost_cfg = rc.compile.clone().with_threshold(0);
-    let base = compile_loop_with_profile(&spec.loop_ir, machine, &base_cfg, trip_estimate);
-    let boost = compile_loop_with_profile(&spec.loop_ir, machine, &boost_cfg, trip_estimate);
+    // Only the boosted version's compile is traced — the baseline version
+    // makes no latency decisions worth recording.
+    let base = compile_loop_with_profile_traced(
+        &spec.loop_ir,
+        machine,
+        &base_cfg,
+        trip_estimate,
+        &Telemetry::disabled(),
+    );
+    let boost = compile_loop_with_profile_traced(
+        &spec.loop_ir,
+        machine,
+        &boost_cfg,
+        trip_estimate,
+        &rc.telemetry,
+    );
     debug_assert_eq!(
         base.lp, boost.lp,
         "policies only change scheduling, not the loop body"
@@ -198,14 +229,19 @@ fn run_loop_versioned(
     let kernels = [base.kernel.clone(), boost.kernel.clone()];
     let regs = [base.regs_total, boost.regs_total];
     let mut ex = Executor::new_versioned(&boost.lp, &kernels, machine, &regs, exec_cfg);
+    ex.attach_telemetry(&rc.telemetry);
     let entries = ((f64::from(spec.entries) * rc.entry_scale).ceil() as u32).max(1);
     let mut trip_rng = SplitMix64::new(loop_seed ^ 0x7219);
     let threshold = u64::from(rc.compile.trip_threshold);
-    for _ in 0..entries {
-        let trip = spec.ref_trips.sample(&mut trip_rng);
-        let version = usize::from(trip >= threshold.max(1));
-        ex.run_entry_version(version, trip);
+    {
+        let _span = rc.telemetry.span(format!("simulate:{}", spec.name));
+        for _ in 0..entries {
+            let trip = spec.ref_trips.sample(&mut trip_rng);
+            let version = usize::from(trip >= threshold.max(1));
+            ex.run_entry_version(version, trip);
+        }
     }
+    ex.export_metrics("sim");
 
     let (stats, regs) = (boost.stats, boost.regs);
     LoopRun {
@@ -443,18 +479,14 @@ mod tests {
         let n0 = run_benchmark(
             &bench,
             &m,
-            &RunConfig::new(
-                CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0),
-            )
-            .with_entry_scale(0.05),
+            &RunConfig::new(CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0))
+                .with_entry_scale(0.05),
         );
         let n32 = run_benchmark(
             &bench,
             &m,
-            &RunConfig::new(
-                CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(32),
-            )
-            .with_entry_scale(0.05),
+            &RunConfig::new(CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(32))
+                .with_entry_scale(0.05),
         );
         let g0 = benchmark_gain(&bench, &base, &n0);
         let g32 = benchmark_gain(&bench, &base, &n32);

@@ -273,12 +273,7 @@ impl Ddg {
     pub fn recurrence_sccs(&self) -> Vec<Vec<InstId>> {
         let sccs = self.tarjan();
         sccs.into_iter()
-            .filter(|scc| {
-                scc.len() > 1
-                    || self
-                        .succs(scc[0])
-                        .any(|e| e.to == scc[0])
-            })
+            .filter(|scc| scc.len() > 1 || self.succs(scc[0]).any(|e| e.to == scc[0]))
             .collect()
     }
 

@@ -81,7 +81,12 @@ impl MinDist {
     /// first.
     pub fn height(&self, node: InstId) -> i64 {
         let row = &self.dist[node.index() * self.n..(node.index() + 1) * self.n];
-        row.iter().copied().filter(|&d| d > NEG_INF).max().unwrap_or(0).max(0)
+        row.iter()
+            .copied()
+            .filter(|&d| d > NEG_INF)
+            .max()
+            .unwrap_or(0)
+            .max(0)
     }
 }
 

@@ -21,4 +21,4 @@
 
 mod prefetch;
 
-pub use prefetch::{run_hlo, HintReason, HloConfig, HloReport, RefDecision};
+pub use prefetch::{run_hlo, run_hlo_traced, HintReason, HloConfig, HloReport, RefDecision};

@@ -58,6 +58,18 @@ pub enum HintReason {
     OzqPressure,
 }
 
+impl HintReason {
+    /// The paper's heuristic number, as used in decision traces.
+    pub fn id(self) -> &'static str {
+        match self {
+            HintReason::NotPrefetchable => "1",
+            HintReason::SymbolicStride => "2a",
+            HintReason::IndirectTarget => "2b",
+            HintReason::OzqPressure => "3",
+        }
+    }
+}
+
 /// The prefetcher's decision for one memory reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefDecision {
@@ -139,6 +151,9 @@ fn likely_l1_missing(lp: &LoopIr, id: MemRefId, line_bytes: i64) -> bool {
 /// assert!(lp.memref(node).hint().is_some());
 /// # Ok::<(), ltsp_ir::IrError>(())
 /// ```
+// Ranged index loops below double as MemRefId values, so clippy's
+// iterator preference does not fit.
+#[allow(clippy::needless_range_loop)]
 pub fn run_hlo(
     lp: &mut LoopIr,
     machine: &MachineModel,
@@ -167,8 +182,7 @@ pub fn run_hlo(
             _ => continue,
         };
         for j in (i + 1)..n_refs {
-            if let AccessPattern::Affine { base, stride } =
-                lp.memref(MemRefId(j as u32)).pattern()
+            if let AccessPattern::Affine { base, stride } = lp.memref(MemRefId(j as u32)).pattern()
             {
                 if *stride == si && (base.abs_diff(bi) as i64) < line {
                     deduped[j] = true;
@@ -181,8 +195,7 @@ pub fn run_hlo(
     let missing_int_refs = (0..n_refs)
         .filter(|&i| {
             let id = MemRefId(i as u32);
-            lp.memref(id).data_class() == DataClass::Int
-                && likely_l1_missing(lp, id, line)
+            lp.memref(id).data_class() == DataClass::Int && likely_l1_missing(lp, id, line)
         })
         .count();
     let ozq_pressure = missing_int_refs > cfg.ozq_pressure_refs;
@@ -250,10 +263,8 @@ pub fn run_hlo(
                 // 2b: the indirect target is prefetched at a fraction of
                 // the index distance, only if the index itself is a
                 // prefetchable stream.
-                let index_prefetchable = matches!(
-                    lp.memref(index).pattern(),
-                    AccessPattern::Affine { .. }
-                );
+                let index_prefetchable =
+                    matches!(lp.memref(index).pattern(), AccessPattern::Affine { .. });
                 if index_prefetchable {
                     let distance = (optimal_distance / cfg.indirect_divisor.max(1))
                         .min(cfg.indirect_max_distance)
@@ -344,6 +355,38 @@ pub fn run_hlo(
     }
 }
 
+/// [`run_hlo`] with every per-reference decision recorded on a telemetry
+/// sink as an [`ltsp_telemetry::Event::HloDecision`] (which heuristic
+/// fired, the hint set, the prefetch distance chosen).
+pub fn run_hlo_traced(
+    lp: &mut LoopIr,
+    machine: &MachineModel,
+    trip_estimate: Option<f64>,
+    cfg: &HloConfig,
+    tel: &ltsp_telemetry::Telemetry,
+) -> HloReport {
+    let report = run_hlo(lp, machine, trip_estimate, cfg);
+    if tel.is_enabled() {
+        for d in &report.decisions {
+            tel.emit(ltsp_telemetry::Event::HloDecision {
+                loop_name: lp.name().to_string(),
+                memref: lp.memref(d.memref).name().to_string(),
+                heuristic: d.reason.map(HintReason::id),
+                hint: d.hint.map(|h| match h {
+                    LatencyHint::L2 => "L2",
+                    LatencyHint::L3 => "L3",
+                }),
+                prefetch_distance: d.plan.map(|p| p.distance),
+                deduped: d.deduped,
+            });
+        }
+        tel.counter_add("hlo.refs", report.decisions.len() as u64);
+        tel.counter_add("hlo.prefetches_inserted", report.prefetches_inserted as u64);
+        tel.counter_add("hlo.hinted_refs", report.hinted as u64);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,7 +457,10 @@ mod tests {
         let r = run_hlo(&mut lp, &machine(), Some(100_000.0), &HloConfig::default());
         let di = r.decisions[idx.index()];
         let dt = r.decisions[tgt.index()];
-        assert!(di.plan.is_some() && di.hint.is_none(), "index is a plain stream");
+        assert!(
+            di.plan.is_some() && di.hint.is_none(),
+            "index is a plain stream"
+        );
         let pt = dt.plan.unwrap();
         assert!(pt.distance < di.plan.unwrap().distance);
         assert!(pt.distance_reduced);

@@ -268,7 +268,13 @@ impl LoopBuilder {
     }
 
     /// Adds a loop-invariant reference.
-    pub fn invariant_ref(&mut self, name: &str, data: DataClass, addr: u64, bytes: u32) -> MemRefId {
+    pub fn invariant_ref(
+        &mut self,
+        name: &str,
+        data: DataClass,
+        addr: u64,
+        bytes: u32,
+    ) -> MemRefId {
         self.add_ref(MemoryRef::new(
             name,
             data,
@@ -330,7 +336,13 @@ impl LoopBuilder {
             _ => vec![],
         };
         let id = InstId(self.insts.len() as u32);
-        let inst = self.apply_qp(Inst::new(id, Opcode::Load(data), Some(dst), srcs, Some(memref)));
+        let inst = self.apply_qp(Inst::new(
+            id,
+            Opcode::Load(data),
+            Some(dst),
+            srcs,
+            Some(memref),
+        ));
         self.insts.push(inst);
         self.load_of_ref.insert(memref, dst);
         dst
@@ -605,10 +617,7 @@ mod tests {
         let lp = b.build().unwrap();
         let fma = &lp.insts()[2];
         assert_eq!(fma.dst(), Some(acc));
-        assert!(fma
-            .srcs()
-            .iter()
-            .any(|s| s.reg == acc && s.omega == 1));
+        assert!(fma.srcs().iter().any(|s| s.reg == acc && s.omega == 1));
     }
 
     #[test]

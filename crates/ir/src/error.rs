@@ -92,7 +92,10 @@ impl fmt::Display for IrError {
                 )
             }
             IrError::NonPredicateQp { inst } => {
-                write!(f, "instruction {inst} has a non-predicate qualifying predicate")
+                write!(
+                    f,
+                    "instruction {inst} has a non-predicate qualifying predicate"
+                )
             }
             IrError::EmptyLoop => write!(f, "loop body is empty"),
         }

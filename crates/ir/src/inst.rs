@@ -300,7 +300,10 @@ impl Inst {
     /// All register reads: the qualifying predicate (if any) followed by
     /// the source operands. This is what dependence analysis walks.
     pub fn reads(&self) -> impl Iterator<Item = SrcOperand> + '_ {
-        self.qp.map(|(s, _)| s).into_iter().chain(self.srcs.iter().copied())
+        self.qp
+            .map(|(s, _)| s)
+            .into_iter()
+            .chain(self.srcs.iter().copied())
     }
 
     /// The instruction's dense id.

@@ -266,8 +266,7 @@ impl LoopIr {
             }
         }
         // Pattern address sources exist and are actually loaded.
-        let loaded: std::collections::HashSet<MemRefId> =
-            self.loads().map(|(_, m)| m).collect();
+        let loaded: std::collections::HashSet<MemRefId> = self.loads().map(|(_, m)| m).collect();
         for (idx, mr) in self.memrefs.iter().enumerate() {
             if let Some(src) = mr.pattern().address_source() {
                 if src.index() >= self.memrefs.len() {
@@ -385,7 +384,11 @@ impl fmt::Display for LoopIr {
             writeln!(f, "  {inst}")?;
         }
         for d in &self.mem_deps {
-            writeln!(f, "  dep {} -> {} {} omega={}", d.from, d.to, d.kind, d.omega)?;
+            writeln!(
+                f,
+                "  dep {} -> {} {} omega={}",
+                d.from, d.to, d.kind, d.omega
+            )?;
         }
         write!(f, "}}")
     }
@@ -472,7 +475,13 @@ mod tests {
     #[test]
     fn rejects_load_without_memref() {
         let g = VReg::new(RegClass::Gr, 0);
-        let i0 = Inst::new(InstId(0), Opcode::Load(DataClass::Int), Some(g), vec![], None);
+        let i0 = Inst::new(
+            InstId(0),
+            Opcode::Load(DataClass::Int),
+            Some(g),
+            vec![],
+            None,
+        );
         let err = LoopIr::new("x", vec![i0], vec![], vec![], vec![]).unwrap_err();
         assert!(matches!(err, IrError::MemRefMismatch { .. }));
     }

@@ -72,7 +72,8 @@ fn parse_u64(line: usize, s: &str) -> Result<u64, ParseError> {
     if let Some(hex) = s.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).map_err(|e| err(line, format!("bad hex '{s}': {e}")))
     } else {
-        s.parse().map_err(|e| err(line, format!("bad number '{s}': {e}")))
+        s.parse()
+            .map_err(|e| err(line, format!("bad number '{s}': {e}")))
     }
 }
 
@@ -123,11 +124,11 @@ fn parse_memref_id(line: usize, s: &str) -> Result<MemRefId, ParseError> {
     Ok(MemRefId(idx))
 }
 
+/// A parsed `key(a=1, b=2)` call: the key and its `(name, value)` args.
+type Call<'a> = (&'a str, Vec<(&'a str, &'a str)>);
+
 /// Splits `key(a=1, b=2)` into `(key, {a: "1", b: "2"})`.
-fn parse_call<'a>(
-    line: usize,
-    s: &'a str,
-) -> Result<(&'a str, Vec<(&'a str, &'a str)>), ParseError> {
+fn parse_call(line: usize, s: &str) -> Result<Call<'_>, ParseError> {
     let open = s
         .find('(')
         .ok_or_else(|| err(line, format!("expected '(' in '{s}'")))?;
@@ -153,11 +154,7 @@ fn parse_call<'a>(
     Ok((head, args))
 }
 
-fn lookup<'a>(
-    line: usize,
-    args: &[(&'a str, &'a str)],
-    key: &str,
-) -> Result<&'a str, ParseError> {
+fn lookup<'a>(line: usize, args: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, ParseError> {
     args.iter()
         .find(|(k, _)| *k == key)
         .map(|(_, v)| *v)
@@ -257,9 +254,7 @@ fn parse_memref_line(line: usize, rest: &str) -> Result<MemoryRef, ParseError> {
                     "L3" => target = Some(CacheLevel::L3),
                     "MEM" => target = Some(CacheLevel::Memory),
                     "reduced" => reduced = true,
-                    other => {
-                        return Err(err(line, format!("unknown pf field '{other}={v}'")))
-                    }
+                    other => return Err(err(line, format!("unknown pf field '{other}={v}'"))),
                 }
             }
             mr.set_prefetch(Some(PrefetchPlan {
@@ -303,7 +298,11 @@ fn split_top_level(s: &str) -> Vec<String> {
     out
 }
 
-fn opcode_from_mnemonic(line: usize, m: &str, target: Option<CacheLevel>) -> Result<Opcode, ParseError> {
+fn opcode_from_mnemonic(
+    line: usize,
+    m: &str,
+    target: Option<CacheLevel>,
+) -> Result<Opcode, ParseError> {
     Ok(match m {
         "ld" => Opcode::Load(DataClass::Int),
         "ldf" => Opcode::Load(DataClass::Fp),

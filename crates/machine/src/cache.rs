@@ -28,7 +28,7 @@ impl CacheParams {
     pub fn sets(&self) -> u64 {
         let denom = u64::from(self.ways) * u64::from(self.line_bytes);
         assert!(
-            denom > 0 && self.capacity_bytes % denom == 0,
+            denom > 0 && self.capacity_bytes.is_multiple_of(denom),
             "cache geometry must divide evenly"
         );
         self.capacity_bytes / denom

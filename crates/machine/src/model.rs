@@ -220,6 +220,9 @@ mod tests {
             21
         );
         // Non-loads ignore the query.
-        assert_eq!(m.inst_latency(add, LatencyQuery::Hinted(LatencyHint::L3)), 1);
+        assert_eq!(
+            m.inst_latency(add, LatencyQuery::Hinted(LatencyHint::L3)),
+            1
+        );
     }
 }

@@ -18,7 +18,11 @@ struct SetAssocCache {
 impl SetAssocCache {
     fn new(capacity_bytes: u64, ways: u32, line_bytes: u32) -> Self {
         let line_shift = line_bytes.trailing_zeros();
-        assert_eq!(1 << line_shift, line_bytes, "line size must be a power of two");
+        assert_eq!(
+            1 << line_shift,
+            line_bytes,
+            "line size must be a power of two"
+        );
         let sets = capacity_bytes / (u64::from(ways) * u64::from(line_bytes));
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         SetAssocCache {
@@ -80,7 +84,11 @@ struct Tlb {
 impl Tlb {
     fn new(entries: u32, page_bytes: u64) -> Self {
         let page_shift = page_bytes.trailing_zeros();
-        assert_eq!(1u64 << page_shift, page_bytes, "page size must be a power of two");
+        assert_eq!(
+            1u64 << page_shift,
+            page_bytes,
+            "page size must be a power of two"
+        );
         Tlb {
             entries: Vec::new(),
             capacity: entries as usize,
@@ -187,7 +195,11 @@ impl MemorySystem {
     ) -> AccessOutcome {
         self.drain_inflight(now);
         let tlb_miss = self.tlb.access_misses(addr);
-        let extra = if tlb_miss { self.geo.tlb.miss_penalty } else { 0 };
+        let extra = if tlb_miss {
+            self.geo.tlb.miss_penalty
+        } else {
+            0
+        };
 
         // Merge with an in-flight fill: pay only the remaining cycles.
         let key = self.inflight_key(addr);
@@ -259,7 +271,11 @@ impl MemorySystem {
     pub fn prefetch(&mut self, addr: u64, target: CacheLevel, now: u64) -> u32 {
         self.drain_inflight(now);
         let tlb_miss = self.tlb.access_misses(addr);
-        let extra = if tlb_miss { self.geo.tlb.miss_penalty } else { 0 };
+        let extra = if tlb_miss {
+            self.geo.tlb.miss_penalty
+        } else {
+            0
+        };
         let key = self.inflight_key(addr);
         if let Some(&done) = self.inflight.get(&key) {
             return (done - now) as u32 + extra;

@@ -78,6 +78,47 @@ impl CycleCounters {
         }
     }
 
+    /// Exports every counter into a telemetry metrics registry under
+    /// `prefix`: the cycle-bucket partition as `{prefix}.cycles.*`
+    /// (`total == unstalled + the five stall buckets`, mirroring
+    /// [`CycleCounters::is_consistent`]) and the event counts as
+    /// `{prefix}.events.*`. No-op on a disabled sink.
+    pub fn export(&self, tel: &ltsp_telemetry::Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let cycles = [
+            ("total", self.total),
+            ("unstalled", self.unstalled),
+            ("be_exe_bubble", self.be_exe_bubble),
+            ("be_l1d_fpu_bubble", self.be_l1d_fpu_bubble),
+            ("be_rse_bubble", self.be_rse_bubble),
+            ("be_flush_bubble", self.be_flush_bubble),
+            ("fe_bubble", self.fe_bubble),
+            ("ozq_full", self.ozq_full_cycles),
+        ];
+        for (name, v) in cycles {
+            tel.counter_add(&format!("{prefix}.cycles.{name}"), v);
+        }
+        let events = [
+            ("kernel_iters", self.kernel_iters),
+            ("source_iters", self.source_iters),
+            ("entries", self.entries),
+            ("loads", self.loads),
+            ("l1_hits", self.l1_hits),
+            ("l2_hits", self.l2_hits),
+            ("l3_hits", self.l3_hits),
+            ("mem_loads", self.mem_loads),
+            ("inflight_merges", self.inflight_merges),
+            ("tlb_misses", self.tlb_misses),
+            ("prefetches", self.prefetches),
+            ("stores", self.stores),
+        ];
+        for (name, v) in events {
+            tel.counter_add(&format!("{prefix}.events.{name}"), v);
+        }
+    }
+
     /// Scales every cycle and event count by a weight (used when a loop
     /// stands for a share of a whole benchmark's execution).
     pub fn scaled(&self, weight: f64) -> CycleCounters {

@@ -107,6 +107,9 @@ pub struct Executor<'a> {
     cfg: ExecutorConfig,
     /// Per-memref demand-load statistics: (accesses, total latency).
     ref_stats: Vec<(u64, u64)>,
+    /// Observational telemetry sink; disabled by default. The simulation
+    /// never reads it, so cycle counts are bit-identical either way.
+    telemetry: ltsp_telemetry::Telemetry,
 }
 
 impl<'a> Executor<'a> {
@@ -156,11 +159,8 @@ impl<'a> Executor<'a> {
             regs_per_version.len(),
             "one register count per kernel version"
         );
-        let defined: std::collections::HashSet<VReg> = lp
-            .insts()
-            .iter()
-            .filter_map(|i| i.dst())
-            .collect();
+        let defined: std::collections::HashSet<VReg> =
+            lp.insts().iter().filter_map(|i| i.dst()).collect();
         let build_rows = |sched: &ModuloSchedule| -> Vec<Vec<ExecInst>> {
             sched
                 .rows()
@@ -209,7 +209,24 @@ impl<'a> Executor<'a> {
             pred_vals: HashMap::new(),
             cfg,
             ref_stats: vec![(0, 0); n_refs],
+            telemetry: ltsp_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: each entry records its cycle cost into
+    /// the `"{sim}.entry_cycles"` histogram, and [`Executor::export_metrics`]
+    /// pushes the final counters. Purely observational — attaching (or
+    /// not) never changes simulation results.
+    pub fn attach_telemetry(&mut self, tel: &ltsp_telemetry::Telemetry) {
+        self.telemetry = tel.clone();
+    }
+
+    /// Exports the accumulated [`CycleCounters`] into the attached
+    /// telemetry sink's metrics registry under `prefix` (e.g.
+    /// `"sim.cycles.total"`, the five stall buckets, and the event
+    /// counters — see [`CycleCounters::export`]).
+    pub fn export_metrics(&self, prefix: &str) {
+        self.counters.export(&self.telemetry, prefix);
     }
 
     /// Per-memref demand statistics `(accesses, total latency cycles)` —
@@ -266,7 +283,7 @@ impl<'a> Executor<'a> {
         self.pred_vals
             .get(&reg)
             .and_then(|q| q.iter().rev().find(|&&(i, _)| i == src_iter))
-            .map_or(true, |&(_, v)| v)
+            .is_none_or(|&(_, v)| v)
     }
 
     fn ready_time(&self, reg: VReg, src_iter: i64) -> u64 {
@@ -343,6 +360,10 @@ impl<'a> Executor<'a> {
 
         self.counters.total += self.now - start;
         debug_assert!(self.counters.is_consistent(), "cycle buckets must sum");
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .histogram_record("sim.entry_cycles", self.now - start);
+        }
     }
 
     fn run_cycle(&mut self, version: usize, k: u64, row_idx: usize, trip: u64) {
@@ -426,11 +447,7 @@ impl<'a> Executor<'a> {
                 }
                 Opcode::Prefetch(target) => {
                     let m = ei.mem.expect("prefetches carry a memref");
-                    let distance = self
-                        .lp
-                        .memref(m)
-                        .prefetch()
-                        .map_or(0, |p| p.distance);
+                    let distance = self.lp.memref(m).prefetch().map_or(0, |p| p.distance);
                     let addr = self.streams.address_ahead(m, i, distance);
                     self.counters.prefetches += 1;
                     self.issue_prefetch(addr, target);
@@ -501,9 +518,7 @@ impl<'a> Executor<'a> {
         }
         // Stores drain asynchronously; they hold an OzQ entry for the L2
         // write latency (or the miss fill if deeper).
-        let hold = outcome
-            .latency
-            .max(self.machine.caches().l2.best_latency);
+        let hold = outcome.latency.max(self.machine.caches().l2.best_latency);
         self.ozq.push_completion(self.now + u64::from(hold));
     }
 
@@ -520,7 +535,11 @@ mod tests {
     use ltsp_ir::{DataClass, LoopBuilder};
     use ltsp_pipeliner::{pipeline_loop, PipelineOptions};
 
-    fn compile(lp: &LoopIr, m: &MachineModel, hint: Option<ltsp_ir::LatencyHint>) -> ModuloSchedule {
+    fn compile(
+        lp: &LoopIr,
+        m: &MachineModel,
+        hint: Option<ltsp_ir::LatencyHint>,
+    ) -> ModuloSchedule {
         pipeline_loop(lp, m, &move |_| hint, &PipelineOptions::default())
             .unwrap()
             .schedule
@@ -548,6 +567,41 @@ mod tests {
         assert!(c.is_consistent(), "{c:?}");
         assert_eq!(c.source_iters, 1000);
         assert!(c.total > 1000, "at least one cycle per iteration");
+    }
+
+    #[test]
+    fn telemetry_is_observational_and_exports_partition() {
+        let m = MachineModel::itanium2();
+        let lp = streaming_loop(64);
+        let sched = compile(&lp, &m, Some(ltsp_ir::LatencyHint::L3));
+
+        // Identical runs, telemetry off vs on: counters are bit-identical
+        // because the sink only observes.
+        let mut plain = Executor::new(&lp, &sched, &m, 10, ExecutorConfig::default());
+        plain.run_entry(2000);
+
+        let tel = ltsp_telemetry::Telemetry::enabled();
+        let mut traced = Executor::new(&lp, &sched, &m, 10, ExecutorConfig::default());
+        traced.attach_telemetry(&tel);
+        traced.run_entry(2000);
+        traced.export_metrics("sim");
+
+        assert_eq!(*plain.counters(), *traced.counters());
+
+        // The exported snapshot preserves the bucket-partition invariant.
+        let metrics = tel.metrics();
+        let total = metrics.counter("sim.cycles.total");
+        let stalls = metrics.counter("sim.cycles.be_exe_bubble")
+            + metrics.counter("sim.cycles.be_l1d_fpu_bubble")
+            + metrics.counter("sim.cycles.be_rse_bubble")
+            + metrics.counter("sim.cycles.be_flush_bubble")
+            + metrics.counter("sim.cycles.fe_bubble");
+        assert_eq!(total, metrics.counter("sim.cycles.unstalled") + stalls);
+        assert_eq!(total, traced.counters().total);
+        // Each entry recorded its cycle cost.
+        let h = metrics.histogram("sim.entry_cycles").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, total);
     }
 
     #[test]

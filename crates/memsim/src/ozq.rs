@@ -60,8 +60,7 @@ impl Ozq {
             issue = issue.max(earliest);
             self.drain(issue);
         }
-        self.outstanding
-            .push(issue + u64::from(completion_latency));
+        self.outstanding.push(issue + u64::from(completion_latency));
         issue
     }
 

@@ -233,7 +233,8 @@ impl AddressStreams {
                         StreamMode::Restart => iter,
                     };
                     let slots = (region_bytes / 64).max(1);
-                    region_base(refidx) + (mix(self.seed, refidx as u64 ^ 0xDEAD, g) % slots) * 64
+                    region_base(refidx)
+                        + (mix(self.seed, refidx as u64 ^ 0xDEAD, g) % slots) * 64
                         + offset % 64
                 }
             }

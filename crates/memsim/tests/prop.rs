@@ -2,10 +2,10 @@
 
 use proptest::prelude::*;
 
+use ltsp_core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
 use ltsp_ir::{CacheLevel, DataClass};
 use ltsp_machine::MachineModel;
 use ltsp_memsim::{Executor, ExecutorConfig, MemorySystem, Ozq, StreamMode};
-use ltsp_core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
 use ltsp_workloads::random_loop;
 
 proptest! {

@@ -97,7 +97,8 @@ impl BundledKernel {
 
 /// Can an instruction of `class` occupy a slot of `slot_class`?
 fn fits(class: UnitClass, slot_class: UnitClass) -> bool {
-    class == slot_class || (class == UnitClass::A && matches!(slot_class, UnitClass::M | UnitClass::I))
+    class == slot_class
+        || (class == UnitClass::A && matches!(slot_class, UnitClass::M | UnitClass::I))
 }
 
 /// Packs a scheduled kernel into bundles, cycle by cycle.
@@ -146,10 +147,7 @@ pub fn form_bundles(lp: &LoopIr, sched: &ModuloSchedule) -> BundledKernel {
                     _ => None,
                 };
                 if let Some(v) = source {
-                    debug_assert!(fits(
-                        lp.inst(v[0]).unit_class(),
-                        slot_class
-                    ));
+                    debug_assert!(fits(lp.inst(v[0]).unit_class(), slot_class));
                     slots[idx] = Some(v.remove(0));
                 }
             }
@@ -213,8 +211,7 @@ mod tests {
             .flat_map(|b| b.slots.iter().flatten().copied())
             .collect();
         placed.sort();
-        let mut expected: Vec<ltsp_ir::InstId> =
-            lp.insts().iter().map(|i| i.id()).collect();
+        let mut expected: Vec<ltsp_ir::InstId> = lp.insts().iter().map(|i| i.id()).collect();
         expected.sort();
         assert_eq!(placed, expected);
     }

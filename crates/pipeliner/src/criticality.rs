@@ -1,8 +1,8 @@
 //! Criticality analysis of loads against recurrence cycles (paper Sec. 3.3).
 
+use ltsp_ddg::Ddg;
 use ltsp_ir::{InstId, LatencyHint, LoopIr, Opcode};
 use ltsp_machine::{LatencyQuery, MachineModel};
-use ltsp_ddg::Ddg;
 
 /// Whether a load may be scheduled at its hint-derived expected latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +103,30 @@ pub fn classify_loads_with(
     cycle_cap: usize,
     balance_cycles: bool,
 ) -> LoadClassification {
+    classify_loads_traced(
+        lp,
+        machine,
+        ddg_base,
+        hint_of,
+        cycle_cap,
+        balance_cycles,
+        &ltsp_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`classify_loads_with`] recording the analysis on a telemetry sink:
+/// the recurrence-cycle enumeration and, per load, a
+/// [`ltsp_telemetry::Event::CriticalityVerdict`] with the worst implied II
+/// over raised cycles through the load against the II threshold.
+pub fn classify_loads_traced(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    ddg_base: &Ddg,
+    hint_of: &dyn Fn(InstId) -> Option<LatencyHint>,
+    cycle_cap: usize,
+    balance_cycles: bool,
+    tel: &ltsp_telemetry::Telemetry,
+) -> LoadClassification {
     let n = lp.insts().len();
     let mut class: Vec<Option<LoadClass>> = lp
         .insts()
@@ -112,7 +136,13 @@ pub fn classify_loads_with(
     let hints: Vec<Option<LatencyHint>> = lp
         .insts()
         .iter()
-        .map(|i| if i.op().is_load() { hint_of(i.id()) } else { None })
+        .map(|i| {
+            if i.op().is_load() {
+                hint_of(i.id())
+            } else {
+                None
+            }
+        })
         .collect();
 
     let res_mii = machine.res_mii(lp);
@@ -132,18 +162,22 @@ pub fn classify_loads_with(
             _ => 0,
         }
     };
-    let raised = |id: InstId| -> Option<u32> {
-        lp.inst(id).op().is_load().then(|| hinted_lat(id))
-    };
+    let raised = |id: InstId| -> Option<u32> { lp.inst(id).op().is_load().then(|| hinted_lat(id)) };
 
     // Per-load latency ceiling; starts at the full hinted value and is
     // reduced by every violating cycle the load sits on.
-    let mut allowed: Vec<u32> = (0..n)
-        .map(|i| hinted_lat(InstId(i as u32)))
-        .collect();
+    let mut allowed: Vec<u32> = (0..n).map(|i| hinted_lat(InstId(i as u32))).collect();
 
-    for cycle in ddg_base.recurrence_cycles(cycle_cap) {
+    // Worst raised-cycle II through each load (0 = on no cycle); feeds
+    // the per-load criticality verdicts in the decision trace.
+    let mut worst_ii: Vec<u32> = vec![0; n];
+
+    for cycle in ddg_base.recurrence_cycles_traced(cycle_cap, tel) {
         let summary = ddg_base.cycle_summary(&cycle, &raised);
+        for load in ddg_base.cycle_loads(&cycle) {
+            let w = &mut worst_ii[load.index()];
+            *w = (*w).max(summary.implied_ii);
+        }
         if summary.implied_ii <= threshold {
             continue;
         }
@@ -158,8 +192,8 @@ pub fn classify_loads_with(
         let base_summary = ddg_base.cycle_summary(&cycle, &|id| {
             lp.inst(id).op().is_load().then(|| base_lat(id))
         });
-        let budget = (u64::from(threshold) * base_summary.omega)
-            .saturating_sub(base_summary.latency);
+        let budget =
+            (u64::from(threshold) * base_summary.omega).saturating_sub(base_summary.latency);
         // How many load-data edges each load contributes to the cycle.
         let mut edge_count = 0u64;
         for &ei in &cycle.edges {
@@ -210,6 +244,32 @@ pub fn classify_loads_with(
         boosted += 1;
     }
 
+    if tel.is_enabled() {
+        for i in 0..n {
+            let id = InstId(i as u32);
+            if !lp.inst(id).op().is_load() {
+                continue;
+            }
+            let critical = class[i] == Some(LoadClass::Critical);
+            tel.emit(ltsp_telemetry::Event::CriticalityVerdict {
+                loop_name: lp.name().to_string(),
+                load: format!("i{i}"),
+                critical,
+                implied_ii: worst_ii[i],
+                threshold,
+                slack: i64::from(threshold) - i64::from(worst_ii[i]),
+            });
+            tel.counter_add(
+                if critical {
+                    "pipeliner.critical_loads"
+                } else {
+                    "pipeliner.noncritical_loads"
+                },
+                1,
+            );
+        }
+    }
+
     LoadClassification {
         class,
         queries,
@@ -247,10 +307,7 @@ mod tests {
         let ddg = build_ddg_base(&lp, &m);
         let cls = classify_loads(&lp, &m, &ddg, &|_| Some(LatencyHint::L3), 1000);
         assert_eq!(cls.class(InstId(0)), Some(LoadClass::NonCritical));
-        assert_eq!(
-            cls.query(InstId(0)),
-            LatencyQuery::Hinted(LatencyHint::L3)
-        );
+        assert_eq!(cls.query(InstId(0)), LatencyQuery::Hinted(LatencyHint::L3));
         assert_eq!(cls.boosted_count(), 1);
     }
 
@@ -273,10 +330,7 @@ mod tests {
         assert_eq!(cls.query(InstId(0)), LatencyQuery::Base);
         // The field load hangs off the cycle: non-critical, boosted.
         assert_eq!(cls.class(InstId(1)), Some(LoadClass::NonCritical));
-        assert_eq!(
-            cls.query(InstId(1)),
-            LatencyQuery::Hinted(LatencyHint::L3)
-        );
+        assert_eq!(cls.query(InstId(1)), LatencyQuery::Hinted(LatencyHint::L3));
         assert_eq!(cls.boosted_count(), 1);
     }
 
@@ -384,7 +438,9 @@ mod tests {
         // large omega: raising to L2 (11) keeps ceil(latency/omega) at or
         // below MinII when the loop is resource-bound, so the load remains
         // non-critical.
-        use ltsp_ir::{Inst, InstId, LoopIr, MemRefId, MemoryRef, Opcode, RegClass, SrcOperand, VReg};
+        use ltsp_ir::{
+            Inst, InstId, LoopIr, MemRefId, MemoryRef, Opcode, RegClass, SrcOperand, VReg,
+        };
         let m = MachineModel::itanium2();
         // Loop: 10 independent affine loads (ResMII = ceil(10/2) = 5) plus
         // a cycle  v = load(a) ; w = add(v, w[-4])  where the load reads an
@@ -438,7 +494,9 @@ mod tests {
     #[test]
     fn l3_hint_on_tight_recurrence_marks_critical() {
         // Same shape but omega 1 and L3 hint: 21 + 1 over omega 1 -> 22 > 5.
-        use ltsp_ir::{Inst, InstId, LoopIr, MemRefId, MemoryRef, Opcode, RegClass, SrcOperand, VReg};
+        use ltsp_ir::{
+            Inst, InstId, LoopIr, MemRefId, MemoryRef, Opcode, RegClass, SrcOperand, VReg,
+        };
         let m = MachineModel::itanium2();
         let mut insts = Vec::new();
         let memrefs = vec![MemoryRef::new(

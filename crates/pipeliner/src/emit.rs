@@ -222,7 +222,10 @@ pub fn assign_registers(
 /// and epilog counters (`ar.lc` = trip − 1, `ar.ec` = stages), and the
 /// rotating-predicate initialization that turns on stage 0 only.
 pub fn emit_setup(assign: &RegisterAssignment, trip_reg: &str) -> String {
-    let rot_gr = assign.rotating_used(RegClass::Gr).next_multiple_of(8).max(8);
+    let rot_gr = assign
+        .rotating_used(RegClass::Gr)
+        .next_multiple_of(8)
+        .max(8);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -332,7 +335,11 @@ pub fn emit_kernel(lp: &LoopIr, sched: &ModuloSchedule, assign: &RegisterAssignm
                     let name = assign
                         .use_name(q.reg, d_stage, slot.stage, q.omega)
                         .unwrap_or_else(|| q.reg.to_string());
-                    format!("(p{}&{}{name})", 16 + slot.stage, if neg { "!" } else { "" })
+                    format!(
+                        "(p{}&{}{name})",
+                        16 + slot.stage,
+                        if neg { "!" } else { "" }
+                    )
                 }
             };
             let dst = inst
@@ -374,8 +381,8 @@ pub fn emit_kernel(lp: &LoopIr, sched: &ModuloSchedule, assign: &RegisterAssignm
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltsp_ir::{DataClass, LoopBuilder};
     use crate::pipeline::{pipeline_loop, PipelineOptions};
+    use ltsp_ir::{DataClass, LoopBuilder};
 
     fn running_example() -> LoopIr {
         let mut b = LoopBuilder::new("ex");
@@ -416,8 +423,13 @@ mod tests {
         // The packed totals equal allocate_rotating's per-class sums.
         let m = MachineModel::itanium2();
         let lp = running_example();
-        let p = pipeline_loop(&lp, &m, &|_| Some(ltsp_ir::LatencyHint::L3), &PipelineOptions::default())
-            .unwrap();
+        let p = pipeline_loop(
+            &lp,
+            &m,
+            &|_| Some(ltsp_ir::LatencyHint::L3),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         let counted = crate::allocate_rotating(&lp, &p.schedule, &m).unwrap();
         let assigned = assign_registers(&lp, &p.schedule, &m).unwrap();
         let close = |a: u32, b: u32| a.abs_diff(b) <= 2;
@@ -427,7 +439,10 @@ mod tests {
             assigned.rotating_used(RegClass::Gr),
             counted.rotating_gr
         );
-        assert!(close(assigned.rotating_used(RegClass::Pr), counted.rotating_pr));
+        assert!(close(
+            assigned.rotating_used(RegClass::Pr),
+            counted.rotating_pr
+        ));
     }
 
     #[test]

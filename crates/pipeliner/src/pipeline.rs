@@ -7,7 +7,9 @@ use ltsp_ddg::Ddg;
 use ltsp_ir::{InstId, LatencyHint, LoopIr, Opcode};
 use ltsp_machine::{LatencyQuery, MachineModel};
 
-use crate::criticality::{classify_loads_with, LoadClass, LoadClassification};
+use ltsp_telemetry::{Event, Telemetry};
+
+use crate::criticality::{classify_loads_traced, LoadClass, LoadClassification};
 use crate::regalloc::{allocate_rotating, RegAllocation};
 use crate::schedule::ModuloSchedule;
 use crate::scheduler::{acyclic_schedule, ModuloScheduler};
@@ -94,9 +96,7 @@ impl PipelinedLoop {
         inst: InstId,
     ) -> Option<u32> {
         match lp.inst(inst).op() {
-            Opcode::Load(dc) => {
-                Some(machine.load_latency(dc, self.classification.query(inst)))
-            }
+            Opcode::Load(dc) => Some(machine.load_latency(dc, self.classification.query(inst))),
             _ => None,
         }
     }
@@ -190,6 +190,35 @@ pub fn pipeline_loop(
     hint_of: &dyn Fn(InstId) -> Option<LatencyHint>,
     opts: &PipelineOptions,
 ) -> Result<PipelinedLoop, PipelineError> {
+    pipeline_loop_traced(lp, machine, hint_of, opts, &Telemetry::disabled())
+}
+
+fn failure_outcome(f: &crate::scheduler::ScheduleFailure) -> &'static str {
+    match f {
+        crate::scheduler::ScheduleFailure::InfeasibleIi => "infeasible",
+        crate::scheduler::ScheduleFailure::BudgetExhausted => "budget-exhausted",
+    }
+}
+
+fn class_name(c: ltsp_ir::RegClass) -> &'static str {
+    match c {
+        ltsp_ir::RegClass::Gr => "GR",
+        ltsp_ir::RegClass::Fr => "FR",
+        ltsp_ir::RegClass::Pr => "PR",
+    }
+}
+
+/// [`pipeline_loop`] with the driver's decision trail recorded on a
+/// telemetry sink: per-load criticality verdicts, every scheduling attempt
+/// with its outcome, II escalations, and the register-pressure fallbacks
+/// of the ladder.
+pub fn pipeline_loop_traced(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    hint_of: &dyn Fn(InstId) -> Option<LatencyHint>,
+    opts: &PipelineOptions,
+    tel: &Telemetry,
+) -> Result<PipelinedLoop, PipelineError> {
     let mut ddg_base = build_ddg(lp, machine, |_| LatencyQuery::Base);
     let res_mii = machine.res_mii(lp);
     let mut rec_mii = ddg_base.rec_mii();
@@ -217,21 +246,21 @@ pub fn pipeline_loop(
         if !speculated.is_empty() {
             let spec = speculated.clone();
             ddg_base.retain_edges(|e| {
-                e.kind != ltsp_ddg::DepKind::MemFlow
-                    || !spec.contains(&(e.from, e.to, e.omega))
+                e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
             });
             rec_mii = ddg_base.rec_mii();
         }
     }
     let min_ii = res_mii.max(rec_mii);
 
-    let cls = classify_loads_with(
+    let cls = classify_loads_traced(
         lp,
         machine,
         &ddg_base,
         hint_of,
         opts.cycle_cap,
         opts.balance_cycle_slack,
+        tel,
     );
     let critical_loads = lp
         .insts()
@@ -262,30 +291,82 @@ pub fn pipeline_loop(
         if !speculated.is_empty() {
             let spec = speculated.clone();
             ddg_boosted.retain_edges(|e| {
-                e.kind != ltsp_ddg::DepKind::MemFlow
-                    || !spec.contains(&(e.from, e.to, e.omega))
+                e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
             });
         }
         let scheduler = ModuloScheduler::new(lp, machine, &ddg_boosted);
         let mut alloc_failed_at: Option<u32> = None;
         let base_scheduler = ModuloScheduler::new(lp, machine, &ddg_base);
+        let mut failed_ii: Option<u32> = None;
         for ii in min_ii..=max_ii {
-            attempts += 1;
-            let Ok(sched) = scheduler.schedule_at(ii, opts.budget_factor) else {
-                // The boosted problem is harder to place; if the *base*
-                // latencies schedule at this II, escalating would trade a
-                // permanently higher II for the boosts — containment says
-                // drop the boosts instead.
-                attempts += 1;
-                if base_scheduler.schedule_at(ii, opts.budget_factor).is_ok() {
-                    alloc_failed_at = Some(ii);
-                    break;
+            if let Some(from_ii) = failed_ii {
+                if tel.is_enabled() {
+                    tel.emit(Event::IiEscalation {
+                        loop_name: lp.name().to_string(),
+                        from_ii,
+                        to_ii: ii,
+                        phase: "boosted",
+                    });
                 }
-                continue;
+            }
+            attempts += 1;
+            let sched = match scheduler.schedule_at(ii, opts.budget_factor) {
+                Ok(sched) => {
+                    if tel.is_enabled() {
+                        tel.emit(Event::ScheduleAttempt {
+                            loop_name: lp.name().to_string(),
+                            ii,
+                            latencies: "boosted",
+                            outcome: "scheduled",
+                        });
+                    }
+                    sched
+                }
+                Err(fail) => {
+                    if tel.is_enabled() {
+                        tel.emit(Event::ScheduleAttempt {
+                            loop_name: lp.name().to_string(),
+                            ii,
+                            latencies: "boosted",
+                            outcome: failure_outcome(&fail),
+                        });
+                    }
+                    // The boosted problem is harder to place; if the *base*
+                    // latencies schedule at this II, escalating would trade a
+                    // permanently higher II for the boosts — containment says
+                    // drop the boosts instead.
+                    attempts += 1;
+                    let base_res = base_scheduler.schedule_at(ii, opts.budget_factor);
+                    if tel.is_enabled() {
+                        tel.emit(Event::ScheduleAttempt {
+                            loop_name: lp.name().to_string(),
+                            ii,
+                            latencies: "base",
+                            outcome: base_res
+                                .as_ref()
+                                .map_or_else(failure_outcome, |_| "scheduled"),
+                        });
+                    }
+                    if base_res.is_ok() {
+                        tel.info(format!(
+                            "{}: boosted latencies unschedulable at II {ii} but base \
+                             latencies fit: dropping boosts",
+                            lp.name()
+                        ));
+                        alloc_failed_at = Some(ii);
+                        break;
+                    }
+                    failed_ii = Some(ii);
+                    continue;
+                }
             };
             match allocate_rotating(lp, &sched, machine) {
                 Ok(regs) => {
                     stats.schedule_attempts = attempts;
+                    if tel.is_enabled() {
+                        tel.counter_add("pipeliner.schedule_attempts", u64::from(attempts));
+                        tel.counter_add("pipeliner.loops_pipelined", 1);
+                    }
                     return Ok(PipelinedLoop {
                         schedule: sched,
                         regs,
@@ -293,8 +374,18 @@ pub fn pipeline_loop(
                         stats,
                     });
                 }
-                Err(_) => {
+                Err(e) => {
                     // First rung of the ladder: drop boosts at this II.
+                    if tel.is_enabled() {
+                        tel.emit(Event::RegallocFallback {
+                            loop_name: lp.name().to_string(),
+                            ii,
+                            class: class_name(e.class),
+                            needed: e.needed,
+                            available: e.available,
+                            action: "drop-boosts",
+                        });
+                    }
                     alloc_failed_at = Some(ii);
                     break;
                 }
@@ -308,31 +399,84 @@ pub fn pipeline_loop(
     // Base-latency phase (also the whole procedure when nothing is
     // boosted).
     let scheduler = ModuloScheduler::new(lp, machine, &ddg_base);
+    let mut failed_ii: Option<u32> = None;
     for ii in base_phase_start..=max_ii {
+        if let Some(from_ii) = failed_ii {
+            if tel.is_enabled() {
+                tel.emit(Event::IiEscalation {
+                    loop_name: lp.name().to_string(),
+                    from_ii,
+                    to_ii: ii,
+                    phase: "base",
+                });
+            }
+        }
         attempts += 1;
-        let Ok(sched) = scheduler.schedule_at(ii, opts.budget_factor) else {
-            continue;
+        let sched = match scheduler.schedule_at(ii, opts.budget_factor) {
+            Ok(sched) => {
+                if tel.is_enabled() {
+                    tel.emit(Event::ScheduleAttempt {
+                        loop_name: lp.name().to_string(),
+                        ii,
+                        latencies: "base",
+                        outcome: "scheduled",
+                    });
+                }
+                sched
+            }
+            Err(fail) => {
+                if tel.is_enabled() {
+                    tel.emit(Event::ScheduleAttempt {
+                        loop_name: lp.name().to_string(),
+                        ii,
+                        latencies: "base",
+                        outcome: failure_outcome(&fail),
+                    });
+                }
+                failed_ii = Some(ii);
+                continue;
+            }
         };
-        if let Ok(regs) = allocate_rotating(lp, &sched, machine) {
-            stats.schedule_attempts = attempts;
-            let classification = if stats.dropped_boosts {
-                LoadClassification::all_base(lp)
-            } else {
-                cls
-            };
-            return Ok(PipelinedLoop {
-                schedule: sched,
-                regs,
-                classification,
-                stats,
-            });
+        match allocate_rotating(lp, &sched, machine) {
+            Ok(regs) => {
+                stats.schedule_attempts = attempts;
+                if tel.is_enabled() {
+                    tel.counter_add("pipeliner.schedule_attempts", u64::from(attempts));
+                    tel.counter_add("pipeliner.loops_pipelined", 1);
+                }
+                let classification = if stats.dropped_boosts {
+                    LoadClassification::all_base(lp)
+                } else {
+                    cls
+                };
+                return Ok(PipelinedLoop {
+                    schedule: sched,
+                    regs,
+                    classification,
+                    stats,
+                });
+            }
+            Err(e) => {
+                if tel.is_enabled() {
+                    tel.emit(Event::RegallocFallback {
+                        loop_name: lp.name().to_string(),
+                        ii,
+                        class: class_name(e.class),
+                        needed: e.needed,
+                        available: e.available,
+                        action: "escalate-ii",
+                    });
+                }
+                failed_ii = Some(ii);
+            }
         }
     }
 
-    Err(PipelineError {
-        attempts,
-        min_ii,
-    })
+    if tel.is_enabled() {
+        tel.counter_add("pipeliner.schedule_attempts", u64::from(attempts));
+        tel.counter_add("pipeliner.loops_rejected", 1);
+    }
+    Err(PipelineError { attempts, min_ii })
 }
 
 #[cfg(test)]
@@ -378,10 +522,7 @@ mod tests {
         assert!(boosted.schedule.stage_count() > base.schedule.stage_count());
         assert_eq!(boosted.stats.boosted_loads, 1);
         // The load is scheduled at the typical L3 latency.
-        assert_eq!(
-            boosted.scheduled_load_latency(&lp, &m, InstId(0)),
-            Some(21)
-        );
+        assert_eq!(boosted.scheduled_load_latency(&lp, &m, InstId(0)), Some(21));
         assert_eq!(base.scheduled_load_latency(&lp, &m, InstId(0)), Some(1));
     }
 
@@ -440,7 +581,12 @@ mod tests {
                 ..*m.registers()
             },
         );
-        let _ = IssueResources { m: 2, i: 2, f: 2, b: 1 };
+        let _ = IssueResources {
+            m: 2,
+            i: 2,
+            f: 2,
+            b: 1,
+        };
         let p = pipeline_loop(
             &lp,
             &tight,
@@ -451,6 +597,89 @@ mod tests {
         assert!(p.stats.dropped_boosts, "ladder must drop the boosts");
         assert_eq!(p.stats.boosted_loads, 0);
         assert!(p.stats.schedule_attempts >= 2);
+    }
+
+    #[test]
+    fn telemetry_records_fallback_ladder() {
+        use ltsp_machine::RegisterFiles;
+        // Same setup as `register_overflow_drops_boosts`: blanket L3
+        // boosting against a tiny FP file forces the drop-boosts rung.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("wide");
+        let mut vals = Vec::new();
+        for k in 0..4u64 {
+            let x = b.affine_ref(&format!("x{k}"), DataClass::Fp, k << 24, 8, 8);
+            vals.push(b.load(x));
+        }
+        let mut acc = b.fadd(vals[0], vals[1]);
+        acc = b.fadd(acc, vals[2]);
+        acc = b.fadd(acc, vals[3]);
+        let y = b.affine_ref("y", DataClass::Fp, 9 << 24, 8, 8);
+        b.store(y, acc);
+        let lp = b.build().unwrap();
+        let tight = MachineModel::new(
+            *m.issue(),
+            *m.latencies(),
+            *m.caches(),
+            RegisterFiles {
+                rotating_fr: 16,
+                ..*m.registers()
+            },
+        );
+        let tel = Telemetry::enabled();
+        let p = pipeline_loop_traced(
+            &lp,
+            &tight,
+            &|_| Some(LatencyHint::L3),
+            &PipelineOptions::default(),
+            &tel,
+        )
+        .unwrap();
+        assert!(p.stats.dropped_boosts);
+
+        let events = tel.events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert!(
+            kinds.contains(&"regalloc_fallback"),
+            "must record the drop-boosts rung: {kinds:?}"
+        );
+        assert!(kinds.contains(&"schedule_attempt"));
+        assert!(kinds.contains(&"cycle_enumeration"));
+        // One criticality verdict per load.
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|k| **k == "criticality_verdict")
+                .count(),
+            4
+        );
+        let fallback = events
+            .iter()
+            .find_map(|e| match &e.event {
+                Event::RegallocFallback {
+                    class,
+                    action,
+                    needed,
+                    available,
+                    ..
+                } => Some((*class, *action, *needed, *available)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(fallback.0, "FR");
+        assert_eq!(fallback.1, "drop-boosts");
+        assert!(fallback.2 > fallback.3, "needed must exceed available");
+        // The trace is observational: the same compilation with telemetry
+        // disabled produces an identical schedule.
+        let silent = pipeline_loop(
+            &lp,
+            &tight,
+            &|_| Some(LatencyHint::L3),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(silent.schedule.ii(), p.schedule.ii());
+        assert_eq!(silent.stats, p.stats);
     }
 
     #[test]
@@ -488,7 +717,10 @@ mod tests {
             spec.schedule.ii(),
             plain.schedule.ii()
         );
-        assert_eq!(spec.schedule.ii(), spec.stats.res_mii.max(spec.stats.rec_mii));
+        assert_eq!(
+            spec.schedule.ii(),
+            spec.stats.res_mii.max(spec.stats.rec_mii)
+        );
     }
 
     #[test]

@@ -181,7 +181,9 @@ mod tests {
                 0
             }
         });
-        ModuloScheduler::new(lp, m, &ddg).schedule_at(ii, 8).unwrap()
+        ModuloScheduler::new(lp, m, &ddg)
+            .schedule_at(ii, 8)
+            .unwrap()
     }
 
     fn running_example() -> LoopIr {

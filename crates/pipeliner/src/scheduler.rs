@@ -116,8 +116,7 @@ impl<'a> ModuloScheduler<'a> {
             let t = placed_at.unwrap_or_else(|| estart.max(last_time[op_idx] + 1));
 
             for victim in mrt.place_forced(op, t, class) {
-                let vt = time[victim.index()]
-                    .expect("evicted instruction was scheduled");
+                let vt = time[victim.index()].expect("evicted instruction was scheduled");
                 let _ = vt;
                 time[victim.index()] = None;
             }
@@ -139,7 +138,10 @@ impl<'a> ModuloScheduler<'a> {
             }
         }
 
-        let times: Vec<i64> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+        let times: Vec<i64> = time
+            .into_iter()
+            .map(|t| t.expect("all scheduled"))
+            .collect();
         debug_assert!(self.verify(ii, &times), "schedule violates dependences");
         Ok(ModuloSchedule::new(ii, times))
     }
@@ -293,7 +295,10 @@ mod tests {
         let lp = b.build().unwrap();
         let ddg = ddg_with(&lp, &m, 0);
         let sch = ModuloScheduler::new(&lp, &m, &ddg);
-        assert_eq!(sch.schedule_at(3, 8).unwrap_err(), ScheduleFailure::InfeasibleIi);
+        assert_eq!(
+            sch.schedule_at(3, 8).unwrap_err(),
+            ScheduleFailure::InfeasibleIi
+        );
         assert!(sch.schedule_at(4, 8).is_ok());
     }
 
@@ -335,8 +340,7 @@ mod tests {
         let s = sch.schedule_at(4, 8).unwrap();
         for e in ddg.edges() {
             assert!(
-                s.time(e.from) + i64::from(e.latency)
-                    <= s.time(e.to) + i64::from(4 * e.omega),
+                s.time(e.from) + i64::from(e.latency) <= s.time(e.to) + i64::from(4 * e.omega),
                 "edge {:?} violated",
                 e
             );
@@ -351,8 +355,8 @@ mod tests {
         let s = acyclic_schedule(&lp, &m, &ddg);
         assert_eq!(s.stage_count(), 1, "no overlap in the fallback");
         // ld(1) -> add at >= 1 -> st at >= 2.
-        assert!(s.time(InstId(1)) >= s.time(InstId(0)) + 1);
-        assert!(s.time(InstId(2)) >= s.time(InstId(1)) + 1);
+        assert!(s.time(InstId(1)) > s.time(InstId(0)));
+        assert!(s.time(InstId(2)) > s.time(InstId(1)));
         assert!(s.ii() >= 3);
     }
 }

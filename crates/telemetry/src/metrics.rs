@@ -1,0 +1,209 @@
+//! A metrics registry: named monotonic counters and log₂-bucketed
+//! histograms, exported as one JSON snapshot.
+
+use std::collections::BTreeMap;
+
+use crate::json::{write_object, Scalar};
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples with `floor(log2(v)) == i - 1` (bucket 0 is
+/// the value 0), which is plenty of resolution for cycle counts and sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// The mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// The registry behind [`crate::Telemetry`]'s metric methods.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Adds to a monotonic counter (creating it at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records a histogram sample (creating the histogram).
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// A counter's current value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The snapshot as one pretty-printed JSON document:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean, buckets: [[lo, n], ...]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(&crate::json::escape(k));
+            out.push_str(&format!("\": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(&crate::json::escape(k));
+            out.push_str("\": ");
+            let mut obj = String::new();
+            write_object(
+                &mut obj,
+                &[
+                    ("count", h.count.into()),
+                    ("sum", h.sum.into()),
+                    ("min", if h.count == 0 { 0u64 } else { h.min }.into()),
+                    ("max", h.max.into()),
+                    ("mean", Scalar::F64(h.mean())),
+                ],
+            );
+            // Splice the buckets array in before the closing brace.
+            obj.pop();
+            obj.push_str(",\"buckets\":[");
+            for (j, (lo, n)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    obj.push(',');
+                }
+                obj.push_str(&format!("[{lo},{n}]"));
+            }
+            obj.push_str("]}");
+            out.push_str(&obj);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.counter_add("sim.cycles.total", 10);
+        m.counter_add("sim.cycles.total", 5);
+        assert_eq!(m.counter("sim.cycles.total"), 15);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 1024 -> [1024,2048).
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json() {
+        let mut m = Metrics::default();
+        m.counter_add("a.b", 7);
+        m.histogram_record("h \"x\"", 3);
+        m.histogram_record("h \"x\"", 300);
+        let v = parse(&m.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(7)
+        );
+        let h = v.get("histograms").unwrap().get("h \"x\"").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(303));
+        assert_eq!(h.get("buckets").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_parses() {
+        let m = Metrics::default();
+        assert!(m.is_empty());
+        assert!(parse(&m.to_json()).is_ok());
+    }
+}

@@ -116,12 +116,31 @@ pub fn mcf_refresh(name: &str, region_bytes: u64) -> LoopIr {
     let mut b = LoopBuilder::new(name);
     let node = b.chase_ref("node->child", base(0), 64, region_bytes, 0.15);
     // On-node fields (same line as the node).
-    let orientation = b.deref_ref("node->orientation", DataClass::Int, node, 0, region_bytes, 4);
+    let orientation = b.deref_ref(
+        "node->orientation",
+        DataClass::Int,
+        node,
+        0,
+        region_bytes,
+        4,
+    );
     // Far pointers: basic_arc and pred live in other regions.
-    let basic_arc_cost =
-        b.deref_ref("node->basic_arc->cost", DataClass::Int, node, 128, region_bytes, 8);
-    let pred_potential =
-        b.deref_ref("node->pred->potential", DataClass::Int, node, 192, region_bytes, 8);
+    let basic_arc_cost = b.deref_ref(
+        "node->basic_arc->cost",
+        DataClass::Int,
+        node,
+        128,
+        region_bytes,
+        8,
+    );
+    let pred_potential = b.deref_ref(
+        "node->pred->potential",
+        DataClass::Int,
+        node,
+        192,
+        region_bytes,
+        8,
+    );
     let potential = b.deref_ref("node->potential", DataClass::Int, node, 16, region_bytes, 8);
 
     let _vnode = b.load(node);
@@ -142,11 +161,30 @@ pub fn mcf_refresh(name: &str, region_bytes: u64) -> LoopIr {
 pub fn mcf_refresh_predicated(name: &str, region_bytes: u64) -> LoopIr {
     let mut b = LoopBuilder::new(name);
     let node = b.chase_ref("node->child", base(0), 64, region_bytes, 0.15);
-    let orientation = b.deref_ref("node->orientation", DataClass::Int, node, 0, region_bytes, 4);
-    let basic_arc_cost =
-        b.deref_ref("node->basic_arc->cost", DataClass::Int, node, 128, region_bytes, 8);
-    let pred_potential =
-        b.deref_ref("node->pred->potential", DataClass::Int, node, 192, region_bytes, 8);
+    let orientation = b.deref_ref(
+        "node->orientation",
+        DataClass::Int,
+        node,
+        0,
+        region_bytes,
+        4,
+    );
+    let basic_arc_cost = b.deref_ref(
+        "node->basic_arc->cost",
+        DataClass::Int,
+        node,
+        128,
+        region_bytes,
+        8,
+    );
+    let pred_potential = b.deref_ref(
+        "node->pred->potential",
+        DataClass::Int,
+        node,
+        192,
+        region_bytes,
+        8,
+    );
     let potential = b.deref_ref("node->potential", DataClass::Int, node, 16, region_bytes, 8);
 
     let _vnode = b.load(node);
@@ -210,7 +248,14 @@ pub fn texture_span(name: &str) -> LoopIr {
 pub fn hash_walk(name: &str, region_bytes: u64) -> LoopIr {
     let mut b = LoopBuilder::new(name);
     let idx = b.affine_ref("moves[i]", DataClass::Int, base(0), 4, 4);
-    let board = b.gather_ref("board[moves[i]]", DataClass::Int, idx, base(1), 4, region_bytes);
+    let board = b.gather_ref(
+        "board[moves[i]]",
+        DataClass::Int,
+        idx,
+        base(1),
+        4,
+        region_bytes,
+    );
     let vi = b.load(idx);
     let vb = b.load(board);
     let s = b.add(vb, vi);

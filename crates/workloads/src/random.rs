@@ -47,7 +47,14 @@ pub fn random_loop(seed: u64) -> LoopIr {
         let fp = rng.next_f64() < 0.5;
         let data = if fp { DataClass::Fp } else { DataClass::Int };
         let region = 1u64 << (14 + rng.next_below(12)); // 16 KB .. 32 MB
-        let tgt = b.gather_ref("gtgt", data, idx, 0x5000_0000, if fp { 8 } else { 4 }, region);
+        let tgt = b.gather_ref(
+            "gtgt",
+            data,
+            idx,
+            0x5000_0000,
+            if fp { 8 } else { 4 },
+            region,
+        );
         let vi = b.load(idx);
         int_vals.push(vi);
         let vt = b.load(tgt);
@@ -127,7 +134,8 @@ pub fn random_loop(seed: u64) -> LoopIr {
         }
     }
 
-    b.build().expect("generated loops are valid by construction")
+    b.build()
+        .expect("generated loops are valid by construction")
 }
 
 #[cfg(test)]

@@ -12,13 +12,7 @@ use crate::bench::{Benchmark, LoopSpec, Suite};
 use crate::kernels;
 use crate::trip::TripDistribution as T;
 
-fn spec(
-    name: &str,
-    lp: ltsp_ir::LoopIr,
-    trips: T,
-    entries: u32,
-    mode: StreamMode,
-) -> LoopSpec {
+fn spec(name: &str, lp: ltsp_ir::LoopIr, trips: T, entries: u32, mode: StreamMode) -> LoopSpec {
     LoopSpec::simple(name, lp, trips, entries, mode)
 }
 
@@ -125,7 +119,6 @@ fn warm_int(name: &'static str, suite: Suite, trip: u64, f: f64) -> Benchmark {
         pipelined_fraction: f,
     }
 }
-
 
 /// Appends a small, warm, low-trip-count helper loop to a benchmark: real
 /// applications run many such loops, and they are exactly what blanket

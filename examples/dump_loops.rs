@@ -12,7 +12,9 @@ use ltsp::workloads::{
 };
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "loops".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "loops".to_string());
     std::fs::create_dir_all(&dir)?;
     let kernels = vec![
         ("stream_fp", stream_sum("stream_fp", DataClass::Fp, 8)),
@@ -20,8 +22,14 @@ fn main() -> std::io::Result<()> {
         ("saxpy", saxpy("saxpy")),
         ("triad", triad("triad")),
         ("stencil3", stencil3("stencil3")),
-        ("gather_fp", gather_update("gather_fp", DataClass::Fp, 1 << 24)),
-        ("gather_int", gather_update("gather_int", DataClass::Int, 1 << 22)),
+        (
+            "gather_fp",
+            gather_update("gather_fp", DataClass::Fp, 1 << 24),
+        ),
+        (
+            "gather_int",
+            gather_update("gather_int", DataClass::Int, 1 << 22),
+        ),
         ("mcf_refresh", mcf_refresh("mcf_refresh", 1 << 25)),
         (
             "mcf_refresh_predicated",
@@ -31,7 +39,10 @@ fn main() -> std::io::Result<()> {
         ("texture_span", texture_span("texture_span")),
         ("hash_walk", hash_walk("hash_walk", 1 << 17)),
         ("symbolic_walk", symbolic_walk("symbolic_walk", 4096)),
-        ("pointer_array", pointer_array_walk("pointer_array", 1 << 24)),
+        (
+            "pointer_array",
+            pointer_array_walk("pointer_array", 1 << 24),
+        ),
         ("compute_heavy", compute_heavy("compute_heavy")),
         ("reduction_int", reduction_int("reduction_int", 4)),
         ("memory_recurrence", memory_recurrence("memory_recurrence")),

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example headroom_sweep`
 
-use ltsp::core::{
-    benchmark_gain, run_benchmark, CompileConfig, LatencyPolicy, RunConfig,
-};
+use ltsp::core::{benchmark_gain, run_benchmark, CompileConfig, LatencyPolicy, RunConfig};
 use ltsp::machine::MachineModel;
 use ltsp::workloads::find_benchmark;
 
@@ -31,9 +29,8 @@ fn main() {
         );
         print!("{name:<16}");
         for n in thresholds {
-            let rc = RunConfig::new(
-                CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(n),
-            );
+            let rc =
+                RunConfig::new(CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(n));
             let var = run_benchmark(&bench, &machine, &rc);
             print!(" {:>7.2}%", benchmark_gain(&bench, &base, &var));
         }

@@ -7,9 +7,7 @@
 use ltsp::hlo::{run_hlo, HloConfig};
 use ltsp::ir::DataClass;
 use ltsp::machine::MachineModel;
-use ltsp::workloads::{
-    gather_update, hash_walk, mcf_refresh, saxpy, stencil3, symbolic_walk,
-};
+use ltsp::workloads::{gather_update, hash_walk, mcf_refresh, saxpy, stencil3, symbolic_walk};
 
 fn main() {
     let machine = MachineModel::itanium2();

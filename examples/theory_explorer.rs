@@ -44,10 +44,7 @@ fn main() {
          stalls over {n} kernel iterations: {without} -> {with} ({:.1}% reduction)",
         100.0 * (1.0 - with as f64 / without as f64)
     );
-    println!(
-        "predicted by Eq. 2: {:.1}%",
-        stall_reduction_percent(c, k)
-    );
+    println!("predicted by Eq. 2: {:.1}%", stall_reduction_percent(c, k));
 
     println!(
         "\ncost side: each boosted cycle beyond the base latency adds\n\

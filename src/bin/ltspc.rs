@@ -7,7 +7,15 @@
 //! ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo]
 //!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
 //!       [--asm] [--simulate ITERS]
+//!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
 //! ```
+//!
+//! The telemetry flags record the compiler's decision trail — HLO hint
+//! heuristics, criticality verdicts, latency boosts, II escalations,
+//! register-pressure fallbacks — plus per-phase timing and simulator
+//! cycle accounting. `--trace-out` writes JSONL events, `--metrics-out`
+//! a JSON metrics snapshot, `--chrome-trace` a Chrome `trace_event` file
+//! loadable in Perfetto (ui.perfetto.dev); `-v` renders events on stderr.
 //!
 //! Example input (see `ltsp_ir::parse_loop` for the grammar):
 //!
@@ -25,11 +33,12 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
+use ltsp::core::{compile_loop_with_profile_traced, CompileConfig, LatencyPolicy};
 use ltsp::ir::parse_loop;
 use ltsp::machine::MachineModel;
 use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
 use ltsp::pipeliner::{assign_registers, emit_kernel, form_bundles};
+use ltsp::telemetry::Telemetry;
 
 struct Options {
     input: String,
@@ -41,13 +50,19 @@ struct Options {
     speculate: bool,
     asm: bool,
     simulate: Option<u64>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    chrome_trace: Option<String>,
+    verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--trip N]\n\
          \x20             [--threshold N] [--no-prefetch] [--balanced] [--speculate]\n\
-         \x20             [--asm] [--simulate ITERS]"
+         \x20             [--asm] [--simulate ITERS]\n\
+         \x20             [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20             [--chrome-trace FILE] [-v|--verbose]"
     );
     std::process::exit(2);
 }
@@ -64,6 +79,10 @@ fn parse_args() -> Options {
         speculate: false,
         asm: false,
         simulate: None,
+        trace_out: None,
+        metrics_out: None,
+        chrome_trace: None,
+        verbose: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,18 +96,33 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
-            "--trip" => o.trip = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--trip" => {
+                o.trip = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--threshold" => {
-                o.threshold = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                o.threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--no-prefetch" => o.prefetch = false,
             "--balanced" => o.balanced = true,
             "--speculate" => o.speculate = true,
             "--asm" => o.asm = true,
             "--simulate" => {
-                o.simulate =
-                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                o.simulate = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
+            "--trace-out" => o.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => o.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome-trace" => o.chrome_trace = Some(args.next().unwrap_or_else(|| usage())),
+            "-v" | "--verbose" => o.verbose = true,
             "--help" | "-h" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -131,7 +165,14 @@ fn main() -> ExitCode {
         .with_prefetch(o.prefetch)
         .with_balanced_recurrences(o.balanced)
         .with_data_speculation(o.speculate);
-    let compiled = compile_loop_with_profile(&lp, &machine, &cfg, o.trip);
+    let want_telemetry =
+        o.trace_out.is_some() || o.metrics_out.is_some() || o.chrome_trace.is_some() || o.verbose;
+    let tel = if want_telemetry {
+        Telemetry::enabled_with(o.verbose)
+    } else {
+        Telemetry::disabled()
+    };
+    let compiled = compile_loop_with_profile_traced(&lp, &machine, &cfg, o.trip, &tel);
 
     println!(
         "{}: policy={} trip-estimate={} prefetches={} hinted-refs={}",
@@ -198,7 +239,12 @@ fn main() -> ExitCode {
                 ..ExecutorConfig::default()
             },
         );
-        ex.run_entry(iters.max(1));
+        ex.attach_telemetry(&tel);
+        {
+            let _span = tel.span(format!("simulate:{}", compiled.lp.name()));
+            ex.run_entry(iters.max(1));
+        }
+        ex.export_metrics("sim");
         let c = ex.counters();
         println!(
             "\nsimulated {iters} iterations: {} cycles ({:.2}/iter), \
@@ -213,5 +259,29 @@ fn main() -> ExitCode {
             c.mem_loads,
         );
     }
-    ExitCode::SUCCESS
+
+    let mut ok = true;
+    let mut write_artifact =
+        |path: &Option<String>,
+         what: &str,
+         f: &dyn Fn(&mut dyn std::io::Write) -> std::io::Result<()>| {
+            let Some(path) = path else { return };
+            let res = std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .and_then(|mut w| f(&mut w));
+            if let Err(e) = res {
+                eprintln!("ltspc: cannot write {what} {path}: {e}");
+                ok = false;
+            }
+        };
+    write_artifact(&o.trace_out, "trace", &|w| tel.write_events_jsonl(w));
+    write_artifact(&o.metrics_out, "metrics", &|w| tel.write_metrics_json(w));
+    write_artifact(&o.chrome_trace, "chrome trace", &|w| {
+        tel.write_chrome_trace(w)
+    });
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

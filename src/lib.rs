@@ -15,6 +15,8 @@
 //! - [`workloads`] — synthetic SPEC-like benchmark suites
 //! - [`core`] — the compiler driver, latency policies, theory module and
 //!   experiment runners
+//! - [`telemetry`] — dependency-free decision traces, phase timing and
+//!   machine-readable run artifacts (JSONL, JSON metrics, Chrome trace)
 //!
 //! # Quickstart
 //!
@@ -46,4 +48,5 @@ pub use ltsp_ir as ir;
 pub use ltsp_machine as machine;
 pub use ltsp_memsim as memsim;
 pub use ltsp_pipeliner as pipeliner;
+pub use ltsp_telemetry as telemetry;
 pub use ltsp_workloads as workloads;

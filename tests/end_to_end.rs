@@ -55,7 +55,11 @@ fn running_example_matches_figures_2_through_4() {
     let boost = compile_loop_with_profile(&lp, &m, &boost_cfg, 1000.0);
     assert_eq!(boost.kernel.ii(), 1, "the II must not change");
     // Scheduled for the typical L3 latency (21): stages = 21 + 2.
-    assert_eq!(boost.kernel.stage_count(), 23, "latency-buffer stages added");
+    assert_eq!(
+        boost.kernel.stage_count(),
+        23,
+        "latency-buffer stages added"
+    );
 }
 
 /// Non-critical boosting must never raise the II across the whole kernel
@@ -156,7 +160,13 @@ fn gain_and_regression_both_reproduce() {
         ..ExecutorConfig::default()
     };
     let mut eb = Executor::new(&base_w.lp, &base_w.kernel, &m, base_w.regs_total, warm_cfg);
-    let mut ex = Executor::new(&boost_w.lp, &boost_w.kernel, &m, boost_w.regs_total, warm_cfg);
+    let mut ex = Executor::new(
+        &boost_w.lp,
+        &boost_w.kernel,
+        &m,
+        boost_w.regs_total,
+        warm_cfg,
+    );
     for _ in 0..300 {
         eb.run_entry(4);
         ex.run_entry(4);
@@ -179,7 +189,11 @@ fn pipeline_is_deterministic() {
     let a = compile_loop_with_profile(&lp, &m, &cfg, 500.0);
     let b = compile_loop_with_profile(&lp, &m, &cfg, 500.0);
     assert_eq!(a.kernel, b.kernel, "compilation is deterministic");
-    assert_eq!(run(&a, &m, 500), run(&b, &m, 500), "simulation is deterministic");
+    assert_eq!(
+        run(&a, &m, 500),
+        run(&b, &m, 500),
+        "simulation is deterministic"
+    );
 }
 
 /// The HLO's prefetches pay for themselves on streaming loops: with

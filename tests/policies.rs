@@ -39,8 +39,14 @@ fn all_loads_l3_boosts_every_non_critical_load() {
 fn fp_policy_boosts_only_fp() {
     let int_loop = stream_sum("i", DataClass::Int, 256);
     let fp_loop = stream_sum("f", DataClass::Fp, 256);
-    assert_eq!(boosted(&int_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0), 0);
-    assert_eq!(boosted(&fp_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0), 1);
+    assert_eq!(
+        boosted(&int_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0),
+        0
+    );
+    assert_eq!(
+        boosted(&fp_loop, LatencyPolicy::AllFpLoadsL2, 0, 10_000.0),
+        1
+    );
 }
 
 #[test]
@@ -77,7 +83,11 @@ fn fp_default_l2_rider_applies_only_to_hlo_policy() {
     let mut no_rider = CompileConfig::new(LatencyPolicy::HloHints);
     no_rider.fp_default_l2 = false;
     let c2 = compile_loop_with_profile(&lp, &machine(), &no_rider, 1000.0);
-    assert_eq!(c2.stats.unwrap().boosted_loads, 0, "without the rider: none");
+    assert_eq!(
+        c2.stats.unwrap().boosted_loads,
+        0,
+        "without the rider: none"
+    );
 }
 
 #[test]

@@ -20,17 +20,9 @@ fn predicated_mcf_compiles_and_pipelines() {
     // Both sides of the diamond are predicated; the join is a sel.
     let predicated = lp.insts().iter().filter(|i| i.qp().is_some()).count();
     assert!(predicated >= 4, "both branch bodies are predicated");
-    assert!(lp
-        .insts()
-        .iter()
-        .any(|i| i.op() == ltsp::ir::Opcode::Sel));
+    assert!(lp.insts().iter().any(|i| i.op() == ltsp::ir::Opcode::Sel));
 
-    let c = compile_loop_with_profile(
-        &lp,
-        &m,
-        &CompileConfig::new(LatencyPolicy::HloHints),
-        2.3,
-    );
+    let c = compile_loop_with_profile(&lp, &m, &CompileConfig::new(LatencyPolicy::HloHints), 2.3);
     assert!(c.pipelined, "the predicated loop pipelines");
     let stats = c.stats.unwrap();
     assert!(stats.critical_loads >= 1, "the chase stays critical");
@@ -89,7 +81,11 @@ fn predication_gates_memory_traffic() {
         ex.counters().stores
     };
     assert_eq!(run(0.0), 0, "never-taken predicate squashes every store");
-    assert_eq!(run(1.0), 1000, "always-taken predicate stores every iteration");
+    assert_eq!(
+        run(1.0),
+        1000,
+        "always-taken predicate stores every iteration"
+    );
     let half = run(0.5);
     assert!(
         (300..700).contains(&half),
@@ -103,19 +99,13 @@ fn predicated_schedule_still_honors_dependences() {
     // scheduled before (modulo II) any instruction it predicates.
     let m = machine();
     let lp = mcf_refresh_predicated("mcf-pred", 32 << 20);
-    let c = compile_loop_with_profile(
-        &lp,
-        &m,
-        &CompileConfig::new(LatencyPolicy::Baseline),
-        100.0,
-    );
+    let c = compile_loop_with_profile(&lp, &m, &CompileConfig::new(LatencyPolicy::Baseline), 100.0);
     let ii = i64::from(c.kernel.ii());
     for inst in c.lp.insts() {
         if let Some((qp, _)) = inst.qp() {
             if let Some(def) = c.lp.def_of(qp.reg) {
                 assert!(
-                    c.kernel.time(def) + 1
-                        <= c.kernel.time(inst.id()) + ii * i64::from(qp.omega),
+                    c.kernel.time(def) < c.kernel.time(inst.id()) + ii * i64::from(qp.omega),
                     "predicate def must precede its use"
                 );
             }
@@ -129,12 +119,7 @@ fn predication_off_path_loads_save_time() {
     // issue, so the loop runs faster than with an always-taken one.
     let m = machine();
     let lp = mcf_refresh_predicated("mcf-pred", 32 << 20);
-    let c = compile_loop_with_profile(
-        &lp,
-        &m,
-        &CompileConfig::new(LatencyPolicy::Baseline),
-        3.0,
-    );
+    let c = compile_loop_with_profile(&lp, &m, &CompileConfig::new(LatencyPolicy::Baseline), 3.0);
     let run = |prob: f64| {
         let mut ex = Executor::new(
             &c.lp,

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use ltsp::core::{compile_loop_with_profile, CompileConfig, LatencyPolicy};
 use ltsp::ddg::Ddg;
 use ltsp::ir::Opcode;
-use ltsp::machine::{LatencyQuery, MachineModel};
+use ltsp::machine::MachineModel;
 use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
 use ltsp::workloads::random_loop;
 
@@ -114,7 +114,7 @@ proptest! {
             &lp, &m,
             &CompileConfig::new(LatencyPolicy::AllLoadsL3).with_threshold(0), 1000.0);
         if base.pipelined && boost.pipelined {
-            prop_assert!(boost.kernel.ii() <= base.kernel.ii() + 0,
+            prop_assert!(boost.kernel.ii() <= base.kernel.ii(),
                 "boost raised II from {} to {}", base.kernel.ii(), boost.kernel.ii());
             prop_assert!(boost.kernel.stage_count() >= base.kernel.stage_count());
         }
