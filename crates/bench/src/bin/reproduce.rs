@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations]
+//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations|oracle]
 //!           [--scale X] [--csv] [--trace-out FILE] [--metrics-out FILE] [-v]
 //! ```
 //!
@@ -17,7 +17,7 @@
 use ltsp_bench::{
     balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10, fig5, fig7,
     fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
-    mve_code_size_ablation, no_prefetch_headroom, ozq_capacity_ablation, regstats,
+    mve_code_size_ablation, no_prefetch_headroom, oracle_gap, ozq_capacity_ablation, regstats,
     versioning_experiment,
 };
 use ltsp_machine::MachineModel;
@@ -154,6 +154,11 @@ fn main() {
         let _s = tel.span("experiment:balanced");
         let entries = ((800.0 * scale) as u32).max(100);
         emit(&balanced_recurrence_experiment(&machine, entries).render());
+    }
+    if run_all || which == "oracle" {
+        ran("oracle");
+        let _s = tel.span("experiment:oracle");
+        emit(&oracle_gap(&machine, &tel).render());
     }
     if run_all || which == "ablations" {
         ran("ablations");

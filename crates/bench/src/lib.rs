@@ -20,12 +20,14 @@
 //! | [`miss_sampling_experiment`] | Sec. 6 outlook — dynamic miss sampling |
 //! | [`ozq_capacity_ablation`] | Sec. 4.5 claim — more queuing, more benefit |
 //! | [`boost_magnitude_ablation`] | Sec. 2.2 guidance — 20-30 cycle sweet spot |
+//! | [`oracle_gap`] | E-oracle — heuristic II vs exact-oracle minimal II |
 
 mod experiments;
 mod extensions;
 mod fig5;
 mod mcf;
 pub mod microbench;
+mod oracle_gap;
 mod stats;
 
 pub use experiments::{
@@ -39,4 +41,5 @@ pub use extensions::{
 pub use fig5::{fig5, Fig5Result};
 pub use mcf::{mcf_case_study, McfCaseStudy};
 pub use microbench::{Bench, BenchResult};
+pub use oracle_gap::{oracle_gap, OracleGapResult};
 pub use stats::{compile_time, regstats, CompileTimeResult, RegStatsResult};

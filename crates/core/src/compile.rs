@@ -309,13 +309,7 @@ pub fn compile_loop_with_profile_traced(
                 tel.counter_add("compile.acyclic_fallbacks", 1);
             }
             // Rebuild the base-latency DDG for the fallback.
-            let ddg = ltsp_ddg::Ddg::build(&lp, machine, &|id| {
-                if let Opcode::Load(dc) = lp.inst(id).op() {
-                    machine.load_latency(dc, ltsp_machine::LatencyQuery::Base)
-                } else {
-                    0
-                }
-            });
+            let ddg = ltsp_ddg::Ddg::build_with_load_floor(&lp, machine, 0);
             let kernel = acyclic_schedule(&lp, machine, &ddg);
             let regs_total = (lp.vreg_count(RegClass::Gr)
                 + lp.vreg_count(RegClass::Fr)

@@ -163,6 +163,27 @@ impl Ddg {
         }
     }
 
+    /// Builds the graph with every load at its base (L1) scheduling
+    /// latency, floored at `floor` cycles.
+    ///
+    /// This is the canonical base-latency graph: the pipeliner's
+    /// base-latency phase uses `floor = 0`, and tests/oracles that want a
+    /// uniform boost pass the boosted latency as the floor. Having one
+    /// constructor keeps every consumer — production scheduling, the
+    /// schedule validator and the differential harness — on the same
+    /// dependence edges.
+    pub fn build_with_load_floor(lp: &LoopIr, machine: &MachineModel, floor: u32) -> Ddg {
+        Ddg::build(lp, machine, &|id| {
+            if let ltsp_ir::Opcode::Load(dc) = lp.inst(id).op() {
+                machine
+                    .load_latency(dc, ltsp_machine::LatencyQuery::Base)
+                    .max(floor)
+            } else {
+                0
+            }
+        })
+    }
+
     /// Number of instructions (nodes).
     pub fn len(&self) -> usize {
         self.n

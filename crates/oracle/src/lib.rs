@@ -1,0 +1,30 @@
+//! Trust-but-verify infrastructure for the software pipeliner.
+//!
+//! The heuristic pipeliner is a large, stateful piece of machinery —
+//! criticality analysis, iterative modulo scheduling with eviction, a
+//! fallback ladder. This crate answers two questions about its output
+//! with *independent* machinery:
+//!
+//! 1. **Is an accepted schedule actually legal?** The
+//!    [`validate_schedule`] checker re-derives every constraint (modulo
+//!    dependence inequalities, per-row issue resources via Hall's
+//!    condition, rotating-register lifetimes) straight from the IR, the
+//!    dependence graph and the machine description, sharing no code with
+//!    the scheduler, the reservation table or the register allocator.
+//! 2. **Is the chosen II any good?** The exact oracle
+//!    ([`prove_min_ii`]) runs a complete residue-level branch-and-bound
+//!    search that *proves* the minimal feasible II of small loops, so
+//!    the heuristic's II can be labeled optimal, suboptimal by a known
+//!    gap, or unresolved within budget ([`IiVerdict`]).
+//!
+//! The [`differential_case`]/[`differential_fuzz`] harness glues the two
+//! to the production pipeline: every accepted schedule is certified, and
+//! every certified II is measured against the proven minimum.
+
+mod differential;
+mod exact;
+mod validator;
+
+pub use differential::{differential_case, differential_fuzz, CaseReport, FuzzSummary};
+pub use exact::{lower_bound, prove_min_ii, search_at, Feasibility, IiVerdict, OracleOptions};
+pub use validator::{validate_schedule, Certificate, Violation};

@@ -1,0 +1,432 @@
+//! The independent schedule validator.
+//!
+//! This checker certifies a [`ModuloSchedule`] against the constraints it
+//! must satisfy, re-deriving every one of them from the [`LoopIr`], the
+//! dependence graph and the machine description. It deliberately shares
+//! **no code** with the scheduler (`scheduler.rs`), the modulo reservation
+//! table (`mrt.rs`) or the register allocator (`regalloc.rs`): slot
+//! accounting, lifetime accounting and the modulo dependence inequality
+//! are all re-implemented here from the definitions, so a bug in the
+//! heuristic pipeliner cannot silently certify its own output.
+//!
+//! Checked constraints:
+//!
+//! 1. **Shape** — one non-negative issue time per instruction, and the
+//!    schedule's reported stage count matches the times.
+//! 2. **Dependences** — every edge `(from, to, latency, omega)` satisfies
+//!    `t(from) + latency <= t(to) + II·omega` (the modulo scheduling
+//!    inequality; boosted latencies are whatever the DDG carries).
+//! 3. **Resources** — no kernel row over-subscribes the machine's issue
+//!    slots. A-class instructions may draw from M or I slots; by Hall's
+//!    theorem the assignment exists iff `m <= M`, `i <= I` and
+//!    `m + i + a <= M + I` per row (plus the fixed F/B checks).
+//! 4. **Register lifetimes** — every value's rotating-register demand
+//!    (`floor(lifetime/II) + 1` per value, one predicate per stage) fits
+//!    the machine's rotating files.
+
+use ltsp_ddg::Ddg;
+use ltsp_ir::{InstId, LoopIr, RegClass, UnitClass, VReg};
+use ltsp_machine::MachineModel;
+use ltsp_pipeliner::ModuloSchedule;
+
+/// One constraint violation found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The schedule does not cover exactly the loop's instructions.
+    Shape {
+        /// Instructions in the schedule.
+        schedule_len: usize,
+        /// Instructions in the loop.
+        loop_len: usize,
+    },
+    /// The reported stage count disagrees with the issue times.
+    StageCount {
+        /// Stage count the schedule reports.
+        reported: u32,
+        /// Stage count derived from `max(time) / II + 1`.
+        derived: u32,
+    },
+    /// A dependence edge is violated modulo the II.
+    Dependence {
+        /// Producer instruction.
+        from: InstId,
+        /// Consumer instruction.
+        to: InstId,
+        /// Edge latency (includes any latency boost).
+        latency: u32,
+        /// Iteration distance.
+        omega: u32,
+        /// Amount by which the inequality fails (positive).
+        excess: i64,
+    },
+    /// A kernel row needs more issue slots of a class than the machine
+    /// has.
+    Resource {
+        /// Kernel cycle (row) of the over-subscription.
+        cycle: u32,
+        /// Slot class (`"M"`, `"I"`, `"F"`, `"B"`, or `"M+I"` for the
+        /// joint A-class constraint).
+        class: &'static str,
+        /// Slots demanded.
+        used: u32,
+        /// Slots available.
+        available: u32,
+    },
+    /// Rotating-register demand exceeds a register file.
+    RegisterOverflow {
+        /// The class that overflowed.
+        class: RegClass,
+        /// Registers the schedule's lifetimes demand.
+        needed: u32,
+        /// Rotating registers the machine has.
+        available: u32,
+    },
+}
+
+impl Violation {
+    /// A short machine-readable tag for the violation kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Shape { .. } => "shape",
+            Violation::StageCount { .. } => "stage-count",
+            Violation::Dependence { .. } => "dependence",
+            Violation::Resource { .. } => "resource",
+            Violation::RegisterOverflow { .. } => "register-overflow",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Shape {
+                schedule_len,
+                loop_len,
+            } => write!(
+                f,
+                "schedule covers {schedule_len} instructions, loop has {loop_len}"
+            ),
+            Violation::StageCount { reported, derived } => write!(
+                f,
+                "schedule reports {reported} stages but times imply {derived}"
+            ),
+            Violation::Dependence {
+                from,
+                to,
+                latency,
+                omega,
+                excess,
+            } => write!(
+                f,
+                "dependence i{} -> i{} (latency {latency}, omega {omega}) \
+                 violated by {excess} cycles",
+                from.index(),
+                to.index()
+            ),
+            Violation::Resource {
+                cycle,
+                class,
+                used,
+                available,
+            } => write!(
+                f,
+                "kernel cycle {cycle} needs {used} {class} slots, machine has {available}"
+            ),
+            Violation::RegisterOverflow {
+                class,
+                needed,
+                available,
+            } => write!(
+                f,
+                "rotating {class} demand {needed} exceeds supply {available}"
+            ),
+        }
+    }
+}
+
+/// A certificate that a schedule satisfies every re-derived constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certified II.
+    pub ii: u32,
+    /// Pipeline stages of the certified schedule.
+    pub stages: u32,
+    /// Dependence edges checked.
+    pub edges_checked: usize,
+    /// Kernel rows checked against issue resources.
+    pub rows_checked: u32,
+    /// Rotating registers the lifetimes demand, summed over classes.
+    pub rotating_regs: u32,
+}
+
+/// Validates `sched` against every constraint re-derived from `lp`, the
+/// dependence graph and `machine`.
+///
+/// The DDG determines the dependence latencies to enforce; pass the graph
+/// the schedule was produced from (base or boosted latencies) — or a
+/// stricter one to ask a stronger question.
+///
+/// # Errors
+///
+/// Returns every violation found (never an empty `Vec`). A `Shape`
+/// violation short-circuits: no further checks are meaningful when the
+/// schedule does not cover the loop.
+pub fn validate_schedule(
+    lp: &LoopIr,
+    ddg: &Ddg,
+    sched: &ModuloSchedule,
+    machine: &MachineModel,
+) -> Result<Certificate, Vec<Violation>> {
+    let n = lp.insts().len();
+    if sched.len() != n || ddg.len() != n {
+        return Err(vec![Violation::Shape {
+            schedule_len: sched.len(),
+            loop_len: n,
+        }]);
+    }
+
+    let ii = i64::from(sched.ii());
+    let mut violations = Vec::new();
+
+    // 1. Shape: the `ModuloSchedule` constructor rejects negative times
+    // and II = 0, but re-derive the stage count rather than trusting it.
+    let derived_stages = lp
+        .insts()
+        .iter()
+        .map(|inst| (sched.time(inst.id()) / ii) as u32 + 1)
+        .max()
+        .unwrap_or(1);
+    if derived_stages != sched.stage_count() {
+        violations.push(Violation::StageCount {
+            reported: sched.stage_count(),
+            derived: derived_stages,
+        });
+    }
+
+    // 2. Dependences: t(from) + latency <= t(to) + II * omega.
+    for e in ddg.edges() {
+        let lhs = sched.time(e.from) + i64::from(e.latency);
+        let rhs = sched.time(e.to) + ii * i64::from(e.omega);
+        if lhs > rhs {
+            violations.push(Violation::Dependence {
+                from: e.from,
+                to: e.to,
+                latency: e.latency,
+                omega: e.omega,
+                excess: lhs - rhs,
+            });
+        }
+    }
+
+    // 3. Resources: count per-row demand from scratch. A-class ops draw
+    // from M or I; Hall's condition for this two-slot bipartite structure
+    // is `m <= M`, `i <= I`, `m + i + a <= M + I`.
+    let res = machine.issue();
+    let rows = sched.ii() as usize;
+    let mut demand = vec![[0u32; 5]; rows]; // m, i, f, b, a per row
+    for inst in lp.insts() {
+        let row = (sched.time(inst.id()) % ii) as usize;
+        let slot = match inst.unit_class() {
+            UnitClass::M => 0,
+            UnitClass::I => 1,
+            UnitClass::F => 2,
+            UnitClass::B => 3,
+            UnitClass::A => 4,
+        };
+        demand[row][slot] += 1;
+    }
+    for (row, &[m, i, f, b, a]) in demand.iter().enumerate() {
+        let cycle = row as u32;
+        let checks: [(&'static str, u32, u32); 4] = [
+            ("M", m, res.m),
+            ("I", i, res.i),
+            ("F", f, res.f),
+            ("B", b, res.b),
+        ];
+        for (class, used, available) in checks {
+            if used > available {
+                violations.push(Violation::Resource {
+                    cycle,
+                    class,
+                    used,
+                    available,
+                });
+            }
+        }
+        if m + i + a > res.m + res.i {
+            violations.push(Violation::Resource {
+                cycle,
+                class: "M+I",
+                used: m + i + a,
+                available: res.m + res.i,
+            });
+        }
+    }
+
+    // 4. Register lifetimes: a value defined at t and last read (through
+    // an omega-distance operand) at t_last occupies
+    // floor((t_last - t)/II) + 1 consecutive rotating registers; stage
+    // predicates claim one rotating PR per stage.
+    let mut rotating = [0u32; 3]; // GR, FR, PR
+    for inst in lp.insts() {
+        let Some(def_reg) = inst.dst() else { continue };
+        let t_def = sched.time(inst.id());
+        let mut t_last = t_def;
+        for reader in lp.insts() {
+            for s in reader.reads() {
+                if s.reg == def_reg {
+                    let t = sched.time(reader.id()) + ii * i64::from(s.omega);
+                    t_last = t_last.max(t);
+                }
+            }
+        }
+        let slot = class_index(def_reg);
+        rotating[slot] += ((t_last - t_def) / ii) as u32 + 1;
+    }
+    rotating[class_index(VReg::new(RegClass::Pr, 0))] += derived_stages;
+    for class in RegClass::ALL {
+        let needed = rotating[class_index(VReg::new(class, 0))];
+        let available = machine.registers().rotating(class);
+        if needed > available {
+            violations.push(Violation::RegisterOverflow {
+                class,
+                needed,
+                available,
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(Certificate {
+            ii: sched.ii(),
+            stages: derived_stages,
+            edges_checked: ddg.edges().len(),
+            rows_checked: sched.ii(),
+            rotating_regs: rotating.iter().sum(),
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+fn class_index(reg: VReg) -> usize {
+    match reg.class() {
+        RegClass::Gr => 0,
+        RegClass::Fr => 1,
+        RegClass::Pr => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_ir::{DataClass, LoopBuilder};
+    use ltsp_pipeliner::ModuloScheduler;
+
+    fn running_example() -> LoopIr {
+        let mut b = LoopBuilder::new("ex");
+        let s = b.affine_ref("s", DataClass::Int, 0, 4, 4);
+        let d = b.affine_ref("d", DataClass::Int, 1 << 20, 4, 4);
+        let c = b.live_in_gr("c");
+        let v = b.load(s);
+        let sum = b.add(v, c);
+        b.store(d, sum);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certifies_the_heuristic_schedule() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        let sched = ModuloScheduler::new(&lp, &m, &ddg)
+            .schedule_at(1, 8)
+            .unwrap();
+        let cert = validate_schedule(&lp, &ddg, &sched, &m).unwrap();
+        assert_eq!(cert.ii, 1);
+        assert_eq!(cert.stages, 3);
+        assert!(cert.edges_checked >= 4);
+    }
+
+    #[test]
+    fn rejects_dependence_violation() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        // ld at 0, add at 0 violates the 1-cycle load edge.
+        let sched = ModuloSchedule::new(1, vec![0, 0, 2]);
+        let v = validate_schedule(&lp, &ddg, &sched, &m).unwrap_err();
+        assert!(v.iter().any(|x| x.kind() == "dependence"), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_oversubscribed_row() {
+        // 3 loads in one row of a 2-M-slot machine.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("mem");
+        for k in 0..3u64 {
+            let r = b.affine_ref(&format!("p{k}"), DataClass::Int, k << 22, 4, 4);
+            let _ = b.load(r);
+        }
+        let lp = b.build().unwrap();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        let sched = ModuloSchedule::new(2, vec![0, 0, 0]);
+        let v = validate_schedule(&lp, &ddg, &sched, &m).unwrap_err();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::Resource {
+                    cycle: 0,
+                    class: "M",
+                    used: 3,
+                    available: 2
+                }
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_register_overflow() {
+        use ltsp_machine::RegisterFiles;
+        let m = MachineModel::itanium2();
+        let tight = MachineModel::new(
+            *m.issue(),
+            *m.latencies(),
+            *m.caches(),
+            RegisterFiles {
+                rotating_gr: 2,
+                ..*m.registers()
+            },
+        );
+        let lp = running_example();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        let sched = ModuloScheduler::new(&lp, &m, &ddg)
+            .schedule_at(1, 8)
+            .unwrap();
+        // The schedule needs 4 rotating GRs; the tight machine has 2.
+        let v = validate_schedule(&lp, &ddg, &sched, &tight).unwrap_err();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::RegisterOverflow {
+                    class: RegClass::Gr,
+                    needed: 4,
+                    available: 2
+                }
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_short_circuits() {
+        let m = MachineModel::itanium2();
+        let lp = running_example();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        let sched = ModuloSchedule::new(1, vec![0, 1]);
+        let v = validate_schedule(&lp, &ddg, &sched, &m).unwrap_err();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "shape");
+    }
+}

@@ -1,0 +1,89 @@
+//! The fixed-seed differential fuzzing run the CI `differential` job
+//! executes: 200 machine-generated loops through the heuristic pipeliner,
+//! every accepted schedule certified by the independent validator, every
+//! II measured against the exact oracle.
+//!
+//! Failure conditions (both indicate a real bug somewhere):
+//! - the validator rejects a schedule the pipeliner accepted;
+//! - a heuristic II sits *below* an II the oracle proved minimal (the
+//!   two engines disagree about what the machine can do).
+
+use ltsp_machine::MachineModel;
+use ltsp_oracle::{differential_fuzz, OracleOptions};
+use ltsp_telemetry::Telemetry;
+
+const SEED0: u64 = 0x5eed;
+const CASES: u64 = 200;
+
+#[test]
+fn two_hundred_case_fixed_seed_fuzz() {
+    let m = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: 30_000,
+        ..OracleOptions::default()
+    };
+    let s = differential_fuzz(SEED0, CASES, &m, &opts, &Telemetry::disabled());
+    assert_eq!(s.cases.len(), CASES as usize);
+
+    let rejected: Vec<String> = s
+        .cases
+        .iter()
+        .filter(|c| !c.violations.is_empty())
+        .map(|c| format!("{}: {:?}", c.name, c.violations))
+        .collect();
+    assert!(
+        rejected.is_empty(),
+        "validator rejected {} heuristic schedules:\n{}",
+        rejected.len(),
+        rejected.join("\n")
+    );
+
+    let unsound: Vec<String> = s
+        .cases
+        .iter()
+        .filter(|c| !c.sound())
+        .map(|c| {
+            format!(
+                "{}: heuristic II {} vs verdict {:?}",
+                c.name, c.heuristic_ii, c.verdict
+            )
+        })
+        .collect();
+    assert!(
+        unsound.is_empty(),
+        "heuristic II below a proven minimum:\n{}",
+        unsound.join("\n")
+    );
+
+    // The harness must actually resolve most cases — a fuzz run where the
+    // oracle always times out proves nothing.
+    let exact = s.proven_optimal + s.proven_suboptimal;
+    assert!(
+        exact * 2 > s.cases.len(),
+        "oracle resolved only {exact}/{} cases",
+        s.cases.len()
+    );
+    println!(
+        "fuzz: {} cases, {} proven optimal, {} proven suboptimal (max gap {}), {} unresolved",
+        s.cases.len(),
+        s.proven_optimal,
+        s.proven_suboptimal,
+        s.max_gap(),
+        s.unknown
+    );
+}
+
+#[test]
+fn fuzz_is_deterministic() {
+    let m = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: 10_000,
+        ..OracleOptions::default()
+    };
+    let a = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled());
+    let b = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled());
+    for (x, y) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(x.heuristic_ii, y.heuristic_ii);
+        assert_eq!(x.verdict, y.verdict);
+    }
+}

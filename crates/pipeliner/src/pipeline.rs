@@ -219,7 +219,7 @@ pub fn pipeline_loop_traced(
     opts: &PipelineOptions,
     tel: &Telemetry,
 ) -> Result<PipelinedLoop, PipelineError> {
-    let mut ddg_base = build_ddg(lp, machine, |_| LatencyQuery::Base);
+    let mut ddg_base = Ddg::build_with_load_floor(lp, machine, 0);
     let res_mii = machine.res_mii(lp);
     let mut rec_mii = ddg_base.rec_mii();
 

@@ -168,19 +168,12 @@ pub fn allocate_rotating(
 mod tests {
     use super::*;
     use ltsp_ddg::Ddg;
-    use ltsp_ir::{DataClass, LoopBuilder, Opcode};
-    use ltsp_machine::LatencyQuery;
+    use ltsp_ir::{DataClass, LoopBuilder};
 
     use crate::scheduler::ModuloScheduler;
 
     fn schedule(lp: &LoopIr, m: &MachineModel, boost: u32, ii: u32) -> ModuloSchedule {
-        let ddg = Ddg::build(lp, m, &|id| {
-            if let Opcode::Load(dc) = lp.inst(id).op() {
-                m.load_latency(dc, LatencyQuery::Base).max(boost)
-            } else {
-                0
-            }
-        });
+        let ddg = Ddg::build_with_load_floor(lp, m, boost);
         ModuloScheduler::new(lp, m, &ddg)
             .schedule_at(ii, 8)
             .unwrap()

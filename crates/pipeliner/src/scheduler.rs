@@ -234,17 +234,10 @@ pub fn acyclic_schedule(lp: &LoopIr, machine: &MachineModel, ddg: &Ddg) -> Modul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltsp_ir::{DataClass, LoopBuilder, Opcode};
-    use ltsp_machine::LatencyQuery;
+    use ltsp_ir::{DataClass, LoopBuilder};
 
     fn ddg_with(lp: &LoopIr, m: &MachineModel, boost: u32) -> Ddg {
-        Ddg::build(lp, m, &|id| {
-            if let Opcode::Load(dc) = lp.inst(id).op() {
-                m.load_latency(dc, LatencyQuery::Base).max(boost)
-            } else {
-                0
-            }
-        })
+        Ddg::build_with_load_floor(lp, m, boost)
     }
 
     fn running_example() -> LoopIr {

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use ltsp_ddg::Ddg;
-use ltsp_ir::{LatencyHint, Opcode, RegClass};
+use ltsp_ir::{LatencyHint, RegClass};
 use ltsp_machine::{LatencyQuery, MachineModel};
 use ltsp_pipeliner::{
     acyclic_schedule, allocate_rotating, pipeline_loop, ModuloScheduler, PipelineOptions,
@@ -11,10 +11,7 @@ use ltsp_pipeliner::{
 use ltsp_workloads::random_loop;
 
 fn base_ddg(lp: &ltsp_ir::LoopIr, m: &MachineModel) -> Ddg {
-    Ddg::build(lp, m, &|id| match lp.inst(id).op() {
-        Opcode::Load(dc) => m.load_latency(dc, LatencyQuery::Base),
-        _ => 0,
-    })
+    Ddg::build_with_load_floor(lp, m, 0)
 }
 
 proptest! {

@@ -130,6 +130,25 @@ pub enum Event {
         /// The Min II that could not be realized.
         min_ii: u32,
     },
+    /// The exact-II oracle's verdict on one loop: whether the heuristic
+    /// pipeliner's II is proven optimal, provably suboptimal, or
+    /// unresolved within the search budget.
+    OracleVerdict {
+        /// The loop examined.
+        loop_name: String,
+        /// The II the heuristic pipeliner achieved.
+        heuristic_ii: u32,
+        /// The oracle's proven minimal II (`verdict == "exact"`), or the
+        /// proven lower bound when the budget ran out.
+        oracle_ii: u32,
+        /// `"exact"` or `"bounded-unknown"`.
+        verdict: &'static str,
+        /// `heuristic_ii − oracle_ii`: 0 with an exact verdict means the
+        /// heuristic is proven optimal; positive is the optimality gap.
+        gap: i64,
+        /// Search nodes the oracle expanded.
+        nodes: u64,
+    },
     /// A free-form diagnostic (replaces ad-hoc `eprintln!`).
     Diagnostic {
         /// `"info"`, `"warn"`, or `"error"`.
@@ -158,6 +177,7 @@ impl Event {
             Event::IiEscalation { .. } => "ii_escalation",
             Event::RegallocFallback { .. } => "regalloc_fallback",
             Event::AcyclicFallback { .. } => "acyclic_fallback",
+            Event::OracleVerdict { .. } => "oracle_verdict",
             Event::Diagnostic { .. } => "diagnostic",
         }
     }
@@ -171,7 +191,8 @@ impl Event {
             | Event::ScheduleAttempt { loop_name, .. }
             | Event::IiEscalation { loop_name, .. }
             | Event::RegallocFallback { loop_name, .. }
-            | Event::AcyclicFallback { loop_name, .. } => Some(loop_name),
+            | Event::AcyclicFallback { loop_name, .. }
+            | Event::OracleVerdict { loop_name, .. } => Some(loop_name),
             Event::CycleEnumeration { .. } | Event::Diagnostic { .. } => None,
         }
     }
@@ -288,6 +309,21 @@ impl Event {
                 ("attempts", (*attempts).into()),
                 ("min_ii", (*min_ii).into()),
             ],
+            Event::OracleVerdict {
+                loop_name,
+                heuristic_ii,
+                oracle_ii,
+                verdict,
+                gap,
+                nodes,
+            } => vec![
+                ("loop", loop_name.clone().into()),
+                ("heuristic_ii", (*heuristic_ii).into()),
+                ("oracle_ii", (*oracle_ii).into()),
+                ("verdict", (*verdict).into()),
+                ("gap", Scalar::I64(*gap)),
+                ("nodes", (*nodes).into()),
+            ],
             Event::Diagnostic { level, message } => vec![
                 ("level", (*level).into()),
                 ("message", message.clone().into()),
@@ -385,6 +421,17 @@ impl Event {
             } => format!(
                 "fallback {loop_name}: pipelining rejected after {attempts} attempts \
                  from Min II {min_ii}; acyclic schedule"
+            ),
+            Event::OracleVerdict {
+                loop_name,
+                heuristic_ii,
+                oracle_ii,
+                verdict,
+                gap,
+                nodes,
+            } => format!(
+                "oracle {loop_name}: heuristic II={heuristic_ii}, oracle II={oracle_ii} \
+                 ({verdict}, gap {gap}, {nodes} nodes)"
             ),
             Event::Diagnostic { level, message } => format!("{level}: {message}"),
         }

@@ -336,9 +336,60 @@ pub fn reduction_int(name: &str, stride: i64) -> LoopIr {
     b.build().expect("reduction_int is well-formed")
 }
 
+/// The canonical kernel library: every kernel at the parameterization the
+/// committed `loops/` corpus uses (regenerated by `examples/dump_loops`).
+/// One list feeds the corpus dump, the oracle-gap experiment and the
+/// corpus tests, so they cannot drift apart.
+pub fn kernel_library() -> Vec<(&'static str, LoopIr)> {
+    vec![
+        ("stream_fp", stream_sum("stream_fp", DataClass::Fp, 8)),
+        ("stream_int", stream_sum("stream_int", DataClass::Int, 256)),
+        ("saxpy", saxpy("saxpy")),
+        ("triad", triad("triad")),
+        ("stencil3", stencil3("stencil3")),
+        (
+            "gather_fp",
+            gather_update("gather_fp", DataClass::Fp, 1 << 24),
+        ),
+        (
+            "gather_int",
+            gather_update("gather_int", DataClass::Int, 1 << 22),
+        ),
+        ("mcf_refresh", mcf_refresh("mcf_refresh", 1 << 25)),
+        (
+            "mcf_refresh_predicated",
+            mcf_refresh_predicated("mcf_refresh_predicated", 1 << 25),
+        ),
+        ("motion_search", motion_search("motion_search")),
+        ("texture_span", texture_span("texture_span")),
+        ("hash_walk", hash_walk("hash_walk", 1 << 17)),
+        ("symbolic_walk", symbolic_walk("symbolic_walk", 4096)),
+        (
+            "pointer_array",
+            pointer_array_walk("pointer_array", 1 << 24),
+        ),
+        ("compute_heavy", compute_heavy("compute_heavy")),
+        ("reduction_int", reduction_int("reduction_int", 4)),
+        ("memory_recurrence", memory_recurrence("memory_recurrence")),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn library_names_are_unique_and_match_loop_names() {
+        let lib = kernel_library();
+        assert_eq!(lib.len(), 17);
+        for (i, (name, lp)) in lib.iter().enumerate() {
+            assert_eq!(*name, lp.name(), "entry {i}");
+            assert!(
+                lib[..i].iter().all(|(n, _)| n != name),
+                "duplicate kernel name {name}"
+            );
+        }
+    }
 
     #[test]
     fn all_kernels_build() {

@@ -31,7 +31,7 @@ mod trip;
 
 pub use bench::{Benchmark, LoopSpec, Suite};
 pub use kernels::{
-    compute_heavy, gather_update, hash_walk, mcf_refresh, mcf_refresh_predicated,
+    compute_heavy, gather_update, hash_walk, kernel_library, mcf_refresh, mcf_refresh_predicated,
     memory_recurrence, motion_search, pointer_array_walk, reduction_int, saxpy, stencil3,
     stream_sum, symbolic_walk, texture_span, triad,
 };

@@ -4,50 +4,14 @@
 //!
 //! Run with: `cargo run --release --example dump_loops [dir]`
 
-use ltsp::ir::DataClass;
-use ltsp::workloads::{
-    compute_heavy, gather_update, hash_walk, mcf_refresh, mcf_refresh_predicated,
-    memory_recurrence, motion_search, pointer_array_walk, reduction_int, saxpy, stencil3,
-    stream_sum, symbolic_walk, texture_span, triad,
-};
+use ltsp::workloads::kernel_library;
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "loops".to_string());
     std::fs::create_dir_all(&dir)?;
-    let kernels = vec![
-        ("stream_fp", stream_sum("stream_fp", DataClass::Fp, 8)),
-        ("stream_int", stream_sum("stream_int", DataClass::Int, 256)),
-        ("saxpy", saxpy("saxpy")),
-        ("triad", triad("triad")),
-        ("stencil3", stencil3("stencil3")),
-        (
-            "gather_fp",
-            gather_update("gather_fp", DataClass::Fp, 1 << 24),
-        ),
-        (
-            "gather_int",
-            gather_update("gather_int", DataClass::Int, 1 << 22),
-        ),
-        ("mcf_refresh", mcf_refresh("mcf_refresh", 1 << 25)),
-        (
-            "mcf_refresh_predicated",
-            mcf_refresh_predicated("mcf_refresh_predicated", 1 << 25),
-        ),
-        ("motion_search", motion_search("motion_search")),
-        ("texture_span", texture_span("texture_span")),
-        ("hash_walk", hash_walk("hash_walk", 1 << 17)),
-        ("symbolic_walk", symbolic_walk("symbolic_walk", 4096)),
-        (
-            "pointer_array",
-            pointer_array_walk("pointer_array", 1 << 24),
-        ),
-        ("compute_heavy", compute_heavy("compute_heavy")),
-        ("reduction_int", reduction_int("reduction_int", 4)),
-        ("memory_recurrence", memory_recurrence("memory_recurrence")),
-    ];
-    for (name, lp) in kernels {
+    for (name, lp) in kernel_library() {
         let path = format!("{dir}/{name}.loop");
         std::fs::write(&path, lp.to_string())?;
         println!("wrote {path}");

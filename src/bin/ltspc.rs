@@ -8,7 +8,19 @@
 //!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
 //!       [--asm] [--simulate ITERS]
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
+//! ltspc verify <file.loop | ->            # certify the heuristic schedule
+//! ltspc oracle <file.loop | -> [--budget N]  # prove the minimal II
 //! ```
+//!
+//! `verify` pipelines the loop at base latencies and runs the independent
+//! schedule validator over the result; `oracle` additionally proves the
+//! minimal feasible II and reports the heuristic's optimality gap.
+//!
+//! Exit codes are distinct per failure class so scripts can dispatch:
+//! `0` success (schedule certified / oracle verdict exact), `1` validator
+//! rejection or budget-limited oracle verdict, `2` usage error, `3` I/O
+//! error, `4` syntax error in the input (reported as `file:line:
+//! message`), `5` structurally invalid loop.
 //!
 //! The telemetry flags record the compiler's decision trail — HLO hint
 //! heuristics, criticality verdicts, latency boosts, II escalations,
@@ -37,6 +49,7 @@ use ltsp::core::{compile_loop_with_profile_traced, CompileConfig, LatencyPolicy}
 use ltsp::ir::parse_loop;
 use ltsp::machine::MachineModel;
 use ltsp::memsim::{Executor, ExecutorConfig, StreamMode};
+use ltsp::oracle::OracleOptions;
 use ltsp::pipeliner::{assign_registers, emit_kernel, form_bundles};
 use ltsp::telemetry::Telemetry;
 
@@ -56,15 +69,138 @@ struct Options {
     verbose: bool,
 }
 
+/// Exit codes: one per failure class (see the module docs).
+const EXIT_REJECTED: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_IO: u8 = 3;
+const EXIT_SYNTAX: u8 = 4;
+const EXIT_INVALID: u8 = 5;
+
 fn usage() -> ! {
     eprintln!(
         "usage: ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--trip N]\n\
          \x20             [--threshold N] [--no-prefetch] [--balanced] [--speculate]\n\
          \x20             [--asm] [--simulate ITERS]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20             [--chrome-trace FILE] [-v|--verbose]"
+         \x20             [--chrome-trace FILE] [-v|--verbose]\n\
+         \x20      ltspc verify <file.loop | ->\n\
+         \x20      ltspc oracle <file.loop | -> [--budget NODES]"
     );
-    std::process::exit(2);
+    std::process::exit(i32::from(EXIT_USAGE));
+}
+
+/// Reads and parses the input, mapping each failure class to its exit
+/// code. Syntax errors are reported as `file:line: message` so editors
+/// and CI annotations can jump to the offending line.
+fn read_and_parse(input: &str) -> Result<ltsp::ir::LoopIr, ExitCode> {
+    let (name, text) = if input == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("ltspc: failed to read stdin");
+            return Err(ExitCode::from(EXIT_IO));
+        }
+        ("<stdin>", s)
+    } else {
+        match std::fs::read_to_string(input) {
+            Ok(s) => (input, s),
+            Err(e) => {
+                eprintln!("ltspc: cannot read {input}: {e}");
+                return Err(ExitCode::from(EXIT_IO));
+            }
+        }
+    };
+    match parse_loop(&text) {
+        Ok(lp) => Ok(lp),
+        Err(ltsp::ir::ParseError::Syntax { line, message }) => {
+            eprintln!("{name}:{line}: {message}");
+            Err(ExitCode::from(EXIT_SYNTAX))
+        }
+        Err(ltsp::ir::ParseError::Invalid(e)) => {
+            eprintln!("{name}: invalid loop: {e}");
+            Err(ExitCode::from(EXIT_INVALID))
+        }
+    }
+}
+
+/// `ltspc verify`: certify the heuristic pipeliner's schedule with the
+/// independent validator.
+fn cmd_verify(input: &str) -> ExitCode {
+    let lp = match read_and_parse(input) {
+        Ok(lp) => lp,
+        Err(code) => return code,
+    };
+    let machine = MachineModel::itanium2();
+    let tel = Telemetry::disabled();
+    let r = ltsp::oracle::differential_case(&lp, &machine, &OracleOptions::default(), &tel);
+    if r.violations.is_empty() {
+        println!(
+            "{}: certified (II={}, {})",
+            r.name,
+            r.heuristic_ii,
+            if r.pipelined {
+                "modulo schedule"
+            } else {
+                "acyclic fallback"
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &r.violations {
+            eprintln!("{}: violation [{}]: {v}", r.name, v.kind());
+        }
+        ExitCode::from(EXIT_REJECTED)
+    }
+}
+
+/// `ltspc oracle`: prove the minimal feasible II and report the
+/// heuristic's optimality gap.
+fn cmd_oracle(input: &str, budget: u64) -> ExitCode {
+    let lp = match read_and_parse(input) {
+        Ok(lp) => lp,
+        Err(code) => return code,
+    };
+    let machine = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: budget,
+        ..OracleOptions::default()
+    };
+    let tel = Telemetry::disabled();
+    let r = ltsp::oracle::differential_case(&lp, &machine, &opts, &tel);
+    for v in &r.violations {
+        eprintln!("{}: violation [{}]: {v}", r.name, v.kind());
+    }
+    match &r.verdict {
+        ltsp::oracle::IiVerdict::Exact {
+            optimal_ii, nodes, ..
+        } => {
+            let gap = r.heuristic_ii - optimal_ii;
+            println!(
+                "{}: heuristic II={} optimal II={} gap={} ({} search nodes){}",
+                r.name,
+                r.heuristic_ii,
+                optimal_ii,
+                gap,
+                nodes,
+                if gap == 0 { " — proven optimal" } else { "" }
+            );
+            if r.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_REJECTED)
+            }
+        }
+        ltsp::oracle::IiVerdict::BoundedUnknown {
+            proven_lower,
+            nodes,
+        } => {
+            println!(
+                "{}: heuristic II={}, optimal II in [{}, {}] — budget exhausted \
+                 after {} nodes",
+                r.name, r.heuristic_ii, proven_lower, r.heuristic_ii, nodes
+            );
+            ExitCode::from(EXIT_REJECTED)
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -133,30 +269,39 @@ fn parse_args() -> Options {
 }
 
 fn main() -> ExitCode {
-    let o = parse_args();
-    let text = if o.input == "-" {
-        let mut s = String::new();
-        if std::io::stdin().read_to_string(&mut s).is_err() {
-            eprintln!("ltspc: failed to read stdin");
-            return ExitCode::FAILURE;
+    // Subcommand dispatch: `ltspc verify <input>` / `ltspc oracle <input>`.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("verify") => {
+            let [_, input] = argv.as_slice() else { usage() };
+            return cmd_verify(input);
         }
-        s
-    } else {
-        match std::fs::read_to_string(&o.input) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("ltspc: cannot read {}: {e}", o.input);
-                return ExitCode::FAILURE;
+        Some("oracle") => {
+            let mut input = None;
+            let mut budget = OracleOptions::default().node_budget;
+            let mut it = argv[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--budget" => {
+                        budget = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    other if input.is_none() => input = Some(other.to_string()),
+                    _ => usage(),
+                }
             }
+            let Some(input) = input else { usage() };
+            return cmd_oracle(&input, budget);
         }
-    };
+        _ => {}
+    }
 
-    let lp = match parse_loop(&text) {
+    let o = parse_args();
+    let lp = match read_and_parse(&o.input) {
         Ok(lp) => lp,
-        Err(e) => {
-            eprintln!("ltspc: parse error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
 
     let machine = MachineModel::itanium2();

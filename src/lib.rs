@@ -17,6 +17,8 @@
 //!   experiment runners
 //! - [`telemetry`] — dependency-free decision traces, phase timing and
 //!   machine-readable run artifacts (JSONL, JSON metrics, Chrome trace)
+//! - [`oracle`] — independent schedule validator, exact-II oracle and
+//!   the differential harness testing the heuristic pipeliner
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@ pub use ltsp_hlo as hlo;
 pub use ltsp_ir as ir;
 pub use ltsp_machine as machine;
 pub use ltsp_memsim as memsim;
+pub use ltsp_oracle as oracle;
 pub use ltsp_pipeliner as pipeliner;
 pub use ltsp_telemetry as telemetry;
 pub use ltsp_workloads as workloads;

@@ -1,0 +1,78 @@
+//! Tier-1 oracle coverage: the committed `.loop` corpus must certify
+//! under the independent validator, and the exact oracle must resolve
+//! the minimal II for (almost) all of it.
+
+use ltsp::machine::MachineModel;
+use ltsp::oracle::{differential_case, differential_fuzz, OracleOptions};
+use ltsp::telemetry::Telemetry;
+
+fn corpus() -> Vec<ltsp::ir::LoopIr> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("loops");
+    let mut loops: Vec<_> = std::fs::read_dir(&dir)
+        .expect("loops/ corpus exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "loop"))
+        .map(|e| {
+            let text = std::fs::read_to_string(e.path()).expect("readable");
+            ltsp::ir::parse_loop(&text)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.path().display()))
+        })
+        .collect();
+    loops.sort_by(|a, b| a.name().cmp(b.name()));
+    loops
+}
+
+#[test]
+fn validator_certifies_every_corpus_schedule() {
+    let m = MachineModel::itanium2();
+    let loops = corpus();
+    assert!(loops.len() >= 17, "corpus should cover the kernel library");
+    for lp in &loops {
+        let r = differential_case(lp, &m, &OracleOptions::default(), &Telemetry::disabled());
+        assert!(
+            r.violations.is_empty(),
+            "{}: validator rejected the heuristic schedule: {:?}",
+            lp.name(),
+            r.violations
+        );
+    }
+}
+
+#[test]
+fn oracle_resolves_most_of_the_corpus_exactly() {
+    let m = MachineModel::itanium2();
+    let loops = corpus();
+    let tel = Telemetry::enabled();
+    let mut exact = 0usize;
+    for lp in &loops {
+        let r = differential_case(lp, &m, &OracleOptions::default(), &tel);
+        assert!(r.sound(), "{}: {:?}", lp.name(), r.verdict);
+        if r.gap().is_some() {
+            exact += 1;
+        }
+    }
+    assert!(
+        exact >= 12,
+        "oracle proved only {exact}/{} corpus loops exactly",
+        loops.len()
+    );
+    // Every case leaves an oracle_verdict decision event in the trace.
+    let verdicts = tel
+        .events()
+        .iter()
+        .filter(|e| e.event.kind() == "oracle_verdict")
+        .count();
+    assert_eq!(verdicts, loops.len());
+}
+
+#[test]
+fn quick_differential_fuzz_is_clean() {
+    let m = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: 10_000,
+        ..OracleOptions::default()
+    };
+    let s = differential_fuzz(100, 30, &m, &opts, &Telemetry::disabled());
+    assert_eq!(s.rejected, 0);
+    assert_eq!(s.unsound, 0);
+}
