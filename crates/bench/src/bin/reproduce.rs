@@ -4,15 +4,21 @@
 //!
 //! ```text
 //! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations|oracle]
-//!           [--scale X] [--csv] [--trace-out FILE] [--metrics-out FILE] [-v]
+//!           [--scale X] [--jobs N] [--csv] [--trace-out FILE] [--metrics-out FILE]
+//!           [--bench-out FILE] [--no-bench] [-v]
 //! ```
 //!
 //! `--scale` multiplies each loop's simulated entry count (default 1.0;
-//! use e.g. 0.1 for a quick pass). `--csv` switches the per-benchmark
-//! gain experiments to CSV output for external plotting. `--trace-out`
-//! writes a JSONL span/event trace of the run, `--metrics-out` a JSON
-//! metrics snapshot, and `-v` narrates experiment progress on stderr
-//! (per-experiment wall-clock timing included).
+//! use e.g. 0.1 for a quick pass). `--jobs` sets the worker-thread count
+//! for every batch layer (default: the machine's available parallelism);
+//! any value produces byte-identical reports, traces and metrics — only
+//! wall-clock changes. `--csv` switches the per-benchmark gain
+//! experiments to CSV output for external plotting. `--trace-out` writes
+//! a JSONL span/event trace of the run, `--metrics-out` a JSON metrics
+//! snapshot, `--bench-out` the machine-readable wall-clock record
+//! (default `BENCH_reproduce.json`; `--no-bench` suppresses it), and `-v`
+//! narrates experiment progress on stderr (per-experiment wall-clock
+//! timing included).
 
 use ltsp_bench::{
     balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10, fig5, fig7,
@@ -23,6 +29,7 @@ use ltsp_bench::{
 use ltsp_machine::MachineModel;
 use ltsp_telemetry::Telemetry;
 use std::io::Write as _;
+use std::time::Instant;
 
 /// Prints without panicking on a closed pipe (`reproduce ... | head`).
 fn emit(text: &str) {
@@ -52,13 +59,47 @@ fn write_artifact(
     }
 }
 
+/// The machine-readable wall-clock record (`--bench-out`): total and
+/// per-experiment timings, plus the knobs that shaped the run. Timing is
+/// the one output that legitimately varies between runs — everything else
+/// `reproduce` writes is byte-identical for any `--jobs` value.
+fn bench_json(
+    which: &str,
+    scale: f64,
+    jobs: usize,
+    total_ms: f64,
+    timings: &[(String, f64)],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"ltsp.bench.reproduce.v1\",\n");
+    s.push_str(&format!("  \"which\": \"{which}\",\n"));
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        ltsp_par::default_parallelism()
+    ));
+    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, (name, ms)) in timings.iter().enumerate() {
+        let sep = if i + 1 < timings.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_ms\": {ms:.3}}}{sep}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = 1.0f64;
+    let mut jobs = ltsp_par::default_parallelism();
     let mut csv = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut bench_out: Option<String> = Some("BENCH_reproduce.json".to_string());
     let mut verbose = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -70,12 +111,27 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--trace-out" => trace_out = it.next().cloned(),
             "--metrics-out" => metrics_out = it.next().cloned(),
+            "--bench-out" => bench_out = it.next().cloned(),
+            "--no-bench" => bench_out = None,
             "-v" | "--verbose" => verbose = true,
             other => which = other.to_string(),
         }
     }
+    // Experiments construct their own RunConfigs; route the worker count
+    // through the process-wide default they pick up.
+    ltsp_core::set_default_jobs(jobs);
 
     let tel = if trace_out.is_some() || metrics_out.is_some() || verbose {
         Telemetry::enabled_with(verbose)
@@ -87,94 +143,120 @@ fn main() {
     let table = |e: &ltsp_bench::GainExperiment| if csv { e.to_csv() } else { e.render() };
     // Each artifact runs under a span so `-v` narrates progress with
     // wall-clock timing and `--trace-out` records the run's timeline.
-    let ran = |name: &str| tel.info(format!("reproducing {name} (scale {scale})"));
+    let ran = |name: &str| tel.info(format!("reproducing {name} (scale {scale}, jobs {jobs})"));
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let timed = |timings: &mut Vec<(String, f64)>, name: &str, f: &mut dyn FnMut()| {
+        ran(name);
+        let t0 = Instant::now();
+        f();
+        timings.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    };
+    let t_run = Instant::now();
 
     if run_all || which == "fig5" {
-        ran("fig5");
-        let _s = tel.span("experiment:fig5");
-        emit(&fig5().render());
+        timed(&mut timings, "fig5", &mut || {
+            let _s = tel.span("experiment:fig5");
+            emit(&fig5().render());
+        });
     }
     if run_all || which == "fig7" {
-        ran("fig7");
-        let _s = tel.span("experiment:fig7");
-        let (f06, f00) = fig7(&machine, scale);
-        emit(&table(&f06));
-        emit(&table(&f00));
+        timed(&mut timings, "fig7", &mut || {
+            let _s = tel.span("experiment:fig7");
+            let (f06, f00) = fig7(&machine, scale);
+            emit(&table(&f06));
+            emit(&table(&f00));
+        });
     }
     if run_all || which == "fig8" {
-        ran("fig8");
-        let _s = tel.span("experiment:fig8");
-        let (f06, f00) = fig8(&machine, scale);
-        emit(&table(&f06));
-        emit(&table(&f00));
+        timed(&mut timings, "fig8", &mut || {
+            let _s = tel.span("experiment:fig8");
+            let (f06, f00) = fig8(&machine, scale);
+            emit(&table(&f06));
+            emit(&table(&f00));
+        });
     }
     if run_all || which == "fig9" {
-        ran("fig9");
-        let _s = tel.span("experiment:fig9");
-        emit(&table(&fig9(&machine, scale)));
+        timed(&mut timings, "fig9", &mut || {
+            let _s = tel.span("experiment:fig9");
+            emit(&table(&fig9(&machine, scale)));
+        });
     }
     if run_all || which == "fig10" {
-        ran("fig10");
-        let _s = tel.span("experiment:fig10");
-        emit(&fig10(&machine, scale).render());
+        timed(&mut timings, "fig10", &mut || {
+            let _s = tel.span("experiment:fig10");
+            emit(&fig10(&machine, scale).render());
+        });
     }
     if run_all || which == "mcf" {
-        ran("mcf");
-        let _s = tel.span("experiment:mcf");
-        let entries = ((900.0 * scale) as u32).max(50);
-        emit(&mcf_case_study(&machine, entries).render());
+        timed(&mut timings, "mcf", &mut || {
+            let _s = tel.span("experiment:mcf");
+            let entries = ((900.0 * scale) as u32).max(50);
+            emit(&mcf_case_study(&machine, entries).render());
+        });
     }
     if run_all || which == "regstats" {
-        ran("regstats");
-        let _s = tel.span("experiment:regstats");
-        emit(&regstats(&machine, scale).render());
+        timed(&mut timings, "regstats", &mut || {
+            let _s = tel.span("experiment:regstats");
+            emit(&regstats(&machine, scale).render());
+        });
     }
     if run_all || which == "compiletime" {
-        ran("compiletime");
-        let _s = tel.span("experiment:compiletime");
-        emit(&compile_time(&machine, scale).render());
+        timed(&mut timings, "compiletime", &mut || {
+            let _s = tel.span("experiment:compiletime");
+            emit(&compile_time(&machine, scale).render());
+        });
     }
     if run_all || which == "noprefetch" {
-        ran("noprefetch");
-        let _s = tel.span("experiment:noprefetch");
-        emit(&table(&no_prefetch_headroom(&machine, scale)));
+        timed(&mut timings, "noprefetch", &mut || {
+            let _s = tel.span("experiment:noprefetch");
+            emit(&table(&no_prefetch_headroom(&machine, scale)));
+        });
     }
     if run_all || which == "versioning" {
-        ran("versioning");
-        let _s = tel.span("experiment:versioning");
-        emit(&table(&versioning_experiment(&machine, scale)));
+        timed(&mut timings, "versioning", &mut || {
+            let _s = tel.span("experiment:versioning");
+            emit(&table(&versioning_experiment(&machine, scale)));
+        });
     }
     if run_all || which == "sampling" {
-        ran("sampling");
-        let _s = tel.span("experiment:sampling");
-        emit(&table(&miss_sampling_experiment(&machine, scale)));
+        timed(&mut timings, "sampling", &mut || {
+            let _s = tel.span("experiment:sampling");
+            emit(&table(&miss_sampling_experiment(&machine, scale)));
+        });
     }
     if run_all || which == "balanced" {
-        ran("balanced");
-        let _s = tel.span("experiment:balanced");
-        let entries = ((800.0 * scale) as u32).max(100);
-        emit(&balanced_recurrence_experiment(&machine, entries).render());
+        timed(&mut timings, "balanced", &mut || {
+            let _s = tel.span("experiment:balanced");
+            let entries = ((800.0 * scale) as u32).max(100);
+            emit(&balanced_recurrence_experiment(&machine, entries).render());
+        });
     }
     if run_all || which == "oracle" {
-        ran("oracle");
-        let _s = tel.span("experiment:oracle");
-        emit(&oracle_gap(&machine, &tel).render());
+        timed(&mut timings, "oracle", &mut || {
+            let _s = tel.span("experiment:oracle");
+            emit(&oracle_gap(&machine, &tel, jobs).render());
+        });
     }
     if run_all || which == "ablations" {
-        ran("ablations");
-        let _s = tel.span("experiment:ablations");
-        emit(&ozq_capacity_ablation(&machine).render());
-        let (missing, warm) = boost_magnitude_ablation(&machine);
-        emit(&missing.render());
-        emit(&warm.render());
-        emit(&mve_code_size_ablation(&machine).render());
-        let (width_gain, width_k) = issue_width_ablation();
-        emit(&width_gain.render());
-        emit(&width_k.render());
+        timed(&mut timings, "ablations", &mut || {
+            let _s = tel.span("experiment:ablations");
+            emit(&ozq_capacity_ablation(&machine).render());
+            let (missing, warm) = boost_magnitude_ablation(&machine);
+            emit(&missing.render());
+            emit(&warm.render());
+            emit(&mve_code_size_ablation(&machine).render());
+            let (width_gain, width_k) = issue_width_ablation();
+            emit(&width_gain.render());
+            emit(&width_k.render());
+        });
     }
+    let total_ms = t_run.elapsed().as_secs_f64() * 1e3;
 
     write_artifact(trace_out.as_deref(), "trace", |w| tel.write_events_jsonl(w));
     write_artifact(metrics_out.as_deref(), "metrics", |w| {
         tel.write_metrics_json(w)
+    });
+    write_artifact(bench_out.as_deref(), "bench record", |w| {
+        w.write_all(bench_json(&which, scale, jobs, total_ms, &timings).as_bytes())
     });
 }

@@ -100,13 +100,16 @@ impl OracleGapResult {
     }
 }
 
-/// Runs the differential harness over every kernel in the library.
-pub fn oracle_gap(machine: &MachineModel, tel: &Telemetry) -> OracleGapResult {
+/// Runs the differential harness over every kernel in the library on
+/// `jobs` worker threads; rows (and their telemetry) come back in library
+/// order whatever the worker count.
+pub fn oracle_gap(machine: &MachineModel, tel: &Telemetry, jobs: usize) -> OracleGapResult {
     let opts = OracleOptions::default();
-    let rows = kernel_library()
-        .iter()
-        .map(|(_, lp)| differential_case(lp, machine, &opts, tel))
-        .collect();
+    let kernels = kernel_library();
+    let rows =
+        ltsp_par::Pool::new(jobs).map_traced(tel, "oracle-gap", &kernels, |tel, _idx, (_, lp)| {
+            differential_case(lp, machine, &opts, tel)
+        });
     OracleGapResult { rows }
 }
 
@@ -117,7 +120,7 @@ mod tests {
     #[test]
     fn library_certifies_and_mostly_resolves() {
         let m = MachineModel::itanium2();
-        let r = oracle_gap(&m, &Telemetry::disabled());
+        let r = oracle_gap(&m, &Telemetry::disabled(), 2);
         assert_eq!(r.rows.len(), 17);
         assert_eq!(r.rejected(), 0, "{}", r.render());
         assert!(r.exact_count() >= 12, "{}", r.render());

@@ -1,13 +1,48 @@
 //! The experiment harness: run synthetic benchmarks under a policy.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use ltsp_ir::SplitMix64;
 use ltsp_machine::MachineModel;
 use ltsp_memsim::{CycleCounters, Executor, ExecutorConfig};
+use ltsp_par::Pool;
 use ltsp_telemetry::Telemetry;
 use ltsp_workloads::{Benchmark, LoopSpec};
 
 use crate::compile::compile_loop_with_profile_traced;
 use crate::config::CompileConfig;
+
+/// Process-wide default worker count picked up by [`RunConfig::new`]
+/// (0 = not yet initialised).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker count new [`RunConfig`]s start with. Initialised lazily from
+/// the `LTSP_JOBS` environment variable, defaulting to 1 (serial); binaries
+/// with a `--jobs` flag override it via [`set_default_jobs`].
+///
+/// The default is deliberately serial, not [`ltsp_par::default_parallelism`]:
+/// library consumers and tests get reproducible single-thread behavior
+/// unless a binary (or CI via `LTSP_JOBS`) opts batches into parallelism —
+/// and either way the determinism contract keeps artifacts byte-identical.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => {
+            let jobs = std::env::var("LTSP_JOBS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&j| j >= 1)
+                .unwrap_or(1);
+            DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+            jobs
+        }
+        j => j,
+    }
+}
+
+/// Overrides the process-wide default worker count (clamped to ≥ 1).
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
 
 /// Configuration of one experimental run.
 #[derive(Debug, Clone)]
@@ -26,6 +61,11 @@ pub struct RunConfig {
     /// Telemetry sink receiving compiler decision traces, phase spans and
     /// simulator metrics. Disabled by default (zero overhead).
     pub telemetry: Telemetry,
+    /// Worker threads for batch layers ([`run_suite`] & friends). Results
+    /// and telemetry are merged in input-index order, so any value ≥ 1
+    /// produces byte-identical artifacts (see `DESIGN.md`, "Parallel
+    /// execution & determinism contract").
+    pub jobs: usize,
 }
 
 impl RunConfig {
@@ -37,6 +77,7 @@ impl RunConfig {
             entry_scale: 1.0,
             exec: ExecutorConfig::default(),
             telemetry: Telemetry::disabled(),
+            jobs: default_jobs(),
         }
     }
 
@@ -49,6 +90,12 @@ impl RunConfig {
     /// Attaches a telemetry sink (shared — clones feed the same sink).
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.telemetry = tel.clone();
+        self
+    }
+
+    /// Sets the worker-thread count for batch layers (clamped to ≥ 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }
@@ -263,6 +310,40 @@ fn run_loop_versioned(
     }
 }
 
+/// The shared batch layer behind every suite runner: flattens the suite
+/// into (benchmark, loop) work items, maps them through a [`Pool`] sized
+/// to [`RunConfig::jobs`] (per-item telemetry forked and spliced back in
+/// index order — see [`Pool::map_traced`]), and regroups the results into
+/// per-benchmark runs in suite order. The output is byte-for-byte
+/// independent of the worker count.
+fn pooled_suite<F>(label: &str, benchs: &[Benchmark], rc: &RunConfig, f: F) -> SuiteRun
+where
+    F: Fn(&Telemetry, &Benchmark, &LoopSpec) -> LoopRun + Sync,
+{
+    let items: Vec<(usize, &LoopSpec)> = benchs
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.loops.iter().map(move |spec| (bi, spec)))
+        .collect();
+    let loops =
+        Pool::new(rc.jobs).map_traced(&rc.telemetry, label, &items, |tel, _idx, &(bi, spec)| {
+            f(tel, &benchs[bi], spec)
+        });
+    let mut runs: Vec<BenchRun> = benchs
+        .iter()
+        .map(|b| BenchRun {
+            name: b.name,
+            loops: Vec::new(),
+            loop_cycles: 0,
+        })
+        .collect();
+    for (&(bi, _), lr) in items.iter().zip(loops) {
+        runs[bi].loop_cycles += lr.counters.total;
+        runs[bi].loops.push(lr);
+    }
+    SuiteRun { runs }
+}
+
 /// Runs one benchmark with **trip-count versioning** (the paper's Sec. 6
 /// outlook): each loop keeps a baseline kernel and the policy's boosted
 /// kernel, and every entry dispatches on its *actual* trip count against
@@ -273,17 +354,10 @@ pub fn run_benchmark_versioned(
     machine: &MachineModel,
     rc: &RunConfig,
 ) -> BenchRun {
-    let loops: Vec<LoopRun> = bench
-        .loops
-        .iter()
-        .map(|spec| run_loop_versioned(bench.name, spec, machine, rc))
-        .collect();
-    let loop_cycles = loops.iter().map(|l| l.counters.total).sum();
-    BenchRun {
-        name: bench.name,
-        loops,
-        loop_cycles,
-    }
+    run_suite_versioned(std::slice::from_ref(bench), machine, rc)
+        .runs
+        .pop()
+        .expect("one benchmark in, one run out")
 }
 
 /// Runs a whole suite with trip-count versioning.
@@ -292,12 +366,13 @@ pub fn run_suite_versioned(
     machine: &MachineModel,
     rc: &RunConfig,
 ) -> SuiteRun {
-    SuiteRun {
-        runs: benchs
-            .iter()
-            .map(|b| run_benchmark_versioned(b, machine, rc))
-            .collect(),
-    }
+    pooled_suite("suite-versioned", benchs, rc, |tel, bench, spec| {
+        let rc2 = RunConfig {
+            telemetry: tel.clone(),
+            ..rc.clone()
+        };
+        run_loop_versioned(bench.name, spec, machine, &rc2)
+    })
 }
 
 /// Runs one benchmark with **dynamic cache-miss sampling** (the paper's
@@ -313,35 +388,10 @@ pub fn run_benchmark_sampled(
     rc: &RunConfig,
     sample_entries: u32,
 ) -> BenchRun {
-    let loops: Vec<LoopRun> = bench
-        .loops
-        .iter()
-        .map(|spec| {
-            let loop_seed = rc.seed ^ fnv(bench.name) ^ fnv(&spec.name);
-            let sample_trip = spec.ref_trips.mean().round().max(1.0) as u64;
-            let profile = crate::sample_miss_hints(
-                &spec.loop_ir,
-                machine,
-                sample_trip,
-                sample_entries,
-                spec.stream_mode,
-                loop_seed ^ 0x5A3,
-            );
-            let mut rc2 = rc.clone();
-            rc2.compile = CompileConfig {
-                policy: crate::LatencyPolicy::MissSampled,
-                miss_profile: Some(profile),
-                ..rc.compile.clone()
-            };
-            run_loop(bench.name, spec, machine, &rc2)
-        })
-        .collect();
-    let loop_cycles = loops.iter().map(|l| l.counters.total).sum();
-    BenchRun {
-        name: bench.name,
-        loops,
-        loop_cycles,
-    }
+    run_suite_sampled(std::slice::from_ref(bench), machine, rc, sample_entries)
+        .runs
+        .pop()
+        .expect("one benchmark in, one run out")
 }
 
 /// Runs a whole suite with dynamic cache-miss sampling.
@@ -351,37 +401,45 @@ pub fn run_suite_sampled(
     rc: &RunConfig,
     sample_entries: u32,
 ) -> SuiteRun {
-    SuiteRun {
-        runs: benchs
-            .iter()
-            .map(|b| run_benchmark_sampled(b, machine, rc, sample_entries))
-            .collect(),
-    }
+    pooled_suite("suite-sampled", benchs, rc, |tel, bench, spec| {
+        let loop_seed = rc.seed ^ fnv(bench.name) ^ fnv(&spec.name);
+        let sample_trip = spec.ref_trips.mean().round().max(1.0) as u64;
+        let profile = crate::sample_miss_hints(
+            &spec.loop_ir,
+            machine,
+            sample_trip,
+            sample_entries,
+            spec.stream_mode,
+            loop_seed ^ 0x5A3,
+        );
+        let mut rc2 = rc.clone();
+        rc2.telemetry = tel.clone();
+        rc2.compile = CompileConfig {
+            policy: crate::LatencyPolicy::MissSampled,
+            miss_profile: Some(profile),
+            ..rc.compile.clone()
+        };
+        run_loop(bench.name, spec, machine, &rc2)
+    })
 }
 
 /// Runs one benchmark under the configuration.
 pub fn run_benchmark(bench: &Benchmark, machine: &MachineModel, rc: &RunConfig) -> BenchRun {
-    let loops: Vec<LoopRun> = bench
-        .loops
-        .iter()
-        .map(|spec| run_loop(bench.name, spec, machine, rc))
-        .collect();
-    let loop_cycles = loops.iter().map(|l| l.counters.total).sum();
-    BenchRun {
-        name: bench.name,
-        loops,
-        loop_cycles,
-    }
+    run_suite(std::slice::from_ref(bench), machine, rc)
+        .runs
+        .pop()
+        .expect("one benchmark in, one run out")
 }
 
 /// Runs every benchmark of a suite.
 pub fn run_suite(benchs: &[Benchmark], machine: &MachineModel, rc: &RunConfig) -> SuiteRun {
-    SuiteRun {
-        runs: benchs
-            .iter()
-            .map(|b| run_benchmark(b, machine, rc))
-            .collect(),
-    }
+    pooled_suite("suite", benchs, rc, |tel, bench, spec| {
+        let rc2 = RunConfig {
+            telemetry: tel.clone(),
+            ..rc.clone()
+        };
+        run_loop(bench.name, spec, machine, &rc2)
+    })
 }
 
 /// Whole-benchmark speedup percentage of `var` over `base`.
@@ -501,6 +559,20 @@ mod tests {
         let a = run_benchmark(&bench, &m, &quick(LatencyPolicy::Baseline));
         let b = run_benchmark(&bench, &m, &quick(LatencyPolicy::Baseline));
         assert_eq!(a.loop_cycles, b.loop_cycles, "determinism");
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let m = MachineModel::itanium2();
+        let bench = find_benchmark("429.mcf").unwrap();
+        let serial = run_benchmark(&bench, &m, &quick(LatencyPolicy::HloHints).with_jobs(1));
+        let par = run_benchmark(&bench, &m, &quick(LatencyPolicy::HloHints).with_jobs(4));
+        assert_eq!(serial.loop_cycles, par.loop_cycles);
+        assert_eq!(serial.loops.len(), par.loops.len());
+        for (a, b) in serial.loops.iter().zip(&par.loops) {
+            assert_eq!(a.name, b.name, "loop order preserved");
+            assert_eq!(a.counters.total, b.counters.total, "{}", a.name);
+        }
     }
 
     #[test]

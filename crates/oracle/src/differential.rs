@@ -154,20 +154,24 @@ impl FuzzSummary {
 }
 
 /// Fuzzes `count` machine-generated loops (seeds `seed0..seed0+count`)
-/// through [`differential_case`] and tallies the outcomes. The generator
-/// is deterministic, so a fixed `seed0` makes the run reproducible.
+/// through [`differential_case`] on `jobs` worker threads and tallies the
+/// outcomes. Each case's seed is a pure function of its index (`seed0 +
+/// index`) and results — including per-case telemetry — are merged in
+/// index order, so the summary and trace are byte-identical for any
+/// `jobs` value; a fixed `seed0` makes the run reproducible.
 pub fn differential_fuzz(
     seed0: u64,
     count: u64,
     machine: &MachineModel,
     opts: &OracleOptions,
     tel: &Telemetry,
+    jobs: usize,
 ) -> FuzzSummary {
-    let mut cases = Vec::with_capacity(count as usize);
-    for seed in seed0..seed0 + count {
+    let seeds: Vec<u64> = (seed0..seed0 + count).collect();
+    let cases = ltsp_par::Pool::new(jobs).map_traced(tel, "fuzz", &seeds, |tel, _idx, &seed| {
         let lp = ltsp_workloads::random_loop(seed);
-        cases.push(differential_case(&lp, machine, opts, tel));
-    }
+        differential_case(&lp, machine, opts, tel)
+    });
     let rejected = cases.iter().filter(|c| !c.violations.is_empty()).count();
     let unsound = cases.iter().filter(|c| !c.sound()).count();
     let proven_optimal = cases.iter().filter(|c| c.gap() == Some(0)).count();
@@ -216,7 +220,7 @@ mod tests {
             node_budget: 20_000,
             ..OracleOptions::default()
         };
-        let s = differential_fuzz(0, 25, &m, &opts, &Telemetry::disabled());
+        let s = differential_fuzz(0, 25, &m, &opts, &Telemetry::disabled(), 2);
         assert_eq!(s.cases.len(), 25);
         assert_eq!(s.rejected, 0, "validator rejected a heuristic schedule");
         assert_eq!(s.unsound, 0, "heuristic II below a proven minimum");

@@ -22,7 +22,7 @@ fn two_hundred_case_fixed_seed_fuzz() {
         node_budget: 30_000,
         ..OracleOptions::default()
     };
-    let s = differential_fuzz(SEED0, CASES, &m, &opts, &Telemetry::disabled());
+    let s = differential_fuzz(SEED0, CASES, &m, &opts, &Telemetry::disabled(), 2);
     assert_eq!(s.cases.len(), CASES as usize);
 
     let rejected: Vec<String> = s
@@ -73,6 +73,35 @@ fn two_hundred_case_fixed_seed_fuzz() {
     );
 }
 
+/// The one known optimality gap in the fixed-seed 200-case run above:
+/// seed `0x5eed + 132 = 0x5f71` generates a loop where the heuristic
+/// settles at II=4 while the oracle proves II=3 feasible (a witness
+/// schedule exists; ~1k search nodes). This is the expected
+/// heuristic/optimal trade-off, not a soundness bug — the schedule is
+/// still validator-certified — but the gap is pinned so it can neither
+/// silently grow nor silently vanish: a scheduler change that closes it
+/// (or widens it) must update this test deliberately.
+#[test]
+fn known_gap_one_outlier_seed_0x5f71() {
+    let m = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: 30_000,
+        ..OracleOptions::default()
+    };
+    let s = differential_fuzz(0x5f71, 1, &m, &opts, &Telemetry::disabled(), 1);
+    let c = &s.cases[0];
+    assert_eq!(c.name, "random-5f71");
+    assert!(c.violations.is_empty(), "schedule must stay certified");
+    assert!(c.sound());
+    assert_eq!(c.heuristic_ii, 4, "heuristic II drifted: {:?}", c.verdict);
+    assert_eq!(
+        c.gap(),
+        Some(1),
+        "known heuristic/optimal gap changed: {:?}",
+        c.verdict
+    );
+}
+
 #[test]
 fn fuzz_is_deterministic() {
     let m = MachineModel::itanium2();
@@ -80,9 +109,12 @@ fn fuzz_is_deterministic() {
         node_budget: 10_000,
         ..OracleOptions::default()
     };
-    let a = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled());
-    let b = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled());
+    // Different worker counts must not change a single verdict: seeds are
+    // split by index and results merge in index order.
+    let a = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled(), 1);
+    let b = differential_fuzz(7, 10, &m, &opts, &Telemetry::disabled(), 4);
     for (x, y) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(x.name, y.name);
         assert_eq!(x.heuristic_ii, y.heuristic_ii);
         assert_eq!(x.verdict, y.verdict);
     }

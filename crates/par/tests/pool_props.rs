@@ -1,0 +1,63 @@
+//! Property-based tests of the work pool's determinism contract:
+//! arbitrary item counts × worker counts must execute every item exactly
+//! once and return results in input order, and a panicking item must
+//! abort the batch with its original payload.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ltsp_par::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every item runs exactly once, whatever the (items, workers) shape.
+    #[test]
+    fn each_item_executes_exactly_once(n in 0usize..200, workers in 1usize..12) {
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        Pool::new(workers).map(&items, |idx, &i| {
+            prop_assert!(idx == i);
+            counts[i].fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }).into_iter().collect::<Result<Vec<()>, _>>()?;
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1, "item {} ran a wrong number of times", i);
+        }
+    }
+
+    /// Output order equals input order: the result vector is a pure
+    /// function of the inputs, independent of worker count and stealing.
+    #[test]
+    fn output_order_matches_input_order(items in proptest::collection::vec(0u64..1_000_000, 0..150), workers in 1usize..10) {
+        let out = Pool::new(workers).map(&items, |idx, &x| x.wrapping_mul(31).wrapping_add(idx as u64));
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(idx, &x)| x.wrapping_mul(31).wrapping_add(idx as u64))
+            .collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// A panicking item aborts the whole batch and the caller observes the
+    /// original panic payload (not the scope's generic message).
+    #[test]
+    fn panicking_item_aborts_with_original_payload(n in 1usize..64, workers in 1usize..8, victim_raw in 0usize..64) {
+        let victim = victim_raw % n;
+        let items: Vec<usize> = (0..n).collect();
+        let err = std::panic::catch_unwind(|| {
+            Pool::new(workers).map(&items, |_idx, &i| {
+                if i == victim {
+                    panic!("pool-item-panic:{i}");
+                }
+                i
+            });
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".to_string());
+        prop_assert_eq!(msg, format!("pool-item-panic:{}", victim));
+    }
+}

@@ -149,6 +149,25 @@ pub enum Event {
         /// Search nodes the oracle expanded.
         nodes: u64,
     },
+    /// One work item executed on a pool worker thread
+    /// (`ltsp-par`). Emitted by the pool when per-item telemetry buffers
+    /// are spliced back in index order; the Chrome exporter renders these
+    /// as complete events on per-worker lanes. Worker attribution and
+    /// timing are scheduling-dependent and are stripped by
+    /// [`crate::normalize_trace`]; `pool` and `item` are deterministic.
+    WorkerSpan {
+        /// The batch label (e.g. `"suite"`, `"fuzz"`).
+        pool: String,
+        /// Worker thread index within the pool (0-based).
+        worker: u64,
+        /// The item's input index — results and traces merge in this
+        /// order.
+        item: u64,
+        /// Item start, µs since the parent sink's epoch.
+        start_us: u64,
+        /// Item wall-clock duration in µs.
+        dur_us: u64,
+    },
     /// A free-form diagnostic (replaces ad-hoc `eprintln!`).
     Diagnostic {
         /// `"info"`, `"warn"`, or `"error"`.
@@ -178,6 +197,7 @@ impl Event {
             Event::RegallocFallback { .. } => "regalloc_fallback",
             Event::AcyclicFallback { .. } => "acyclic_fallback",
             Event::OracleVerdict { .. } => "oracle_verdict",
+            Event::WorkerSpan { .. } => "worker_span",
             Event::Diagnostic { .. } => "diagnostic",
         }
     }
@@ -193,7 +213,9 @@ impl Event {
             | Event::RegallocFallback { loop_name, .. }
             | Event::AcyclicFallback { loop_name, .. }
             | Event::OracleVerdict { loop_name, .. } => Some(loop_name),
-            Event::CycleEnumeration { .. } | Event::Diagnostic { .. } => None,
+            Event::CycleEnumeration { .. }
+            | Event::WorkerSpan { .. }
+            | Event::Diagnostic { .. } => None,
         }
     }
 
@@ -324,6 +346,19 @@ impl Event {
                 ("gap", Scalar::I64(*gap)),
                 ("nodes", (*nodes).into()),
             ],
+            Event::WorkerSpan {
+                pool,
+                worker,
+                item,
+                start_us,
+                dur_us,
+            } => vec![
+                ("pool", pool.clone().into()),
+                ("worker", (*worker).into()),
+                ("item", (*item).into()),
+                ("start_us", (*start_us).into()),
+                ("dur_us", (*dur_us).into()),
+            ],
             Event::Diagnostic { level, message } => vec![
                 ("level", (*level).into()),
                 ("message", message.clone().into()),
@@ -432,6 +467,16 @@ impl Event {
             } => format!(
                 "oracle {loop_name}: heuristic II={heuristic_ii}, oracle II={oracle_ii} \
                  ({verdict}, gap {gap}, {nodes} nodes)"
+            ),
+            Event::WorkerSpan {
+                pool,
+                worker,
+                item,
+                dur_us,
+                ..
+            } => format!(
+                "pool {pool}: item {item} on worker {worker} ({:.3} ms)",
+                *dur_us as f64 / 1e3
             ),
             Event::Diagnostic { level, message } => format!("{level}: {message}"),
         }

@@ -46,6 +46,10 @@ pub use metrics::{Histogram, Metrics};
 /// created).
 #[derive(Debug, Clone)]
 pub struct TimedEvent {
+    /// Record sequence number within the sink. The JSONL exporter orders
+    /// lines by this (not by wall-clock), so spliced parallel traces keep
+    /// a deterministic order; see [`Telemetry::absorb`].
+    pub seq: u64,
     /// Microseconds since [`Telemetry::enabled`] created the sink.
     pub ts_us: u64,
     /// The decision.
@@ -55,19 +59,34 @@ pub struct TimedEvent {
 /// A closed phase-timing span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
+    /// Record sequence number within the sink (see [`TimedEvent::seq`]).
+    pub seq: u64,
     /// The phase name (e.g. `"hlo"`, `"pipeline"`, `"simulate"`).
     pub name: String,
     /// Start, µs since the sink epoch.
     pub start_us: u64,
     /// Wall-clock duration in µs.
     pub dur_us: u64,
+    /// Execution lane: 0 for the sink's own thread; absorbed worker
+    /// buffers get `worker + 1` ([`Telemetry::absorb`]). The Chrome
+    /// exporter maps lanes to `tid`s so workers render side by side.
+    pub tid: u32,
 }
 
 #[derive(Debug, Default)]
 struct State {
+    seq: u64,
     events: Vec<TimedEvent>,
     spans: Vec<SpanRecord>,
     metrics: Metrics,
+}
+
+impl State {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
 }
 
 #[derive(Debug)]
@@ -100,10 +119,13 @@ impl Drop for SpanGuard {
                 eprintln!("[ltsp] {name}: {:.3} ms", dur_us as f64 / 1e3);
             }
             let mut st = inner.state.lock().expect("telemetry poisoned");
+            let seq = st.next_seq();
             st.spans.push(SpanRecord {
+                seq,
                 name,
                 start_us,
                 dur_us,
+                tid: 0,
             });
         }
     }
@@ -152,7 +174,8 @@ impl Telemetry {
         }
         let ts_us = inner.epoch.elapsed().as_micros() as u64;
         let mut st = inner.state.lock().expect("telemetry poisoned");
-        st.events.push(TimedEvent { ts_us, event });
+        let seq = st.next_seq();
+        st.events.push(TimedEvent { seq, ts_us, event });
     }
 
     /// Emits an info-level [`Event::Diagnostic`].
@@ -173,6 +196,63 @@ impl Telemetry {
                 message: message.into(),
             });
         }
+    }
+
+    /// Forks a fresh, empty sink that is enabled exactly when `self` is.
+    /// Work pools give each item a fork so parallel items never contend
+    /// on (or interleave within) the parent sink; the buffers are spliced
+    /// back **in item index order** with [`Telemetry::absorb`], which is
+    /// what makes one-thread and N-thread traces identical in content and
+    /// order. Forks are never verbose — parallel stderr narration would
+    /// interleave nondeterministically.
+    pub fn fork(&self) -> Telemetry {
+        if self.is_enabled() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Splices a forked child sink into this one: events and spans are
+    /// appended (in the child's own order) with timestamps translated into
+    /// this sink's epoch, spans are tagged with lane `worker + 1`, and the
+    /// child's metrics merge into this registry. Call in item index order;
+    /// record order is the splice order, not wall-clock order.
+    pub fn absorb(&self, child: Telemetry, worker: u32) {
+        let (Some(inner), Some(cinner)) = (&self.inner, &child.inner) else {
+            return;
+        };
+        let shift_us = cinner
+            .epoch
+            .checked_duration_since(inner.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
+        let cstate = std::mem::take(&mut *cinner.state.lock().expect("telemetry poisoned"));
+        let mut st = inner.state.lock().expect("telemetry poisoned");
+        for e in cstate.events {
+            let seq = st.next_seq();
+            st.events.push(TimedEvent {
+                seq,
+                ts_us: e.ts_us + shift_us,
+                event: e.event,
+            });
+        }
+        for s in cstate.spans {
+            let seq = st.next_seq();
+            st.spans.push(SpanRecord {
+                seq,
+                name: s.name,
+                start_us: s.start_us + shift_us,
+                dur_us: s.dur_us,
+                tid: worker + 1,
+            });
+        }
+        st.metrics.merge(&cstate.metrics);
+    }
+
+    /// Translates an [`Instant`] into µs since this sink's epoch (0 when
+    /// disabled or when `t` predates the epoch).
+    pub fn us_since_epoch(&self, t: Instant) -> u64 {
+        self.inner.as_ref().map_or(0, |i| us_since(i.epoch, t))
     }
 
     /// Opens a wall-clock timing span; it records itself when dropped.
@@ -224,8 +304,11 @@ impl Telemetry {
 
     /// Writes the trace as JSONL: one JSON object per line, events as
     /// `{"type": <kind>, "ts_us": ..., ...fields}` and closed spans as
-    /// `{"type": "span", "name": ..., "start_us": ..., "dur_us": ...}`,
-    /// all in chronological order.
+    /// `{"type": "span", "name": ..., "start_us": ..., "dur_us": ...,
+    /// "tid": ...}`, ordered by record sequence number — chronological
+    /// for a serial run, splice order for absorbed parallel buffers (so
+    /// the line order is deterministic across worker counts; see
+    /// [`Telemetry::absorb`] and [`normalize_trace`]).
     ///
     /// # Errors
     ///
@@ -233,8 +316,6 @@ impl Telemetry {
     pub fn write_events_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
         let events = self.events();
         let spans = self.spans();
-        // Merge chronologically: events by ts, spans by *end* time (when
-        // they were recorded).
         let mut lines: Vec<(u64, String)> = Vec::with_capacity(events.len() + spans.len());
         for e in &events {
             let mut fields: Vec<(&str, Scalar)> =
@@ -242,7 +323,7 @@ impl Telemetry {
             fields.extend(e.event.fields());
             let mut line = String::new();
             json::write_object(&mut line, &fields);
-            lines.push((e.ts_us, line));
+            lines.push((e.seq, line));
         }
         for s in &spans {
             let mut line = String::new();
@@ -253,11 +334,12 @@ impl Telemetry {
                     ("name", s.name.clone().into()),
                     ("start_us", s.start_us.into()),
                     ("dur_us", s.dur_us.into()),
+                    ("tid", u64::from(s.tid).into()),
                 ],
             );
-            lines.push((s.start_us + s.dur_us, line));
+            lines.push((s.seq, line));
         }
-        lines.sort_by_key(|(ts, _)| *ts);
+        lines.sort_by_key(|(seq, _)| *seq);
         for (_, line) in lines {
             writeln!(w, "{line}")?;
         }
@@ -274,9 +356,11 @@ impl Telemetry {
     }
 
     /// Writes the trace in Chrome's `trace_event` JSON format: spans as
-    /// complete (`"X"`) events and decisions as instant (`"i"`) events.
-    /// Open the file in Perfetto (`ui.perfetto.dev`) or
-    /// `chrome://tracing`.
+    /// complete (`"X"`) events on their execution lane (`tid` 1 = main
+    /// thread, `tid` `w+2` = pool worker `w`), [`Event::WorkerSpan`]s as
+    /// complete events on the worker's lane, and other decisions as
+    /// instant (`"i"`) events. Open the file in Perfetto
+    /// (`ui.perfetto.dev`) or `chrome://tracing`.
     ///
     /// # Errors
     ///
@@ -298,7 +382,7 @@ impl Telemetry {
                     ("ts", s.start_us.into()),
                     ("dur", s.dur_us.into()),
                     ("pid", 1u64.into()),
-                    ("tid", 1u64.into()),
+                    ("tid", (u64::from(s.tid) + 1).into()),
                 ],
             );
         }
@@ -307,6 +391,30 @@ impl Telemetry {
                 out.push(',');
             }
             first = false;
+            if let Event::WorkerSpan {
+                pool,
+                worker,
+                item,
+                start_us,
+                dur_us,
+            } = &e.event
+            {
+                // A complete event on the worker's lane, so N-thread runs
+                // show N parallel lanes of pool items.
+                json::write_object(
+                    &mut out,
+                    &[
+                        ("name", format!("{pool}[{item}]").into()),
+                        ("cat", "pool".into()),
+                        ("ph", "X".into()),
+                        ("ts", (*start_us).into()),
+                        ("dur", (*dur_us).into()),
+                        ("pid", 1u64.into()),
+                        ("tid", (*worker + 2).into()),
+                    ],
+                );
+                continue;
+            }
             // Instant event with the payload under "args".
             out.push_str("{\"name\":\"");
             out.push_str(&json::escape(e.event.kind()));
@@ -321,6 +429,42 @@ impl Telemetry {
         out.push_str("]}\n");
         w.write_all(out.as_bytes())
     }
+}
+
+/// Timing/attribution fields a trace line may carry that depend on
+/// wall-clock or on scheduling, not on what the compiler decided.
+const NONDETERMINISTIC_FIELDS: [&str; 5] = ["ts_us", "start_us", "dur_us", "worker", "tid"];
+
+/// Normalizes a JSONL trace for comparison across runs and worker counts:
+/// every top-level timing or worker-attribution field (`ts_us`,
+/// `start_us`, `dur_us`, `worker`, `tid`) is zeroed, everything else —
+/// content, field order, line order — is preserved. Two runs of the same
+/// deterministic workload normalize to byte-identical text regardless of
+/// `--jobs`; that equality is the determinism contract CI enforces.
+#[must_use]
+pub fn normalize_trace(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        match json::parse(line) {
+            Ok(JsonValue::Obj(fields)) => {
+                let normalized: Vec<(String, JsonValue)> = fields
+                    .into_iter()
+                    .map(|(k, v)| {
+                        if NONDETERMINISTIC_FIELDS.contains(&k.as_str()) {
+                            (k, JsonValue::Num(0.0))
+                        } else {
+                            (k, v)
+                        }
+                    })
+                    .collect();
+                JsonValue::Obj(normalized).render(&mut out);
+            }
+            // Not an object (or not JSON): keep the line verbatim.
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

@@ -53,6 +53,19 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one (bucket-wise; commutative
+    /// and associative, so parallel per-worker registries merge to the
+    /// same state in any order).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -98,6 +111,18 @@ impl Metrics {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// merge bucket-wise. Commutative, so splicing per-worker registries
+    /// yields the same totals as a serial run.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
     }
 
     /// The snapshot as one pretty-printed JSON document:

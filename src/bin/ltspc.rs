@@ -8,13 +8,17 @@
 //!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
 //!       [--asm] [--simulate ITERS]
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
-//! ltspc verify <file.loop | ->            # certify the heuristic schedule
-//! ltspc oracle <file.loop | -> [--budget N]  # prove the minimal II
+//! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
+//! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
 //! ```
 //!
-//! `verify` pipelines the loop at base latencies and runs the independent
+//! `verify` pipelines each loop at base latencies and runs the independent
 //! schedule validator over the result; `oracle` additionally proves the
-//! minimal feasible II and reports the heuristic's optimality gap.
+//! minimal feasible II and reports the heuristic's optimality gap. Both
+//! subcommands accept **multiple** input files, processed on `--jobs N`
+//! worker threads (default: the machine's available parallelism); output
+//! is printed in input order whatever the worker count, and the exit code
+//! is the first failing file's.
 //!
 //! Exit codes are distinct per failure class so scripts can dispatch:
 //! `0` success (schedule certified / oracle verdict exact), `1` validator
@@ -83,57 +87,74 @@ fn usage() -> ! {
          \x20             [--asm] [--simulate ITERS]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE]\n\
          \x20             [--chrome-trace FILE] [-v|--verbose]\n\
-         \x20      ltspc verify <file.loop | ->\n\
-         \x20      ltspc oracle <file.loop | -> [--budget NODES]"
+         \x20      ltspc verify <file.loop | -> ... [--jobs N]\n\
+         \x20      ltspc oracle <file.loop | -> ... [--budget NODES] [--jobs N]"
     );
     std::process::exit(i32::from(EXIT_USAGE));
 }
 
-/// Reads and parses the input, mapping each failure class to its exit
-/// code. Syntax errors are reported as `file:line: message` so editors
+/// Reads and parses one input, mapping each failure class to a
+/// `(message, exit_code)` pair so batch mode can buffer diagnostics per
+/// file. Syntax errors are reported as `file:line: message` so editors
 /// and CI annotations can jump to the offending line.
-fn read_and_parse(input: &str) -> Result<ltsp::ir::LoopIr, ExitCode> {
+fn read_and_parse(input: &str) -> Result<ltsp::ir::LoopIr, (String, u8)> {
     let (name, text) = if input == "-" {
         let mut s = String::new();
         if std::io::stdin().read_to_string(&mut s).is_err() {
-            eprintln!("ltspc: failed to read stdin");
-            return Err(ExitCode::from(EXIT_IO));
+            return Err(("ltspc: failed to read stdin".to_string(), EXIT_IO));
         }
         ("<stdin>", s)
     } else {
         match std::fs::read_to_string(input) {
             Ok(s) => (input, s),
-            Err(e) => {
-                eprintln!("ltspc: cannot read {input}: {e}");
-                return Err(ExitCode::from(EXIT_IO));
-            }
+            Err(e) => return Err((format!("ltspc: cannot read {input}: {e}"), EXIT_IO)),
         }
     };
     match parse_loop(&text) {
         Ok(lp) => Ok(lp),
         Err(ltsp::ir::ParseError::Syntax { line, message }) => {
-            eprintln!("{name}:{line}: {message}");
-            Err(ExitCode::from(EXIT_SYNTAX))
+            Err((format!("{name}:{line}: {message}"), EXIT_SYNTAX))
         }
         Err(ltsp::ir::ParseError::Invalid(e)) => {
-            eprintln!("{name}: invalid loop: {e}");
-            Err(ExitCode::from(EXIT_INVALID))
+            Err((format!("{name}: invalid loop: {e}"), EXIT_INVALID))
         }
     }
 }
 
-/// `ltspc verify`: certify the heuristic pipeliner's schedule with the
-/// independent validator.
-fn cmd_verify(input: &str) -> ExitCode {
+/// One batch item's buffered result: stdout/stderr text plus the exit
+/// code the file would have produced alone. Buffering keeps parallel
+/// output identical to serial — results print in input order.
+struct FileOutcome {
+    out: String,
+    err: String,
+    code: u8,
+}
+
+/// `ltspc verify`, one file: certify the heuristic pipeliner's schedule
+/// with the independent validator.
+fn verify_one(input: &str) -> FileOutcome {
+    use std::fmt::Write as _;
     let lp = match read_and_parse(input) {
         Ok(lp) => lp,
-        Err(code) => return code,
+        Err((msg, code)) => {
+            return FileOutcome {
+                out: String::new(),
+                err: msg + "\n",
+                code,
+            }
+        }
     };
     let machine = MachineModel::itanium2();
     let tel = Telemetry::disabled();
     let r = ltsp::oracle::differential_case(&lp, &machine, &OracleOptions::default(), &tel);
+    let mut o = FileOutcome {
+        out: String::new(),
+        err: String::new(),
+        code: 0,
+    };
     if r.violations.is_empty() {
-        println!(
+        let _ = writeln!(
+            o.out,
             "{}: certified (II={}, {})",
             r.name,
             r.heuristic_ii,
@@ -143,21 +164,28 @@ fn cmd_verify(input: &str) -> ExitCode {
                 "acyclic fallback"
             }
         );
-        ExitCode::SUCCESS
     } else {
         for v in &r.violations {
-            eprintln!("{}: violation [{}]: {v}", r.name, v.kind());
+            let _ = writeln!(o.err, "{}: violation [{}]: {v}", r.name, v.kind());
         }
-        ExitCode::from(EXIT_REJECTED)
+        o.code = EXIT_REJECTED;
     }
+    o
 }
 
-/// `ltspc oracle`: prove the minimal feasible II and report the
+/// `ltspc oracle`, one file: prove the minimal feasible II and report the
 /// heuristic's optimality gap.
-fn cmd_oracle(input: &str, budget: u64) -> ExitCode {
+fn oracle_one(input: &str, budget: u64) -> FileOutcome {
+    use std::fmt::Write as _;
     let lp = match read_and_parse(input) {
         Ok(lp) => lp,
-        Err(code) => return code,
+        Err((msg, code)) => {
+            return FileOutcome {
+                out: String::new(),
+                err: msg + "\n",
+                code,
+            }
+        }
     };
     let machine = MachineModel::itanium2();
     let opts = OracleOptions {
@@ -166,15 +194,21 @@ fn cmd_oracle(input: &str, budget: u64) -> ExitCode {
     };
     let tel = Telemetry::disabled();
     let r = ltsp::oracle::differential_case(&lp, &machine, &opts, &tel);
+    let mut o = FileOutcome {
+        out: String::new(),
+        err: String::new(),
+        code: 0,
+    };
     for v in &r.violations {
-        eprintln!("{}: violation [{}]: {v}", r.name, v.kind());
+        let _ = writeln!(o.err, "{}: violation [{}]: {v}", r.name, v.kind());
     }
     match &r.verdict {
         ltsp::oracle::IiVerdict::Exact {
             optimal_ii, nodes, ..
         } => {
             let gap = r.heuristic_ii - optimal_ii;
-            println!(
+            let _ = writeln!(
+                o.out,
                 "{}: heuristic II={} optimal II={} gap={} ({} search nodes){}",
                 r.name,
                 r.heuristic_ii,
@@ -183,24 +217,40 @@ fn cmd_oracle(input: &str, budget: u64) -> ExitCode {
                 nodes,
                 if gap == 0 { " — proven optimal" } else { "" }
             );
-            if r.violations.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(EXIT_REJECTED)
+            if !r.violations.is_empty() {
+                o.code = EXIT_REJECTED;
             }
         }
         ltsp::oracle::IiVerdict::BoundedUnknown {
             proven_lower,
             nodes,
         } => {
-            println!(
+            let _ = writeln!(
+                o.out,
                 "{}: heuristic II={}, optimal II in [{}, {}] — budget exhausted \
                  after {} nodes",
                 r.name, r.heuristic_ii, proven_lower, r.heuristic_ii, nodes
             );
-            ExitCode::from(EXIT_REJECTED)
+            o.code = EXIT_REJECTED;
         }
     }
+    o
+}
+
+/// Runs a verify/oracle batch over `jobs` workers, prints every file's
+/// buffered output in input order, and returns the first failing file's
+/// exit code (success when all pass).
+fn run_batch(inputs: &[String], jobs: usize, f: impl Fn(&str) -> FileOutcome + Sync) -> ExitCode {
+    let outcomes = ltsp::par::Pool::new(jobs).map(inputs, |_idx, input| f(input));
+    let mut code = 0u8;
+    for o in &outcomes {
+        print!("{}", o.out);
+        eprint!("{}", o.err);
+        if code == 0 {
+            code = o.code;
+        }
+    }
+    ExitCode::from(code)
 }
 
 fn parse_args() -> Options {
@@ -271,37 +321,47 @@ fn parse_args() -> Options {
 fn main() -> ExitCode {
     // Subcommand dispatch: `ltspc verify <input>` / `ltspc oracle <input>`.
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match argv.first().map(String::as_str) {
-        Some("verify") => {
-            let [_, input] = argv.as_slice() else { usage() };
-            return cmd_verify(input);
-        }
-        Some("oracle") => {
-            let mut input = None;
-            let mut budget = OracleOptions::default().node_budget;
-            let mut it = argv[1..].iter();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--budget" => {
-                        budget = it
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .unwrap_or_else(|| usage())
-                    }
-                    other if input.is_none() => input = Some(other.to_string()),
-                    _ => usage(),
+    if let Some(cmd @ ("verify" | "oracle")) = argv.first().map(String::as_str) {
+        let mut inputs: Vec<String> = Vec::new();
+        let mut budget = OracleOptions::default().node_budget;
+        let mut jobs = ltsp::par::default_parallelism();
+        let mut it = argv[1..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--budget" if cmd == "oracle" => {
+                    budget = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage())
                 }
+                "--jobs" => {
+                    jobs = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&j| j >= 1)
+                        .unwrap_or_else(|| usage())
+                }
+                flag if flag.starts_with("--") => usage(),
+                other => inputs.push(other.to_string()),
             }
-            let Some(input) = input else { usage() };
-            return cmd_oracle(&input, budget);
         }
-        _ => {}
+        if inputs.is_empty() {
+            usage()
+        }
+        return if cmd == "verify" {
+            run_batch(&inputs, jobs, verify_one)
+        } else {
+            run_batch(&inputs, jobs, |input| oracle_one(input, budget))
+        };
     }
 
     let o = parse_args();
     let lp = match read_and_parse(&o.input) {
         Ok(lp) => lp,
-        Err(code) => return code,
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            return ExitCode::from(code);
+        }
     };
 
     let machine = MachineModel::itanium2();

@@ -19,6 +19,9 @@
 //!   machine-readable run artifacts (JSONL, JSON metrics, Chrome trace)
 //! - [`oracle`] — independent schedule validator, exact-II oracle and
 //!   the differential harness testing the heuristic pipeliner
+//! - [`par`] — deterministic scoped work pool behind every `--jobs N`
+//!   batch layer (index-ordered merge, spliced telemetry, panic
+//!   propagation)
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use ltsp_ir as ir;
 pub use ltsp_machine as machine;
 pub use ltsp_memsim as memsim;
 pub use ltsp_oracle as oracle;
+pub use ltsp_par as par;
 pub use ltsp_pipeliner as pipeliner;
 pub use ltsp_telemetry as telemetry;
 pub use ltsp_workloads as workloads;

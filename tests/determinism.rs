@@ -1,0 +1,132 @@
+//! The determinism matrix: the same experiment run at `--jobs 1` and
+//! `--jobs 4` must produce **byte-identical** artifacts — gain-table
+//! report text, trace JSONL (after span-timestamp normalization) and the
+//! metrics snapshot — and the differential fuzz harness must produce the
+//! identical verdict table. This is the contract that makes parallelism
+//! safe to turn on everywhere: worker count changes wall-clock, nothing
+//! else.
+
+use ltsp::core::{
+    format_gain_table, run_suite, suite_cycle_accounting, CompileConfig, LatencyPolicy, RunConfig,
+};
+use ltsp::machine::MachineModel;
+use ltsp::oracle::{differential_fuzz, OracleOptions};
+use ltsp::telemetry::{normalize_trace, Telemetry};
+use ltsp::workloads::cpu2006;
+
+/// Entry scale for the suite arm of the matrix: small enough to keep the
+/// matrix fast, large enough that every loop actually simulates.
+const SCALE: f64 = 0.02;
+
+/// One full suite pass (Baseline + HloHints arms) at a given worker
+/// count, returning the rendered gain table, the normalized JSONL trace
+/// and the metrics snapshot.
+fn suite_artifacts(jobs: usize) -> (String, String, String) {
+    let m = MachineModel::itanium2();
+    let suite = cpu2006();
+    let tel = Telemetry::enabled();
+    let rc = |policy| {
+        RunConfig::new(CompileConfig::new(policy))
+            .with_entry_scale(SCALE)
+            .with_telemetry(&tel)
+            .with_jobs(jobs)
+    };
+    let base = run_suite(&suite, &m, &rc(LatencyPolicy::Baseline));
+    let hlo = run_suite(&suite, &m, &rc(LatencyPolicy::HloHints));
+    let rows: Vec<(String, Vec<f64>)> = suite
+        .iter()
+        .zip(base.runs.iter().zip(&hlo.runs))
+        .map(|(b, (br, hr))| {
+            (
+                b.name.to_string(),
+                vec![ltsp::core::benchmark_gain(b, br, hr)],
+            )
+        })
+        .collect();
+    let mut report = format_gain_table("determinism-matrix", &["hlo"], &rows);
+    let (cb, cv) = suite_cycle_accounting(&suite, &base, &hlo);
+    report.push_str(&format!("totals: base={} hlo={}\n", cb.total, cv.total));
+
+    let mut trace = Vec::new();
+    tel.write_events_jsonl(&mut trace).expect("trace renders");
+    let trace = normalize_trace(&String::from_utf8(trace).expect("utf8 trace"));
+    let mut metrics = Vec::new();
+    tel.write_metrics_json(&mut metrics)
+        .expect("metrics render");
+    let metrics = String::from_utf8(metrics).expect("utf8 metrics");
+    (report, trace, metrics)
+}
+
+#[test]
+fn suite_artifacts_are_jobs_invariant() {
+    let (report1, trace1, metrics1) = suite_artifacts(1);
+    let (report4, trace4, metrics4) = suite_artifacts(4);
+    assert!(
+        report1 == report4,
+        "gain report differs between --jobs 1 and --jobs 4:\n--- jobs=1\n{report1}\n--- jobs=4\n{report4}"
+    );
+    assert!(
+        trace1 == trace4,
+        "normalized trace differs between --jobs 1 and --jobs 4"
+    );
+    assert!(
+        metrics1 == metrics4,
+        "metrics snapshot differs between --jobs 1 and --jobs 4:\n--- jobs=1\n{metrics1}\n--- jobs=4\n{metrics4}"
+    );
+    assert!(
+        report1.contains("429.mcf"),
+        "sanity: the suite actually ran:\n{report1}"
+    );
+    assert!(
+        trace1.lines().count() > 100,
+        "sanity: the trace actually recorded decisions"
+    );
+}
+
+/// One 50-case fuzz pass at a given worker count, returning the rendered
+/// verdict table and the normalized trace.
+fn fuzz_artifacts(jobs: usize) -> (String, String) {
+    let m = MachineModel::itanium2();
+    let opts = OracleOptions {
+        node_budget: 10_000,
+        ..OracleOptions::default()
+    };
+    let tel = Telemetry::enabled();
+    let s = differential_fuzz(0x5eed, 50, &m, &opts, &tel, jobs);
+    let mut table = String::new();
+    for c in &s.cases {
+        table.push_str(&format!(
+            "{} insts={} pipelined={} heuristic_ii={} oracle_ii={} gap={:?} sound={}\n",
+            c.name,
+            c.insts,
+            c.pipelined,
+            c.heuristic_ii,
+            c.oracle_ii(),
+            c.gap(),
+            c.sound()
+        ));
+    }
+    table.push_str(&format!(
+        "rejected={} unsound={} optimal={} suboptimal={} unknown={}\n",
+        s.rejected, s.unsound, s.proven_optimal, s.proven_suboptimal, s.unknown
+    ));
+    let mut trace = Vec::new();
+    tel.write_events_jsonl(&mut trace).expect("trace renders");
+    let trace = normalize_trace(&String::from_utf8(trace).expect("utf8 trace"));
+    (table, trace)
+}
+
+#[test]
+fn fuzz_verdicts_are_jobs_invariant() {
+    let (table1, trace1) = fuzz_artifacts(1);
+    let (table4, trace4) = fuzz_artifacts(4);
+    assert!(
+        table1 == table4,
+        "oracle verdict table differs between --jobs 1 and --jobs 4:\n--- jobs=1\n{table1}\n--- jobs=4\n{table4}"
+    );
+    assert!(
+        trace1 == trace4,
+        "normalized fuzz trace differs between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(table1.lines().count(), 51, "50 verdict rows + summary");
+}

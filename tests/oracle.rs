@@ -72,7 +72,7 @@ fn quick_differential_fuzz_is_clean() {
         node_budget: 10_000,
         ..OracleOptions::default()
     };
-    let s = differential_fuzz(100, 30, &m, &opts, &Telemetry::disabled());
+    let s = differential_fuzz(100, 30, &m, &opts, &Telemetry::disabled(), 2);
     assert_eq!(s.rejected, 0);
     assert_eq!(s.unsound, 0);
 }
