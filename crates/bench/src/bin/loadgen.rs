@@ -1,0 +1,433 @@
+//! `loadgen` — closed-loop load generator for the `ltspd` daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]
+//!         [--corpus DIR] [--burst K] [--seed N] [--out FILE] [--shutdown]
+//! ```
+//!
+//! Opens `--conns` connections; each runs a closed loop (send one
+//! request, wait for its response) of `--requests` requests drawn
+//! deterministically — op by the `--mix compile:verify:oracle` weights,
+//! loop file from `--corpus` — from a per-connection `SplitMix64`
+//! stream, so two runs with the same seed issue the same workload.
+//!
+//! `--burst K` prepends an open-loop phase: each connection fires `K`
+//! requests back-to-back *without* reading responses, then drains them —
+//! the way to push the admission queue past its high-water mark and
+//! observe `overloaded` responses (backpressure, not hangs).
+//!
+//! The report (written to `--out`, default `results/BENCH_serve.json`)
+//! gives p50/p95/p99 latency overall and split by cache hit/miss,
+//! throughput, cache hit rate, and per-status counts. `--shutdown`
+//! drains the server at the end.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use ltsp_ir::{DataClass, LoopBuilder, SplitMix64};
+use ltsp_telemetry::json;
+
+struct Options {
+    addr: String,
+    conns: usize,
+    requests: usize,
+    mix: (u64, u64, u64),
+    corpus: String,
+    burst: usize,
+    synthetic: usize,
+    seed: u64,
+    out: String,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]\n\
+         \x20              [--corpus DIR] [--synthetic N] [--burst K] [--seed N]\n\
+         \x20              [--out FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        addr: "127.0.0.1:7099".to_string(),
+        conns: 4,
+        requests: 64,
+        mix: (6, 3, 1),
+        corpus: "loops".to_string(),
+        burst: 0,
+        synthetic: 0,
+        seed: 42,
+        out: "results/BENCH_serve.json".to_string(),
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let num =
+        |v: Option<String>| -> u64 { v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => o.addr = args.next().unwrap_or_else(|| usage()),
+            "--conns" => o.conns = num(args.next()).max(1) as usize,
+            "--requests" => o.requests = num(args.next()) as usize,
+            "--mix" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let parts: Vec<u64> = v.split(':').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 3 || parts.iter().sum::<u64>() == 0 {
+                    usage()
+                }
+                o.mix = (parts[0], parts[1], parts[2]);
+            }
+            "--corpus" => o.corpus = args.next().unwrap_or_else(|| usage()),
+            "--burst" => o.burst = num(args.next()) as usize,
+            "--synthetic" => o.synthetic = num(args.next()) as usize,
+            "--dump" => {
+                // Debug aid: write the synthetic kernels as .loop files and exit.
+                let dir = args.next().unwrap_or_else(|| usage());
+                std::fs::create_dir_all(&dir).expect("create dump dir");
+                let n = o.synthetic.max(1);
+                for i in 0..n {
+                    let lp = synthetic_loop(i);
+                    let path = format!("{dir}/syn{i}.loop");
+                    std::fs::write(&path, lp.to_string()).expect("write loop");
+                    eprintln!("loadgen: wrote {path}");
+                }
+                std::process::exit(0);
+            }
+            "--seed" => o.seed = num(args.next()),
+            "--out" => o.out = args.next().unwrap_or_else(|| usage()),
+            "--shutdown" => o.shutdown = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// A deterministic scheduling-heavy kernel: several FP streams, each
+/// feeding a long dependent fma/fmul chain. Dozens of instructions and
+/// high register pressure make the modulo scheduler work for a living —
+/// the workload class where a schedule cache actually pays, as opposed
+/// to the microsecond-scale corpus kernels.
+fn synthetic_loop(i: usize) -> ltsp_ir::LoopIr {
+    let mut b = LoopBuilder::new(format!("syn{i}"));
+    let c0 = b.live_in_fr("c0");
+    let c1 = b.live_in_fr("c1");
+    let k0 = b.live_in_gr("k0");
+    let streams = 3;
+    let depth = 9 + i % 5;
+    for s in 0..streams {
+        let su = s as u64 + 1;
+        let x = b.affine_ref(&format!("x{s}[i]"), DataClass::Fp, su << 24, 8, 8);
+        let v = b.load(x);
+        let mut t = b.fma(c0, v, c1);
+        for _ in 0..depth {
+            t = b.fma(c0, t, c1);
+            t = b.fmul(t, t);
+        }
+        let y = b.affine_ref(
+            &format!("y{s}[i]"),
+            DataClass::Fp,
+            (su << 24) + (1 << 20),
+            8,
+            8,
+        );
+        b.store(y, t);
+        // A matching integer stream keeps both register files and both
+        // unit classes busy without tripping the rotating-FR supply.
+        let p = b.affine_ref(
+            &format!("p{s}[i]"),
+            DataClass::Int,
+            (su << 28) | 1 << 12,
+            8,
+            8,
+        );
+        let w = b.load(p);
+        let mut u = b.add(w, k0);
+        for _ in 0..depth {
+            u = b.xor(u, k0);
+            u = b.add(u, u);
+        }
+        let q = b.affine_ref(
+            &format!("q{s}[i]"),
+            DataClass::Int,
+            (su << 28) | 1 << 16,
+            8,
+            8,
+        );
+        b.store(q, u);
+    }
+    b.build().expect("synthetic loop is well-formed")
+}
+
+/// One response's accounting.
+struct Sample {
+    status: String,
+    cache: String,
+    micros: u64,
+}
+
+/// The sorted `.loop` corpus: (name, JSON-escaped text).
+fn load_corpus(dir: &str) -> Vec<(String, String)> {
+    // `--corpus ''` means "no on-disk corpus" — used with --synthetic to
+    // benchmark a purely scheduling-heavy workload.
+    if dir.is_empty() {
+        return Vec::new();
+    }
+    let mut files: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "loop"))
+            .collect(),
+        Err(e) => {
+            eprintln!("loadgen: cannot read corpus {dir}: {e}");
+            std::process::exit(3);
+        }
+    };
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|p| {
+            let name = p.file_stem()?.to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).ok()?;
+            Some((name, json::escape(&text)))
+        })
+        .collect()
+}
+
+/// Builds the `i`-th request line for one connection's PRNG stream.
+fn build_request(
+    rng: &mut SplitMix64,
+    mix: (u64, u64, u64),
+    corpus: &[(String, String)],
+    conn: usize,
+    i: usize,
+) -> String {
+    let (c, v, z) = mix;
+    let pick = rng.next_u64() % (c + v + z);
+    let op = if pick < c {
+        "compile"
+    } else if pick < c + v {
+        "verify"
+    } else {
+        "oracle"
+    };
+    let (name, text) = &corpus[(rng.next_u64() % corpus.len() as u64) as usize];
+    // deadline_ms:0 keeps oracle work node-budget-bound (deterministic).
+    format!(
+        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\",\"deadline_ms\":0}}\n"
+    )
+}
+
+/// Runs one connection's workload; returns its samples.
+fn run_conn(o: &Options, corpus: &[(String, String)], conn: usize) -> std::io::Result<Vec<Sample>> {
+    let stream = TcpStream::connect(&o.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = SplitMix64::new(o.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut samples = Vec::with_capacity(o.burst + o.requests);
+    let mut line = String::new();
+    let read_sample = |reader: &mut BufReader<TcpStream>,
+                       line: &mut String,
+                       micros: u64|
+     -> std::io::Result<Sample> {
+        line.clear();
+        if reader.read_line(line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-workload",
+            ));
+        }
+        let v = json::parse(line).map_err(std::io::Error::other)?;
+        Ok(Sample {
+            status: v
+                .get("status")
+                .and_then(|s| s.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            cache: v
+                .get("cache")
+                .and_then(|s| s.as_str())
+                .unwrap_or("-")
+                .to_string(),
+            micros,
+        })
+    };
+
+    // Open-loop burst: flood first, drain after (latency not meaningful
+    // here — recorded as 0 and excluded from percentiles).
+    if o.burst > 0 {
+        for i in 0..o.burst {
+            writer.write_all(build_request(&mut rng, o.mix, corpus, conn, i).as_bytes())?;
+        }
+        writer.flush()?;
+        for _ in 0..o.burst {
+            let mut s = read_sample(&mut reader, &mut line, 0)?;
+            s.micros = 0;
+            samples.push(s);
+        }
+    }
+
+    // Closed loop: one request in flight at a time.
+    for i in 0..o.requests {
+        let req = build_request(&mut rng, o.mix, corpus, conn, o.burst + i);
+        let t0 = Instant::now();
+        writer.write_all(req.as_bytes())?;
+        writer.flush()?;
+        let micros = |t0: Instant| t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut s = read_sample(&mut reader, &mut line, 0)?;
+        s.micros = micros(t0);
+        samples.push(s);
+    }
+    Ok(samples)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn pct_block(latencies: &mut [u64]) -> String {
+    latencies.sort_unstable();
+    format!(
+        "{{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"count\": {}}}",
+        percentile(latencies, 50.0),
+        percentile(latencies, 95.0),
+        percentile(latencies, 99.0),
+        latencies.len()
+    )
+}
+
+fn main() {
+    let o = parse_args();
+    let mut corpus = load_corpus(&o.corpus);
+    for i in 0..o.synthetic {
+        let lp = synthetic_loop(i);
+        corpus.push((lp.name().to_string(), json::escape(&lp.to_string())));
+    }
+    if corpus.is_empty() {
+        eprintln!("loadgen: no .loop files in {}", o.corpus);
+        std::process::exit(3);
+    }
+
+    let t0 = Instant::now();
+    let results: Vec<std::io::Result<Vec<Sample>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.conns)
+            .map(|conn| {
+                let o = &o;
+                let corpus = &corpus;
+                scope.spawn(move || run_conn(o, corpus, conn))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut samples = Vec::new();
+    for r in results {
+        match r {
+            Ok(s) => samples.extend(s),
+            Err(e) => {
+                eprintln!("loadgen: connection failed: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    let count = |status: &str| samples.iter().filter(|s| s.status == status).count();
+    let (ok, rejected, error) = (count("ok"), count("rejected"), count("error"));
+    let (overloaded, draining) = (count("overloaded"), count("draining"));
+    let hits = samples.iter().filter(|s| s.cache == "hit").count();
+    let misses = samples.iter().filter(|s| s.cache == "miss").count();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    // Closed-loop samples only (burst-phase latencies are recorded as 0).
+    let lat = |f: &dyn Fn(&Sample) -> bool| -> Vec<u64> {
+        samples
+            .iter()
+            .filter(|s| s.micros > 0 && f(s))
+            .map(|s| s.micros)
+            .collect()
+    };
+    let mut all = lat(&|_| true);
+    let mut cold = lat(&|s| s.cache == "miss");
+    let mut warm = lat(&|s| s.cache == "hit");
+    let speedup = {
+        let (mut c, mut w) = (cold.clone(), warm.clone());
+        c.sort_unstable();
+        w.sort_unstable();
+        let (cp, wp) = (percentile(&c, 50.0), percentile(&w, 50.0));
+        if wp > 0 {
+            cp as f64 / wp as f64
+        } else {
+            0.0
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"addr\": \"{}\",\n", json::escape(&o.addr)));
+    out.push_str(&format!("  \"conns\": {},\n", o.conns));
+    out.push_str(&format!("  \"requests_per_conn\": {},\n", o.requests));
+    out.push_str(&format!("  \"burst_per_conn\": {},\n", o.burst));
+    out.push_str(&format!(
+        "  \"mix\": \"compile:{}:verify:{}:oracle:{}\",\n",
+        o.mix.0, o.mix.1, o.mix.2
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", o.seed));
+    out.push_str(&format!("  \"corpus_files\": {},\n", corpus.len()));
+    out.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    out.push_str(&format!(
+        "  \"throughput_rps\": {:.1},\n",
+        samples.len() as f64 / wall_s.max(1e-9)
+    ));
+    out.push_str(&format!("  \"responses\": {},\n", samples.len()));
+    out.push_str(&format!(
+        "  \"status_counts\": {{\"ok\": {ok}, \"rejected\": {rejected}, \"error\": {error}, \
+         \"overloaded\": {overloaded}, \"draining\": {draining}}},\n"
+    ));
+    out.push_str(&format!("  \"cache_hits\": {hits},\n"));
+    out.push_str(&format!("  \"cache_misses\": {misses},\n"));
+    out.push_str(&format!("  \"cache_hit_rate\": {hit_rate:.4},\n"));
+    out.push_str(&format!("  \"latency_us\": {},\n", pct_block(&mut all)));
+    out.push_str(&format!(
+        "  \"cold_latency_us\": {},\n",
+        pct_block(&mut cold)
+    ));
+    out.push_str(&format!(
+        "  \"warm_latency_us\": {},\n",
+        pct_block(&mut warm)
+    ));
+    out.push_str(&format!("  \"speedup_warm_p50\": {speedup:.2}\n"));
+    out.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&o.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&o.out, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", o.out);
+        std::process::exit(3);
+    }
+    print!("{out}");
+
+    if o.shutdown {
+        if let Ok(mut s) = TcpStream::connect(&o.addr) {
+            let _ = s.write_all(b"{\"op\":\"shutdown\",\"id\":\"loadgen-shutdown\"}\n");
+            let mut line = String::new();
+            let _ = BufReader::new(s).read_line(&mut line);
+        }
+    }
+
+    if error > 0 {
+        eprintln!("loadgen: {error} error responses");
+        std::process::exit(1);
+    }
+}

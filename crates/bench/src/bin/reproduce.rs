@@ -112,14 +112,11 @@ fn main() {
                 });
             }
             "--jobs" => {
-                jobs = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&j| j >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--jobs requires a positive integer");
-                        std::process::exit(2);
-                    });
+                let v = it.next().cloned().unwrap_or_default();
+                jobs = ltsp_par::parse_jobs(&v).unwrap_or_else(|e| {
+                    eprintln!("reproduce: {e}");
+                    std::process::exit(2);
+                });
             }
             "--trace-out" => trace_out = it.next().cloned(),
             "--metrics-out" => metrics_out = it.next().cloned(),

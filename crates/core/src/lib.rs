@@ -16,12 +16,14 @@
 //!   executes a synthetic benchmark under a policy on the simulator and
 //!   reports per-benchmark gains and cycle accounting.
 
+mod cache;
 mod compile;
 mod config;
 mod report;
 mod runner;
 pub mod theory;
 
+pub use cache::{compile_key, compile_loop_cached, new_compile_cache, CompileCache};
 pub use compile::{
     compile_loop, compile_loop_with_profile, compile_loop_with_profile_traced, sample_miss_hints,
     CompiledLoop,

@@ -24,14 +24,21 @@ static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
 /// library consumers and tests get reproducible single-thread behavior
 /// unless a binary (or CI via `LTSP_JOBS`) opts batches into parallelism —
 /// and either way the determinism contract keeps artifacts byte-identical.
+///
+/// A *set but invalid* `LTSP_JOBS` (`0`, non-numeric) aborts the process
+/// with a one-line diagnostic rather than silently running serial: a CI
+/// matrix that typos its parallelism should fail loudly, not quietly
+/// produce 1-thread timings.
 pub fn default_jobs() -> usize {
     match DEFAULT_JOBS.load(Ordering::Relaxed) {
         0 => {
-            let jobs = std::env::var("LTSP_JOBS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&j| j >= 1)
-                .unwrap_or(1);
+            let jobs = match std::env::var("LTSP_JOBS") {
+                Err(_) => 1,
+                Ok(v) => ltsp_par::parse_jobs(&v).unwrap_or_else(|e| {
+                    eprintln!("ltsp: LTSP_JOBS: {e}");
+                    std::process::exit(2);
+                }),
+            };
             DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
             jobs
         }

@@ -44,6 +44,13 @@ pub struct OracleOptions {
     /// Loops with more instructions than this are not searched at all
     /// (the proof is exponential in the worst case).
     pub max_insts: usize,
+    /// Optional wall-clock budget for the whole proof. When it expires
+    /// the verdict degrades to [`IiVerdict::BoundedUnknown`] exactly as a
+    /// node-budget exhaustion would — the search never hangs its thread.
+    /// `None` (the default) keeps the oracle purely node-bounded, and
+    /// therefore bit-deterministic across machines; serving layers with
+    /// per-request deadlines set it from the request.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for OracleOptions {
@@ -51,6 +58,7 @@ impl Default for OracleOptions {
         OracleOptions {
             node_budget: 200_000,
             max_insts: 24,
+            time_budget: None,
         }
     }
 }
@@ -123,9 +131,12 @@ pub fn prove_min_ii(
             nodes,
         };
     }
+    // One deadline for the whole proof: every candidate II shares it, so
+    // an adversarial loop cannot stretch a request to IIs × budget.
+    let deadline = opts.time_budget.map(|d| std::time::Instant::now() + d);
     let lb = lower_bound(lp, machine, ddg);
     for ii in lb..upper {
-        match search_at(lp, machine, ddg, ii, opts.node_budget, &mut nodes) {
+        match search_at_bounded(lp, machine, ddg, ii, opts.node_budget, deadline, &mut nodes) {
             Feasibility::Feasible(s) => {
                 return IiVerdict::Exact {
                     optimal_ii: ii,
@@ -228,6 +239,7 @@ struct Search<'a> {
     /// One longest-path matrix per search depth (copy-down on descent).
     dist: Vec<Vec<i64>>,
     budget: u64,
+    deadline: Option<std::time::Instant>,
     nodes: u64,
     exhausted: bool,
 }
@@ -240,6 +252,21 @@ pub fn search_at(
     ddg: &Ddg,
     ii: u32,
     node_budget: u64,
+    nodes_out: &mut u64,
+) -> Feasibility {
+    search_at_bounded(lp, machine, ddg, ii, node_budget, None, nodes_out)
+}
+
+/// [`search_at`] with an optional wall-clock deadline; past it the search
+/// degrades to [`Feasibility::Unknown`] (checked every 1024 nodes, so a
+/// stuck subtree surrenders within microseconds of the deadline).
+pub fn search_at_bounded(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    ddg: &Ddg,
+    ii: u32,
+    node_budget: u64,
+    deadline: Option<std::time::Instant>,
     nodes_out: &mut u64,
 ) -> Feasibility {
     let n = lp.insts().len();
@@ -274,6 +301,7 @@ pub fn search_at(
         assigned: Vec::with_capacity(n),
         dist: vec![vec![NEG_INF; n * n]; n + 1],
         budget: node_budget,
+        deadline,
         nodes: 0,
         exhausted: false,
     };
@@ -287,6 +315,16 @@ pub fn search_at(
 }
 
 impl Search<'_> {
+    /// True once the wall-clock deadline has passed. The clock is read
+    /// only every 1024 nodes — `Instant::now` per node would dominate the
+    /// search itself.
+    fn deadline_expired(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.nodes & 0x3FF == 0 && std::time::Instant::now() >= d,
+            None => false,
+        }
+    }
+
     fn dfs(&mut self, depth: usize) -> Option<Vec<i64>> {
         let n = self.order.len();
         if depth == n {
@@ -296,7 +334,7 @@ impl Search<'_> {
         // Rotation symmetry: the first assignment's residue is free.
         let residues = if depth == 0 { 1 } else { self.ii };
         for r in 0..residues {
-            if self.budget == 0 {
+            if self.budget == 0 || self.deadline_expired() {
                 self.exhausted = true;
                 return None;
             }
@@ -567,6 +605,7 @@ mod tests {
         let opts = OracleOptions {
             node_budget: 100_000,
             max_insts: 2,
+            ..OracleOptions::default()
         };
         match prove_min_ii(&lp, &m, &ddg, 5, &opts) {
             IiVerdict::BoundedUnknown { proven_lower, .. } => {
@@ -574,6 +613,43 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_time_budget_degrades_to_bounded_unknown() {
+        // A zero wall-clock budget must surrender immediately with a
+        // sound interval — never hang, never fabricate an exact verdict
+        // below the proven lower bound.
+        let m = MachineModel::itanium2();
+        let mut b = LoopBuilder::new("mem");
+        for k in 0..6u64 {
+            let r = b.affine_ref(&format!("p{k}"), DataClass::Int, k << 22, 4, 4);
+            let _ = b.load(r);
+        }
+        let lp = b.build().unwrap();
+        let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        let opts = OracleOptions {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..OracleOptions::default()
+        };
+        let lb = lower_bound(&lp, &m, &ddg);
+        match prove_min_ii(&lp, &m, &ddg, lb + 2, &opts) {
+            IiVerdict::BoundedUnknown { proven_lower, .. } => {
+                assert!(proven_lower >= lb);
+            }
+            // The whole proof may close before the first deadline check
+            // on a machine this small only if no search was needed.
+            IiVerdict::Exact { optimal_ii, .. } => assert!(optimal_ii >= lb),
+        }
+        // A generous budget still resolves exactly.
+        let opts = OracleOptions {
+            time_budget: Some(std::time::Duration::from_secs(60)),
+            ..OracleOptions::default()
+        };
+        assert!(matches!(
+            prove_min_ii(&lp, &m, &ddg, lb + 2, &opts),
+            IiVerdict::Exact { .. }
+        ));
     }
 
     #[test]

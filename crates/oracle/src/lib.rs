@@ -26,5 +26,7 @@ mod exact;
 mod validator;
 
 pub use differential::{differential_case, differential_fuzz, CaseReport, FuzzSummary};
-pub use exact::{lower_bound, prove_min_ii, search_at, Feasibility, IiVerdict, OracleOptions};
+pub use exact::{
+    lower_bound, prove_min_ii, search_at, search_at_bounded, Feasibility, IiVerdict, OracleOptions,
+};
 pub use validator::{validate_schedule, Certificate, Violation};

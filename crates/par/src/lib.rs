@@ -45,6 +45,26 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Validates a worker-count string (a `--jobs` flag or the `LTSP_JOBS`
+/// environment variable): a positive integer, or a clear one-line
+/// rejection — never a panic, never a silent default.
+///
+/// # Errors
+///
+/// A human-readable `invalid jobs value …` message naming the offending
+/// input and the accepted form.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "invalid jobs value '{s}': must be a positive integer (at least 1)"
+        )),
+        Ok(j) => Ok(j),
+        Err(_) => Err(format!(
+            "invalid jobs value '{s}': must be a positive integer (e.g. --jobs 4)"
+        )),
+    }
+}
+
 /// A fixed-size scoped work pool. Threads are spawned per batch (scoped to
 /// each [`Pool::map`] call), so a `Pool` is just a worker-count policy and
 /// is trivially cheap to construct.
@@ -227,6 +247,21 @@ fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], k: usize) -> Option<usize> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_jobs_accepts_positive_and_rejects_the_rest() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+        for bad in ["0", "-1", "four", "", "1.5", "1x"] {
+            let e = parse_jobs(bad).unwrap_err();
+            assert!(
+                e.contains(&format!("invalid jobs value '{bad}'")),
+                "error names the input: {e}"
+            );
+            assert!(e.contains("positive integer"), "error says what's accepted");
+            assert!(!e.contains('\n'), "one line: {e:?}");
+        }
+    }
 
     #[test]
     fn map_preserves_input_order() {

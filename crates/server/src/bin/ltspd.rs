@@ -1,0 +1,112 @@
+//! `ltspd` — the compilation-as-a-service daemon.
+//!
+//! ```text
+//! ltspd [--addr HOST:PORT] [--jobs N] [--batch N] [--queue N]
+//!       [--cache-bytes N] [--result-cache-bytes N]
+//!       [--oracle-budget NODES] [--oracle-deadline-ms MS]
+//!       [--trace-out FILE] [--metrics-out FILE] [-v]
+//! ```
+//!
+//! Serves the wire protocol documented in `ltsp_server::proto` until a
+//! client sends `{"op":"shutdown"}` or the process receives
+//! SIGTERM/SIGINT, then drains gracefully (in-flight and queued
+//! requests complete) and exits 0. `--oracle-deadline-ms 0` removes the
+//! default per-request oracle wall-clock budget. Telemetry artifacts
+//! (request trace, cache counters) are written at drain.
+
+use std::process::ExitCode;
+
+use ltsp_par::parse_jobs;
+use ltsp_server::{serve, EngineConfig, ServerConfig};
+use ltsp_telemetry::Telemetry;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ltspd [--addr HOST:PORT] [--jobs N] [--batch N] [--queue N]\n\
+         \x20            [--cache-bytes N] [--result-cache-bytes N]\n\
+         \x20            [--oracle-budget NODES] [--oracle-deadline-ms MS]\n\
+         \x20            [--trace-out FILE] [--metrics-out FILE] [-v|--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn num<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        jobs: ltsp_par::default_parallelism(),
+        handle_signals: true,
+        ..ServerConfig::default()
+    };
+    let mut engine = EngineConfig::default();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                cfg.jobs = parse_jobs(&args.next().unwrap_or_else(|| usage())).unwrap_or_else(|e| {
+                    eprintln!("ltspd: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--batch" => cfg.batch_max = num::<usize>(args.next()).max(1),
+            "--queue" => cfg.queue_high_water = num::<usize>(args.next()).max(1),
+            "--cache-bytes" => engine.compile_cache_bytes = num(args.next()),
+            "--result-cache-bytes" => engine.result_cache_bytes = num(args.next()),
+            "--oracle-budget" => engine.oracle_node_budget = num(args.next()),
+            "--oracle-deadline-ms" => {
+                engine.oracle_deadline_ms = match num::<u64>(args.next()) {
+                    0 => None,
+                    ms => Some(ms),
+                }
+            }
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "-v" | "--verbose" => verbose = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cfg.engine = engine;
+    let want_telemetry = trace_out.is_some() || metrics_out.is_some() || verbose;
+    let tel = if want_telemetry {
+        Telemetry::enabled_with(verbose)
+    } else {
+        Telemetry::disabled()
+    };
+    cfg.telemetry = tel.clone();
+
+    eprintln!("ltspd: listening on {} (jobs={})", cfg.addr, cfg.jobs);
+    if let Err(e) = serve(cfg) {
+        eprintln!("ltspd: {e}");
+        return ExitCode::from(3);
+    }
+
+    let mut ok = true;
+    let mut write_artifact =
+        |path: &Option<String>,
+         what: &str,
+         f: &dyn Fn(&mut dyn std::io::Write) -> std::io::Result<()>| {
+            let Some(path) = path else { return };
+            let res = std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .and_then(|mut w| f(&mut w));
+            if let Err(e) = res {
+                eprintln!("ltspd: cannot write {what} {path}: {e}");
+                ok = false;
+            }
+        };
+    write_artifact(&trace_out, "trace", &|w| tel.write_events_jsonl(w));
+    write_artifact(&metrics_out, "metrics", &|w| tel.write_metrics_json(w));
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,462 @@
+//! The threaded TCP daemon: connection readers, a bounded admission
+//! queue, one batching dispatcher, and graceful drain.
+//!
+//! # Threading model
+//!
+//! ```text
+//!             accept loop (non-blocking poll, watches drain flag)
+//!                  │ one reader thread per connection
+//!                  ▼
+//!   reader: read line → parse → admit ──────────► bounded queue
+//!           │            │                        (Mutex<VecDeque> + Condvar)
+//!           │            └─ parse error → immediate "error" response
+//!           └─ queue at high-water → immediate "overloaded" response
+//!                  │
+//!                  ▼ (single dispatcher thread)
+//!   dispatcher: pop up to batch_max jobs → ltsp_par::Pool::map_traced
+//!               → write responses in admission order
+//! ```
+//!
+//! # Backpressure state machine
+//!
+//! The queue has exactly three externally visible states:
+//!
+//! - **accepting** — `len < high_water`: requests are enqueued and will
+//!   be answered in per-connection FIFO order.
+//! - **overloaded** — `len ≥ high_water`: the reader answers
+//!   `{"status":"overloaded"}` *immediately* (never blocks, never
+//!   drops), so a client always learns its request's fate. Admission
+//!   re-opens as soon as the dispatcher drains below the mark.
+//! - **draining** — after a `shutdown` request or SIGTERM/SIGINT: no
+//!   new admissions (late requests get `{"status":"draining"}`), queued
+//!   and in-flight work completes, readers close once idle, the
+//!   dispatcher exits when the queue is empty, and [`serve`] returns.
+//!
+//! # Drain semantics
+//!
+//! The drain flag only ever flips **under the queue lock**, and the
+//! dispatcher's exit check (`draining && queue empty`) also holds it.
+//! Admission therefore observes a total order against drain: a request
+//! either lands in the queue before the flip — and is guaranteed to be
+//! served — or sees the flag and is answered `draining`. Nothing is
+//! admitted and then abandoned.
+//!
+//! # Determinism
+//!
+//! Batch *composition* depends on arrival timing and is not
+//! deterministic — but every response is a pure function of its request
+//! (see [`crate::engine`]), results inside a batch are merged in
+//! admission order by [`ltsp_par::Pool::map_traced`], and responses per
+//! connection are written in admission order. The bytes each client
+//! reads are therefore identical at any `--jobs`, which CI enforces.
+
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use ltsp_telemetry::{Event, Telemetry};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::proto::{parse_request, ReqOp, Request, Response};
+
+/// How often blocked loops (accept, idle reads) re-check the drain flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Full daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads per dispatch batch.
+    pub jobs: usize,
+    /// Max requests fused into one pool batch.
+    pub batch_max: usize,
+    /// Admission-queue high-water mark: at or past it, new requests are
+    /// answered `overloaded`.
+    pub queue_high_water: usize,
+    /// Drain gracefully on SIGTERM/SIGINT. Process-global, so off by
+    /// default; the `ltspd` / `ltspc serve` binaries turn it on.
+    pub handle_signals: bool,
+    /// Engine knobs (caches, oracle budgets).
+    pub engine: EngineConfig,
+    /// Telemetry sink for server events and cache metrics.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7099".to_string(),
+            jobs: 1,
+            batch_max: 32,
+            queue_high_water: 256,
+            handle_signals: false,
+            engine: EngineConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// One admitted request plus where its response goes.
+struct Job {
+    req: Request,
+    conn: Arc<Conn>,
+}
+
+/// A connection's write half, shared by its reader thread (admission
+/// responses) and the dispatcher (batch responses).
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) {
+        let mut line = resp.render();
+        line.push('\n');
+        let mut s = self.stream.lock().unwrap();
+        // A vanished client is not a server error; drop the response.
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.flush();
+    }
+}
+
+/// Shared daemon state.
+struct State {
+    engine: Engine,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    draining: AtomicBool,
+    cfg: ServerConfig,
+}
+
+impl State {
+    /// Admits a job, or answers immediately when overloaded/draining.
+    /// The draining check happens under the queue lock — see the module
+    /// docs' drain semantics.
+    fn admit(&self, req: Request, conn: &Arc<Conn>, tel: &Telemetry) {
+        let verdict = {
+            let mut q = self.queue.lock().unwrap();
+            if self.draining.load(Ordering::SeqCst) {
+                Some(("draining", "server is draining".to_string()))
+            } else if q.len() >= self.cfg.queue_high_water {
+                Some((
+                    "overloaded",
+                    format!(
+                        "admission queue at high-water mark ({})",
+                        self.cfg.queue_high_water
+                    ),
+                ))
+            } else {
+                q.push_back(Job {
+                    req: req.clone(),
+                    conn: Arc::clone(conn),
+                });
+                None
+            }
+        };
+        match verdict {
+            None => self.ready.notify_one(),
+            Some((status, msg)) => {
+                let resp = Response::error(&req.id, status, &msg);
+                conn.send(&self.engine.finish(&req, resp, tel));
+            }
+        }
+    }
+
+    fn start_drain(&self, why: &str, tel: &Telemetry) {
+        let flipped = {
+            let _q = self.queue.lock().unwrap();
+            !self.draining.swap(true, Ordering::SeqCst)
+        };
+        if flipped && tel.is_enabled() {
+            tel.emit(Event::ServerLifecycle {
+                phase: "drain",
+                detail: why.to_string(),
+            });
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// A running server: the actually bound address plus a way to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    join: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates drain (as if a `shutdown` request arrived) and waits
+    /// for the daemon to finish in-flight work and exit.
+    pub fn shutdown(self) {
+        let tel = self.state.cfg.telemetry.clone();
+        self.state.start_drain("handle shutdown", &tel);
+        let _ = self.join.join();
+    }
+
+    /// Waits for the daemon to exit on its own (client `shutdown`
+    /// request or a signal).
+    pub fn wait(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Binds and serves in a background thread; returns once the listener
+/// is accepting. Used by in-process tests and `ltspc serve`/`ltspd`.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(State {
+        engine: Engine::new(cfg.engine.clone()),
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        draining: AtomicBool::new(false),
+        cfg,
+    });
+    if state.cfg.handle_signals {
+        install_signal_drain(&state);
+    }
+    let st = Arc::clone(&state);
+    let join = thread::Builder::new()
+        .name("ltspd-accept".to_string())
+        .spawn(move || run(listener, st))
+        .expect("spawn ltspd accept thread");
+    Ok(ServerHandle { addr, state, join })
+}
+
+/// Binds and serves on the caller's thread until drained. This is the
+/// blocking entry `ltspd` and `ltspc serve` use.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
+    spawn(cfg)?.wait();
+    Ok(())
+}
+
+/// Installs a SIGTERM/SIGINT hook that drains this server (Unix only;
+/// signal handlers are process-global, hence the [`ServerConfig`] gate).
+#[cfg(unix)]
+fn install_signal_drain(state: &Arc<State>) {
+    use std::sync::OnceLock;
+    static TERM_FLAG: OnceLock<&'static AtomicBool> = OnceLock::new();
+    // The handler only flips an atomic — async-signal-safe. A watcher
+    // thread folds it into the server's drain state (the handler itself
+    // cannot lock).
+    extern "C" fn on_term(_sig: i32) {
+        if let Some(flag) = TERM_FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let flag: &'static AtomicBool =
+        TERM_FLAG.get_or_init(|| Box::leak(Box::new(AtomicBool::new(false))));
+    let handler = on_term as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    let st = Arc::downgrade(state);
+    thread::Builder::new()
+        .name("ltspd-signal".to_string())
+        .spawn(move || loop {
+            thread::sleep(POLL);
+            let Some(state) = st.upgrade() else { return };
+            if flag.load(Ordering::SeqCst) {
+                let tel = state.cfg.telemetry.clone();
+                state.start_drain("signal", &tel);
+                return;
+            }
+            if state.draining.load(Ordering::SeqCst) {
+                return;
+            }
+        })
+        .ok();
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_state: &Arc<State>) {}
+
+fn run(listener: TcpListener, state: Arc<State>) {
+    let tel = state.cfg.telemetry.clone();
+    if tel.is_enabled() {
+        tel.emit(Event::ServerLifecycle {
+            phase: "listen",
+            detail: listener
+                .local_addr()
+                .map_or_else(|_| state.cfg.addr.clone(), |a| a.to_string()),
+        });
+    }
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+
+    let dispatcher = {
+        let state = Arc::clone(&state);
+        let tel = tel.clone();
+        thread::Builder::new()
+            .name("ltspd-dispatch".to_string())
+            .spawn(move || dispatch_loop(&state, &tel))
+            .expect("spawn ltspd dispatcher")
+    };
+
+    let mut readers = Vec::new();
+    while !state.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(&state);
+                let tel = tel.clone();
+                readers.push(
+                    thread::Builder::new()
+                        .name("ltspd-conn".to_string())
+                        .spawn(move || reader_loop(stream, &state, &tel))
+                        .expect("spawn ltspd reader"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+    drop(listener);
+    for r in readers {
+        let _ = r.join();
+    }
+    let _ = dispatcher.join();
+    state.engine.export_metrics(&tel);
+    if tel.is_enabled() {
+        tel.emit(Event::ServerLifecycle {
+            phase: "stopped",
+            detail: String::new(),
+        });
+    }
+}
+
+/// Per-connection reader: frame lines, answer protocol errors and
+/// `shutdown` inline, admit the rest.
+///
+/// Framing is done by hand on a byte buffer rather than
+/// `BufReader::read_line` because reads run under a poll timeout, and
+/// `read_line` discards partially read bytes when it returns an error —
+/// a request split across TCP segments would be corrupted.
+fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; normalize to blocking-with-timeout. Nagle off:
+    // responses are single small writes and latency is the product.
+    stream.set_nonblocking(false).expect("set_nonblocking");
+    stream
+        .set_read_timeout(Some(POLL))
+        .expect("set_read_timeout");
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream.try_clone().expect("clone stream")),
+    });
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle: close once the server is draining, else keep
+                // waiting for the next request.
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_request(line) {
+                Ok(req) if req.op == ReqOp::Shutdown => {
+                    let resp = Response {
+                        id: req.id.clone(),
+                        status: "draining",
+                        cache: "-",
+                        body: ",\"op\":\"shutdown\"".to_string(),
+                    };
+                    conn.send(&state.engine.finish(&req, resp, tel));
+                    state.start_drain("shutdown request", tel);
+                    return;
+                }
+                Ok(req) => state.admit(req, &conn, tel),
+                Err(e) => {
+                    let resp = Response::error(&e.id, "error", &e.message);
+                    conn.send(&state.engine.finish_admission(&e.id, "proto", resp, tel));
+                }
+            }
+        }
+    }
+}
+
+/// The single dispatcher: pop up to `batch_max` jobs, run them on the
+/// pool (forked telemetry, index-ordered merge), write responses in
+/// admission order.
+fn dispatch_loop(state: &Arc<State>, tel: &Telemetry) {
+    let pool = ltsp_par::Pool::new(state.cfg.jobs);
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = state.queue.lock().unwrap();
+            while q.is_empty() && !state.draining.load(Ordering::SeqCst) {
+                let (guard, _timeout) = state.ready.wait_timeout(q, POLL).unwrap();
+                q = guard;
+            }
+            if q.is_empty() {
+                // Draining and empty — and since drain flips under this
+                // lock, nothing can be admitted after this observation.
+                return;
+            }
+            let n = q.len().min(state.cfg.batch_max);
+            q.drain(..n).collect()
+        };
+        // Fast path: a lone request runs on the dispatcher thread — no
+        // worker spawn, so a cache hit costs microseconds, not a thread.
+        // Telemetry still goes through fork/absorb, same as the pool.
+        if let [job] = batch.as_slice() {
+            let resp = if tel.is_enabled() {
+                let child = tel.fork();
+                let resp = state.engine.handle(&job.req, &child);
+                tel.absorb(child, 0);
+                resp
+            } else {
+                state.engine.handle(&job.req, tel)
+            };
+            job.conn.send(&resp);
+            continue;
+        }
+        let responses = pool.map_traced(tel, "serve-batch", &batch, |tel, _idx, job| {
+            state.engine.handle(&job.req, tel)
+        });
+        for (job, resp) in batch.iter().zip(&responses) {
+            job.conn.send(resp);
+        }
+    }
+}

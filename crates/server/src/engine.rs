@@ -1,0 +1,792 @@
+//! The request engine: the full compilation pipeline behind the wire
+//! protocol, fronted by two content-addressed caches.
+//!
+//! - **Compile** requests go through [`ltsp_core::compile_loop_cached`]:
+//!   the cache stores [`CompiledLoop`] artifacts keyed by canonicalized
+//!   loop + full [`CompileConfig`] + machine + trip, and the response
+//!   body is (deterministically) re-rendered from the artifact.
+//! - **Verify** and **oracle** requests cache the *rendered response
+//!   body* keyed by canonicalized loop + the request's oracle knobs —
+//!   the expensive part is the search, not the rendering.
+//!
+//! Either way a hit returns bytes identical to what the cold path
+//! produced, and a key covers every input that can change the answer, so
+//! eviction can only ever cost time, never correctness.
+//!
+//! The engine is `Sync`: the daemon calls [`Engine::handle`] from many
+//! pool workers at once. Every response is a pure function of the
+//! request, which is what keeps batch composition (and therefore
+//! `--jobs`) out of the bytes on the wire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
+use ltsp_core::{compile_loop_cached, new_compile_cache, CompileCache, CompileConfig};
+use ltsp_ir::{parse_loop, LoopIr, ParseError};
+use ltsp_machine::MachineModel;
+use ltsp_oracle::{differential_case, IiVerdict, OracleOptions};
+use ltsp_telemetry::{Event, Telemetry};
+
+use crate::proto::{push_bool_field, push_str_field, push_u64_field, ReqOp, Request, Response};
+use crate::report::render_compile_report;
+
+/// A cached verify/oracle outcome: the response status plus the body
+/// fragment (everything after the envelope).
+#[derive(Debug, Clone)]
+struct CachedResult {
+    status: &'static str,
+    body: String,
+}
+
+/// Engine tuning knobs (the daemon forwards these from its CLI).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Byte budget for the compiled-artifact cache.
+    pub compile_cache_bytes: usize,
+    /// Byte budget for the verify/oracle response cache.
+    pub result_cache_bytes: usize,
+    /// Default oracle node budget when a request names none.
+    pub oracle_node_budget: u64,
+    /// Default oracle wall-clock budget when a request names none
+    /// (`None` = unlimited).
+    pub oracle_deadline_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            compile_cache_bytes: 64 << 20,
+            result_cache_bytes: 16 << 20,
+            oracle_node_budget: 200_000,
+            oracle_deadline_ms: Some(10_000),
+        }
+    }
+}
+
+/// Request counters by final status (monotonic, exposed via `stats`).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// `status:"ok"` responses.
+    pub ok: AtomicU64,
+    /// `status:"rejected"` responses.
+    pub rejected: AtomicU64,
+    /// `status:"error"` responses.
+    pub error: AtomicU64,
+    /// `status:"overloaded"` responses (bumped by the daemon).
+    pub overloaded: AtomicU64,
+    /// `status:"draining"` responses (bumped by the daemon).
+    pub draining: AtomicU64,
+}
+
+impl ServeCounters {
+    fn bump(&self, status: &str) {
+        match status {
+            "ok" => &self.ok,
+            "rejected" => &self.rejected,
+            "overloaded" => &self.overloaded,
+            "draining" => &self.draining,
+            _ => &self.error,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared, thread-safe request engine.
+pub struct Engine {
+    machine: MachineModel,
+    compile_cache: CompileCache,
+    result_cache: ShardedLru<CachedResult>,
+    cfg: EngineConfig,
+    /// Per-status response tallies.
+    pub counters: ServeCounters,
+}
+
+impl Engine {
+    /// Builds an engine for the Itanium 2 machine model.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            machine: MachineModel::itanium2(),
+            compile_cache: new_compile_cache(cfg.compile_cache_bytes),
+            result_cache: ShardedLru::new(CacheConfig {
+                byte_budget: cfg.result_cache_bytes,
+                ..CacheConfig::default()
+            }),
+            cfg,
+            counters: ServeCounters::default(),
+        }
+    }
+
+    /// Handles one admitted request. Emits an [`Event::ServerRequest`]
+    /// on `tel` and tallies the status. `shutdown` is the daemon's
+    /// business and answers `error` here.
+    pub fn handle(&self, req: &Request, tel: &Telemetry) -> Response {
+        let resp = match req.op {
+            ReqOp::Ping => Response {
+                id: req.id.clone(),
+                status: "ok",
+                cache: "-",
+                body: ",\"op\":\"ping\"".to_string(),
+            },
+            ReqOp::Stats => self.stats_response(req),
+            ReqOp::Shutdown => Response::error(&req.id, "error", "shutdown not admitted here"),
+            ReqOp::Compile | ReqOp::Verify | ReqOp::Oracle => self.cached_response(req, tel),
+        };
+        self.finish(req, resp, tel)
+    }
+
+    /// First-level cache in front of the pipeline, keyed on the *raw*
+    /// request content (loop text byte-for-byte plus every knob). A hit
+    /// skips even the loop parse; a miss falls through to the canonical
+    /// per-op path, whose artifact/body caches still deduplicate requests
+    /// that differ only in formatting. Responses are pure functions of
+    /// their requests, so caching the whole outcome (including error
+    /// outcomes) is sound.
+    fn cached_response(&self, req: &Request, tel: &Telemetry) -> Response {
+        let key = {
+            let mut h = FingerprintHasher::new();
+            h.write_str("request-v1");
+            h.write_str(req.op.tag());
+            h.write_str(&req.loop_text);
+            h.write_str(&req.policy.to_string());
+            h.write_f64(req.trip);
+            h.write_u64(u64::from(req.threshold));
+            h.write_u64(
+                u64::from(req.prefetch)
+                    | u64::from(req.balanced) << 1
+                    | u64::from(req.speculate) << 2,
+            );
+            h.write_u64(req.budget);
+            h.write_u64(self.effective_deadline_ms(req).map_or(u64::MAX, |d| d));
+            h.finish()
+        };
+        let inner_tag = std::cell::Cell::new("miss");
+        let (cached, hit) = self.result_cache.get_or_insert_with(
+            key,
+            |r| r.body.len() + req.loop_text.len() + 64,
+            || {
+                let resp = match req.op {
+                    ReqOp::Compile => self.compile(req, tel),
+                    _ => self.verify_or_oracle(req, tel),
+                };
+                inner_tag.set(resp.cache);
+                CachedResult {
+                    status: resp.status,
+                    body: resp.body,
+                }
+            },
+        );
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if hit { "hit" } else { inner_tag.get() },
+            body: cached.body.clone(),
+        }
+    }
+
+    /// Tallies and traces a response (also used by the daemon for
+    /// admission-path responses: overloaded / draining / parse errors).
+    pub fn finish(&self, req: &Request, resp: Response, tel: &Telemetry) -> Response {
+        self.counters.bump(resp.status);
+        if tel.is_enabled() {
+            tel.emit(Event::ServerRequest {
+                trace_id: req.id.clone(),
+                op: req.op.tag(),
+                status: resp.status,
+                cache: resp.cache,
+                loop_name: loop_name_of(&req.loop_text),
+            });
+        }
+        resp
+    }
+
+    /// Like [`Engine::finish`] for responses produced before a
+    /// [`Request`] exists (protocol parse failures): tallies the status
+    /// and traces under the given op tag.
+    pub fn finish_admission(
+        &self,
+        trace_id: &str,
+        op: &'static str,
+        resp: Response,
+        tel: &Telemetry,
+    ) -> Response {
+        self.counters.bump(resp.status);
+        if tel.is_enabled() {
+            tel.emit(Event::ServerRequest {
+                trace_id: trace_id.to_string(),
+                op,
+                status: resp.status,
+                cache: resp.cache,
+                loop_name: String::new(),
+            });
+        }
+        resp
+    }
+
+    /// Exports both caches' counters into `tel`'s metrics registry.
+    pub fn export_metrics(&self, tel: &Telemetry) {
+        self.compile_cache
+            .export_metrics(tel, "serve.compile_cache");
+        self.result_cache.export_metrics(tel, "serve.result_cache");
+        tel.counter_add(
+            "serve.requests.ok",
+            self.counters.ok.load(Ordering::Relaxed),
+        );
+        tel.counter_add(
+            "serve.requests.rejected",
+            self.counters.rejected.load(Ordering::Relaxed),
+        );
+        tel.counter_add(
+            "serve.requests.error",
+            self.counters.error.load(Ordering::Relaxed),
+        );
+        tel.counter_add(
+            "serve.requests.overloaded",
+            self.counters.overloaded.load(Ordering::Relaxed),
+        );
+    }
+
+    fn parse(&self, req: &Request) -> Result<LoopIr, Response> {
+        match parse_loop(&req.loop_text) {
+            Ok(lp) => Ok(lp),
+            Err(ParseError::Syntax { line, message }) => {
+                let mut body = String::new();
+                push_str_field(&mut body, "op", req.op.tag());
+                push_str_field(&mut body, "error_kind", "syntax");
+                push_u64_field(&mut body, "line", line as u64);
+                push_str_field(&mut body, "error", &message);
+                Err(Response {
+                    id: req.id.clone(),
+                    status: "error",
+                    cache: "-",
+                    body,
+                })
+            }
+            Err(ParseError::Invalid(e)) => {
+                let mut body = String::new();
+                push_str_field(&mut body, "op", req.op.tag());
+                push_str_field(&mut body, "error_kind", "invalid");
+                push_str_field(&mut body, "error", &e.to_string());
+                Err(Response {
+                    id: req.id.clone(),
+                    status: "error",
+                    cache: "-",
+                    body,
+                })
+            }
+        }
+    }
+
+    fn compile(&self, req: &Request, tel: &Telemetry) -> Response {
+        let lp = match self.parse(req) {
+            Ok(lp) => lp,
+            Err(resp) => return resp,
+        };
+        let cfg = CompileConfig::new(req.policy)
+            .with_threshold(req.threshold)
+            .with_prefetch(req.prefetch)
+            .with_balanced_recurrences(req.balanced)
+            .with_data_speculation(req.speculate);
+        // Two-level: the artifact cache deduplicates the compile itself,
+        // and the rendered body (kernel dump + JSON escaping, the bulk of
+        // the per-hit cost for large kernels) is cached alongside the
+        // verify/oracle results, keyed by the same inputs as the artifact.
+        let body_key = {
+            let mut h = FingerprintHasher::new();
+            h.write_str("compile-body-v1");
+            h.write_fingerprint(ltsp_core::compile_key(&lp, &self.machine, &cfg, req.trip));
+            h.finish()
+        };
+        let artifact_hit = std::cell::Cell::new(false);
+        let (cached, body_hit) = self.result_cache.get_or_insert_with(
+            body_key,
+            |r| r.body.len() + 32,
+            || {
+                let (compiled, hit) = compile_loop_cached(
+                    &self.compile_cache,
+                    &lp,
+                    &self.machine,
+                    &cfg,
+                    req.trip,
+                    tel,
+                );
+                artifact_hit.set(hit);
+                let mut body = String::new();
+                push_str_field(&mut body, "op", "compile");
+                push_str_field(&mut body, "loop", compiled.lp.name());
+                push_bool_field(&mut body, "pipelined", compiled.pipelined);
+                push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
+                push_u64_field(
+                    &mut body,
+                    "stages",
+                    u64::from(compiled.kernel.stage_count()),
+                );
+                if let Some(stats) = compiled.stats {
+                    push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
+                    push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
+                }
+                if let Some(regs) = compiled.regs {
+                    use std::fmt::Write as _;
+                    let _ = write!(
+                        body,
+                        ",\"regs\":[{},{},{}]",
+                        regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+                    );
+                }
+                push_str_field(
+                    &mut body,
+                    "report",
+                    &render_compile_report(&compiled, req.policy, req.trip),
+                );
+                CachedResult { status: "ok", body }
+            },
+        );
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if body_hit || artifact_hit.get() {
+                "hit"
+            } else {
+                "miss"
+            },
+            body: cached.body.clone(),
+        }
+    }
+
+    /// Verify and oracle share shape: pipeline + independent validation,
+    /// oracle adds the exact-II proof. Outcomes are cached as rendered
+    /// bodies keyed on the canonicalized loop and every knob that can
+    /// change the answer.
+    fn verify_or_oracle(&self, req: &Request, tel: &Telemetry) -> Response {
+        let lp = match self.parse(req) {
+            Ok(lp) => lp,
+            Err(resp) => return resp,
+        };
+        let mut h = FingerprintHasher::new();
+        h.write_str(if req.op == ReqOp::Oracle {
+            "oracle-v1"
+        } else {
+            "verify-v1"
+        });
+        h.write_str(&lp.to_string());
+        h.write_fingerprint(Fingerprint::of_str(&format!("{:?}", self.machine)));
+        if req.op == ReqOp::Oracle {
+            h.write_u64(req.budget);
+            h.write_u64(self.effective_deadline_ms(req).map_or(u64::MAX, |d| d));
+        }
+        let (cached, hit) = self.result_cache.get_or_insert_with(
+            h.finish(),
+            |r| r.body.len() + 32,
+            || self.run_case(req, &lp, tel),
+        );
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if hit { "hit" } else { "miss" },
+            body: cached.body.clone(),
+        }
+    }
+
+    fn effective_deadline_ms(&self, req: &Request) -> Option<u64> {
+        match req.deadline_ms {
+            Some(0) => None, // explicit 0 = no deadline
+            Some(ms) => Some(ms),
+            None if req.op == ReqOp::Oracle => self.cfg.oracle_deadline_ms,
+            None => None,
+        }
+    }
+
+    fn run_case(&self, req: &Request, lp: &LoopIr, tel: &Telemetry) -> CachedResult {
+        use std::fmt::Write as _;
+        let opts = OracleOptions {
+            node_budget: if req.op == ReqOp::Oracle {
+                req.budget
+            } else {
+                OracleOptions::default().node_budget
+            },
+            time_budget: self.effective_deadline_ms(req).map(Duration::from_millis),
+            ..OracleOptions::default()
+        };
+        let r = differential_case(lp, &self.machine, &opts, tel);
+        let mut body = String::new();
+        push_str_field(&mut body, "op", req.op.tag());
+        push_str_field(&mut body, "loop", &r.name);
+        push_bool_field(&mut body, "pipelined", r.pipelined);
+        push_u64_field(&mut body, "ii", u64::from(r.heuristic_ii));
+        body.push_str(",\"violations\":[");
+        let mut report = String::new();
+        for (i, v) in r.violations.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let line = format!("{}: violation [{}]: {v}", r.name, v.kind());
+            let _ = write!(body, "\"{}\"", ltsp_telemetry::json::escape(&line));
+        }
+        body.push(']');
+        let certified = r.violations.is_empty();
+        let mut status: &'static str = if certified { "ok" } else { "rejected" };
+        if req.op == ReqOp::Verify {
+            if certified {
+                let _ = writeln!(
+                    report,
+                    "{}: certified (II={}, {})",
+                    r.name,
+                    r.heuristic_ii,
+                    if r.pipelined {
+                        "modulo schedule"
+                    } else {
+                        "acyclic fallback"
+                    }
+                );
+            }
+        } else {
+            match &r.verdict {
+                IiVerdict::Exact {
+                    optimal_ii, nodes, ..
+                } => {
+                    let gap = r.heuristic_ii - optimal_ii;
+                    push_str_field(&mut body, "verdict", "exact");
+                    push_u64_field(&mut body, "optimal_ii", u64::from(*optimal_ii));
+                    push_u64_field(&mut body, "gap", u64::from(gap));
+                    push_u64_field(&mut body, "nodes", *nodes);
+                    let _ = writeln!(
+                        report,
+                        "{}: heuristic II={} optimal II={} gap={} ({} search nodes){}",
+                        r.name,
+                        r.heuristic_ii,
+                        optimal_ii,
+                        gap,
+                        nodes,
+                        if gap == 0 { " — proven optimal" } else { "" }
+                    );
+                }
+                IiVerdict::BoundedUnknown {
+                    proven_lower,
+                    nodes,
+                } => {
+                    status = "rejected";
+                    push_str_field(&mut body, "verdict", "bounded-unknown");
+                    push_u64_field(&mut body, "proven_lower", u64::from(*proven_lower));
+                    push_u64_field(&mut body, "nodes", *nodes);
+                    let _ = writeln!(
+                        report,
+                        "{}: heuristic II={}, optimal II in [{}, {}] — budget exhausted \
+                         after {} nodes",
+                        r.name, r.heuristic_ii, proven_lower, r.heuristic_ii, nodes
+                    );
+                }
+            }
+        }
+        push_str_field(&mut body, "report", &report);
+        CachedResult { status, body }
+    }
+
+    fn stats_response(&self, req: &Request) -> Response {
+        let mut body = String::new();
+        push_str_field(&mut body, "op", "stats");
+        for (key, v) in [
+            ("requests_ok", self.counters.ok.load(Ordering::Relaxed)),
+            (
+                "requests_rejected",
+                self.counters.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "requests_error",
+                self.counters.error.load(Ordering::Relaxed),
+            ),
+            (
+                "requests_overloaded",
+                self.counters.overloaded.load(Ordering::Relaxed),
+            ),
+        ] {
+            push_u64_field(&mut body, key, v);
+        }
+        for (prefix, stats) in [
+            ("compile_cache", self.compile_cache.stats()),
+            ("result_cache", self.result_cache.stats()),
+        ] {
+            push_u64_field(&mut body, &format!("{prefix}_hits"), stats.hits);
+            push_u64_field(&mut body, &format!("{prefix}_misses"), stats.misses);
+            push_u64_field(&mut body, &format!("{prefix}_evictions"), stats.evictions);
+            push_u64_field(&mut body, &format!("{prefix}_entries"), stats.entries);
+            push_u64_field(&mut body, &format!("{prefix}_bytes"), stats.bytes);
+        }
+        Response {
+            id: req.id.clone(),
+            status: "ok",
+            cache: "-",
+            body,
+        }
+    }
+}
+
+/// Best-effort loop name extraction for telemetry on requests that fail
+/// before parsing completes: the token after the leading `loop` keyword.
+fn loop_name_of(text: &str) -> String {
+    let mut it = text.split_whitespace();
+    match (it.next(), it.next()) {
+        (Some("loop"), Some(name)) => name.trim_end_matches('{').to_string(),
+        _ => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::parse_request;
+    use ltsp_telemetry::json;
+
+    fn req(line: &str) -> Request {
+        parse_request(line).unwrap()
+    }
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    fn loop_json(name: &str) -> String {
+        json::escape(&ltsp_workloads::saxpy(name).to_string())
+    }
+
+    #[test]
+    fn compile_misses_then_hits_with_identical_bytes() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"c1","loop":"{}"}}"#,
+            loop_json("s")
+        );
+        let cold = e.handle(&req(&line), &tel);
+        let warm = e.handle(&req(&line), &tel);
+        assert_eq!(cold.status, "ok");
+        assert_eq!(cold.cache, "miss");
+        assert_eq!(warm.cache, "hit");
+        assert_eq!(cold.body, warm.body, "hit body identical to cold body");
+        let v = json::parse(&cold.render()).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("compile"));
+        assert!(v.get("ii").unwrap().as_u64().unwrap() >= 1);
+        assert!(v
+            .get("report")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("pipelined: II="));
+    }
+
+    #[test]
+    fn config_knobs_split_the_compile_key() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let a = format!(r#"{{"op":"compile","loop":"{}"}}"#, loop_json("s"));
+        let b = format!(
+            r#"{{"op":"compile","loop":"{}","policy":"baseline"}}"#,
+            loop_json("s")
+        );
+        assert_eq!(e.handle(&req(&a), &tel).cache, "miss");
+        assert_eq!(
+            e.handle(&req(&b), &tel).cache,
+            "miss",
+            "policy changes the key"
+        );
+        assert_eq!(e.handle(&req(&a), &tel).cache, "hit");
+    }
+
+    #[test]
+    fn verify_certifies_and_caches() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(r#"{{"op":"verify","loop":"{}"}}"#, loop_json("s"));
+        let cold = e.handle(&req(&line), &tel);
+        assert_eq!(cold.status, "ok");
+        assert_eq!(cold.cache, "miss");
+        let v = json::parse(&cold.render()).unwrap();
+        assert!(v
+            .get("report")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("certified (II="));
+        assert_eq!(v.get("violations").unwrap().as_array().unwrap().len(), 0);
+        let warm = e.handle(&req(&line), &tel);
+        assert_eq!(warm.cache, "hit");
+        assert_eq!(cold.body, warm.body);
+    }
+
+    #[test]
+    fn oracle_reports_verdict_and_respects_zero_deadline() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        // deadline_ms:0 = unlimited, so the node budget decides.
+        let line = format!(
+            r#"{{"op":"oracle","loop":"{}","budget":200000,"deadline_ms":0}}"#,
+            loop_json("s")
+        );
+        let r = e.handle(&req(&line), &tel);
+        assert_eq!(r.status, "ok", "{}", r.render());
+        let v = json::parse(&r.render()).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("exact"));
+        assert_eq!(v.get("gap").unwrap().as_u64(), Some(0));
+    }
+
+    /// A loop past the oracle's `max_insts` gate (24): the verdict is
+    /// deterministically `BoundedUnknown` with zero search nodes.
+    fn oversized_loop_json() -> String {
+        let mut b = ltsp_ir::LoopBuilder::new("big");
+        for k in 0..30u64 {
+            let r = b.affine_ref(&format!("p{k}"), ltsp_ir::DataClass::Int, k << 22, 4, 4);
+            let _ = b.load(r);
+        }
+        json::escape(&b.build().unwrap().to_string())
+    }
+
+    #[test]
+    fn oracle_beyond_proof_reach_is_rejected_not_hung() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"oracle","loop":"{}","deadline_ms":0}}"#,
+            oversized_loop_json()
+        );
+        let r = e.handle(&req(&line), &tel);
+        assert_eq!(r.status, "rejected");
+        let v = json::parse(&r.render()).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("bounded-unknown"));
+        assert!(v
+            .get("report")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("budget exhausted"));
+    }
+
+    #[test]
+    fn oracle_budget_splits_the_result_key() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let a = format!(
+            r#"{{"op":"oracle","loop":"{}","budget":200000,"deadline_ms":0}}"#,
+            loop_json("s")
+        );
+        let b = format!(
+            r#"{{"op":"oracle","loop":"{}","budget":7,"deadline_ms":0}}"#,
+            loop_json("s")
+        );
+        assert_eq!(e.handle(&req(&a), &tel).cache, "miss");
+        let rb = e.handle(&req(&b), &tel);
+        assert_eq!(rb.cache, "miss", "budget changes the key");
+        assert_eq!(e.handle(&req(&a), &tel).cache, "hit", "no cross-budget hit");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let r = e.handle(
+            &req(r#"{"op":"compile","id":"x","loop":"loop b {\n  junk\n}"}"#),
+            &tel,
+        );
+        assert_eq!(r.status, "error");
+        let v = json::parse(&r.render()).unwrap();
+        assert_eq!(v.get("error_kind").unwrap().as_str(), Some("syntax"));
+        assert_eq!(v.get("line").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn requests_emit_trace_events_and_counters() {
+        let e = engine();
+        let tel = Telemetry::enabled();
+        let line = format!(
+            r#"{{"op":"verify","id":"t-9","loop":"{}"}}"#,
+            loop_json("s")
+        );
+        e.handle(&req(&line), &tel);
+        let events = tel.events();
+        let ev = events
+            .iter()
+            .find(|e| e.event.kind() == "server_request")
+            .expect("server_request event");
+        let rendered = format!("{:?}", ev.event);
+        assert!(rendered.contains("t-9"), "{rendered}");
+        assert_eq!(e.counters.ok.load(Ordering::Relaxed), 1);
+        let stats = e.handle(&req(r#"{"op":"stats"}"#), &tel);
+        let v = json::parse(&stats.render()).unwrap();
+        assert_eq!(v.get("requests_ok").unwrap().as_u64(), Some(1));
+        // A cold verify misses twice: once on the raw-request key, once
+        // on the canonical verify key.
+        assert_eq!(v.get("result_cache_misses").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn loop_names_extract_for_telemetry() {
+        assert_eq!(loop_name_of("loop saxpy {\n}"), "saxpy");
+        assert_eq!(loop_name_of("loop x{ }"), "x");
+        assert_eq!(loop_name_of("not a loop"), "");
+    }
+}
+
+#[cfg(test)]
+mod warmprof {
+    use super::*;
+    use crate::proto::parse_request;
+    use ltsp_telemetry::Telemetry;
+
+    #[test]
+    #[ignore]
+    fn warm_profile() {
+        let mut b = ltsp_ir::LoopBuilder::new("syn0");
+        let c0 = b.live_in_fr("c0");
+        let c1 = b.live_in_fr("c1");
+        for s in 0..3u64 {
+            let x = b.affine_ref(
+                &format!("x{s}[i]"),
+                ltsp_ir::DataClass::Fp,
+                (s + 1) << 24,
+                8,
+                8,
+            );
+            let v = b.load(x);
+            let mut t = b.fma(c0, v, c1);
+            for _ in 0..12 {
+                t = b.fma(c0, t, c1);
+                t = b.fmul(t, t);
+            }
+            let y = b.affine_ref(
+                &format!("y{s}[i]"),
+                ltsp_ir::DataClass::Fp,
+                ((s + 1) << 24) + (1 << 20),
+                8,
+                8,
+            );
+            b.store(y, t);
+        }
+        let lp = b.build().unwrap();
+        let text = lp.to_string();
+        let line = format!(
+            "{{\"op\":\"compile\",\"id\":\"p\",\"loop\":\"{}\"}}",
+            ltsp_telemetry::json::escape(&text)
+        );
+        let tel = Telemetry::disabled();
+        let engine = Engine::new(EngineConfig::default());
+        let req = parse_request(&line).unwrap();
+        let r = engine.handle(&req, &tel);
+        eprintln!("body bytes: {}", r.body.len());
+        let t0 = std::time::Instant::now();
+        let n = 2000;
+        for _ in 0..n {
+            let req = parse_request(&line).unwrap();
+            let _ = engine.handle(&req, &tel);
+        }
+        eprintln!("warm handle+parse: {:?}/iter", t0.elapsed() / n);
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            let _ = parse_request(&line).unwrap();
+        }
+        eprintln!("parse_request alone: {:?}/iter", t0.elapsed() / n);
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            let lp2 = ltsp_ir::parse_loop(&text).unwrap();
+            std::hint::black_box(lp2.to_string());
+        }
+        eprintln!("loop parse+tostring: {:?}/iter", t0.elapsed() / n);
+    }
+}

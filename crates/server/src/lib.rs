@@ -1,0 +1,28 @@
+//! `ltspd` — the pipelining compiler as a service.
+//!
+//! A dependency-free (std-only) threaded TCP daemon that exposes the
+//! full pipeline — parse → HLO hints → DDG → modulo schedule → register
+//! allocation → (optionally) oracle certification — over a
+//! line-delimited JSON protocol, fronted by content-addressed schedule
+//! caches with byte-budget LRU eviction, a bounded admission queue with
+//! explicit backpressure, request batching onto the deterministic
+//! [`ltsp_par`] worker pool, per-request oracle deadlines, and graceful
+//! drain.
+//!
+//! The serving layer inherits the repository's determinism contract:
+//! every response is a pure function of its request, so the bytes a
+//! client reads are identical at any server `--jobs`, and a cache hit
+//! returns exactly the bytes the cold path produced. See [`proto`] for
+//! the wire grammar, [`engine`] for cache key derivation, and
+//! [`daemon`] for the backpressure state machine and drain semantics
+//! (also DESIGN.md §12).
+
+pub mod daemon;
+pub mod engine;
+pub mod proto;
+mod report;
+
+pub use daemon::{serve, spawn, ServerConfig, ServerHandle};
+pub use engine::{Engine, EngineConfig};
+pub use proto::{parse_request, ProtoError, ReqOp, Request, Response};
+pub use report::render_compile_report;

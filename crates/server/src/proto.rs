@@ -1,0 +1,361 @@
+//! The `ltspd` wire protocol: line-delimited JSON, one request object in,
+//! one response object out.
+//!
+//! # Grammar
+//!
+//! Every request is a single JSON object on one line (loop text travels
+//! JSON-escaped, so embedded newlines are fine):
+//!
+//! ```text
+//! {"op":"compile","id":"r1","loop":"loop s { ... }",
+//!  "policy":"hlo","trip":100,"threshold":32,
+//!  "prefetch":true,"balanced":false,"speculate":false}
+//! {"op":"verify","id":"r2","loop":"..."}
+//! {"op":"oracle","id":"r3","loop":"...","budget":200000,"deadline_ms":1000}
+//! {"op":"ping"}          {"op":"stats"}          {"op":"shutdown"}
+//! ```
+//!
+//! Every response is a single JSON object on one line, always starting
+//! with the same three fields:
+//!
+//! ```text
+//! {"id":"r1","status":"ok","cache":"hit", ...op-specific fields...}
+//! ```
+//!
+//! - `id` echoes the request's `id`; when the client sends none, the
+//!   server derives one from the request content (so identical requests
+//!   get identical responses, byte for byte).
+//! - `status` ∈ `ok` | `rejected` (validator violations or a
+//!   budget-limited oracle verdict) | `error` (malformed request or loop)
+//!   | `overloaded` (admission queue past its high-water mark) |
+//!   `draining` (received after a shutdown was accepted).
+//! - `cache` ∈ `hit` | `miss` | `-` (request classes that never cache).
+//!
+//! Responses carry no timestamps or worker attribution: a response is a
+//! pure function of the request (plus, for `cache`, the request history
+//! of the server instance), which is what makes the serving layer
+//! byte-deterministic at any `--jobs` and what makes response bodies
+//! cacheable at all. Wall-clock observability lives in the telemetry
+//! metrics, never on the wire.
+
+use ltsp_cache::Fingerprint;
+use ltsp_core::LatencyPolicy;
+use ltsp_telemetry::json::{self, escape, JsonValue};
+
+/// The request classes the daemon serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOp {
+    /// Full pipeline: parse → HLO → DDG → modulo schedule → regalloc.
+    Compile,
+    /// Compile at base latencies, then certify with the independent
+    /// validator.
+    Verify,
+    /// `Verify` plus the exact-II oracle proof (budgeted).
+    Oracle,
+    /// Liveness probe.
+    Ping,
+    /// Server + cache counters (excluded from the determinism contract).
+    Stats,
+    /// Begin graceful drain: stop admitting, finish in-flight, exit.
+    Shutdown,
+}
+
+impl ReqOp {
+    /// The wire tag, also used for telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReqOp::Compile => "compile",
+            ReqOp::Verify => "verify",
+            ReqOp::Oracle => "oracle",
+            ReqOp::Ping => "ping",
+            ReqOp::Stats => "stats",
+            ReqOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request. Fields irrelevant to the op keep their defaults
+/// (and still participate in the content-derived `id`, harmlessly).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-supplied trace ID, or a content-derived one.
+    pub id: String,
+    /// Request class.
+    pub op: ReqOp,
+    /// The loop source text (compile/verify/oracle).
+    pub loop_text: String,
+    /// Latency policy (compile only; default `hlo`).
+    pub policy: LatencyPolicy,
+    /// Trip estimate (compile only; default 100).
+    pub trip: f64,
+    /// Trip threshold (compile only; default 32).
+    pub threshold: u32,
+    /// Software prefetching on (compile only; default true).
+    pub prefetch: bool,
+    /// Balanced-recurrence extension (compile only; default false).
+    pub balanced: bool,
+    /// Data speculation (compile only; default false).
+    pub speculate: bool,
+    /// Oracle node budget (oracle only; default 200 000).
+    pub budget: u64,
+    /// Oracle wall-clock budget in ms (oracle only; `None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for Request {
+    fn default() -> Self {
+        Request {
+            id: String::new(),
+            op: ReqOp::Ping,
+            loop_text: String::new(),
+            policy: LatencyPolicy::HloHints,
+            trip: 100.0,
+            threshold: 32,
+            prefetch: true,
+            balanced: false,
+            speculate: false,
+            budget: 200_000,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// A protocol-level parse failure: the best-effort request `id` (so the
+/// error response can still be correlated) and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Echoed `id` if one could be extracted, else content-derived.
+    pub id: String,
+    /// What was wrong with the request.
+    pub message: String,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ProtoError`] on malformed JSON, an unknown `op`, a missing `loop`
+/// for loop-carrying ops, or ill-typed fields.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let derived_id = || format!("q{}", Fingerprint::of_str(line.trim()).short_hex());
+    let v = json::parse(line.trim()).map_err(|e| ProtoError {
+        id: derived_id(),
+        message: format!("malformed JSON: {e}"),
+    })?;
+    let id = v
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(derived_id);
+    let fail = |message: String| ProtoError {
+        id: id.clone(),
+        message,
+    };
+
+    let op = match v.get("op").and_then(JsonValue::as_str) {
+        Some("compile") => ReqOp::Compile,
+        Some("verify") => ReqOp::Verify,
+        Some("oracle") => ReqOp::Oracle,
+        Some("ping") => ReqOp::Ping,
+        Some("stats") => ReqOp::Stats,
+        Some("shutdown") => ReqOp::Shutdown,
+        Some(other) => return Err(fail(format!("unknown op '{other}'"))),
+        None => return Err(fail("missing 'op'".to_string())),
+    };
+
+    let mut req = Request {
+        id: id.clone(),
+        op,
+        ..Request::default()
+    };
+    if matches!(op, ReqOp::Compile | ReqOp::Verify | ReqOp::Oracle) {
+        req.loop_text = v
+            .get("loop")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| fail(format!("op '{}' needs a string 'loop'", op.tag())))?
+            .to_string();
+    }
+    if let Some(p) = v.get("policy") {
+        req.policy = match p.as_str() {
+            Some("baseline") => LatencyPolicy::Baseline,
+            Some("l3") => LatencyPolicy::AllLoadsL3,
+            Some("fpl2") => LatencyPolicy::AllFpLoadsL2,
+            Some("hlo") => LatencyPolicy::HloHints,
+            _ => return Err(fail("policy must be baseline|l3|fpl2|hlo".to_string())),
+        };
+    }
+    if let Some(t) = v.get("trip") {
+        req.trip = t
+            .as_f64()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| fail("trip must be a non-negative number".to_string()))?;
+    }
+    if let Some(t) = v.get("threshold") {
+        req.threshold = t
+            .as_u64()
+            .and_then(|t| u32::try_from(t).ok())
+            .ok_or_else(|| fail("threshold must be a u32".to_string()))?;
+    }
+    for (key, slot) in [
+        ("prefetch", &mut req.prefetch as &mut bool),
+        ("balanced", &mut req.balanced),
+        ("speculate", &mut req.speculate),
+    ] {
+        if let Some(b) = v.get(key) {
+            *slot = match b {
+                JsonValue::Bool(b) => *b,
+                _ => return Err(fail(format!("{key} must be a boolean"))),
+            };
+        }
+    }
+    if let Some(b) = v.get("budget") {
+        req.budget = b
+            .as_u64()
+            .ok_or_else(|| fail("budget must be a non-negative integer".to_string()))?;
+    }
+    if let Some(d) = v.get("deadline_ms") {
+        req.deadline_ms = Some(
+            d.as_u64()
+                .ok_or_else(|| fail("deadline_ms must be a non-negative integer".to_string()))?,
+        );
+    }
+    Ok(req)
+}
+
+/// One response, split so the cacheable part (`body`) excludes the
+/// per-request envelope (`id`, `cache`): a response cache stores bodies,
+/// and the envelope is re-spliced per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request `id`.
+    pub id: String,
+    /// `ok` | `rejected` | `error` | `overloaded` | `draining`.
+    pub status: &'static str,
+    /// `hit` | `miss` | `-`.
+    pub cache: &'static str,
+    /// JSON fragment appended after the envelope fields; either empty or
+    /// starting with `,` (e.g. `,"op":"ping"`).
+    pub body: String,
+}
+
+impl Response {
+    /// An error response with a message body.
+    pub fn error(id: &str, status: &'static str, message: &str) -> Response {
+        Response {
+            id: id.to_string(),
+            status,
+            cache: "-",
+            body: format!(",\"error\":\"{}\"", escape(message)),
+        }
+    }
+
+    /// Renders the single response line (no trailing newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"status\":\"{}\",\"cache\":\"{}\"{}}}",
+            escape(&self.id),
+            self.status,
+            self.cache,
+            self.body
+        )
+    }
+}
+
+/// Appends a `"key":"string"` pair to a body fragment.
+pub fn push_str_field(body: &mut String, key: &str, value: &str) {
+    use std::fmt::Write as _;
+    let _ = write!(body, ",\"{}\":\"{}\"", escape(key), escape(value));
+}
+
+/// Appends a `"key":N` pair to a body fragment.
+pub fn push_u64_field(body: &mut String, key: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(body, ",\"{}\":{}", escape(key), value);
+}
+
+/// Appends a `"key":true|false` pair to a body fragment.
+pub fn push_bool_field(body: &mut String, key: &str, value: bool) {
+    use std::fmt::Write as _;
+    let _ = write!(body, ",\"{}\":{}", escape(key), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_compile_request() {
+        let r = parse_request(
+            r#"{"op":"compile","id":"a","loop":"loop x {\n}","policy":"l3","trip":12.5,
+               "threshold":0,"prefetch":false,"balanced":true,"speculate":true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, "a");
+        assert_eq!(r.op, ReqOp::Compile);
+        assert_eq!(r.loop_text, "loop x {\n}");
+        assert_eq!(r.policy, LatencyPolicy::AllLoadsL3);
+        assert_eq!(r.trip, 12.5);
+        assert_eq!(r.threshold, 0);
+        assert!(!r.prefetch);
+        assert!(r.balanced);
+        assert!(r.speculate);
+    }
+
+    #[test]
+    fn derives_deterministic_ids() {
+        let a = parse_request(r#"{"op":"ping"}"#).unwrap();
+        let b = parse_request(r#"{"op":"ping"}"#).unwrap();
+        let c = parse_request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(a.id, b.id, "same content, same id");
+        assert_ne!(a.id, c.id);
+        assert!(a.id.starts_with('q'));
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_the_right_id() {
+        let e = parse_request(r#"{"op":"warp","id":"x"}"#).unwrap_err();
+        assert_eq!(e.id, "x");
+        assert!(e.message.contains("unknown op"));
+        let e = parse_request(r#"{"op":"compile","id":"y"}"#).unwrap_err();
+        assert!(e.message.contains("needs a string 'loop'"));
+        let e = parse_request("not json").unwrap_err();
+        assert!(e.message.contains("malformed JSON"));
+        let e = parse_request(r#"{"op":"oracle","loop":"l","budget":-3}"#).unwrap_err();
+        assert!(e.message.contains("budget"));
+    }
+
+    #[test]
+    fn responses_render_as_one_json_line() {
+        let mut body = String::new();
+        push_str_field(&mut body, "op", "compile");
+        push_u64_field(&mut body, "ii", 4);
+        push_bool_field(&mut body, "pipelined", true);
+        push_str_field(&mut body, "report", "two\nlines");
+        let r = Response {
+            id: "r1".to_string(),
+            status: "ok",
+            cache: "miss",
+            body,
+        };
+        let line = r.render();
+        assert!(!line.contains('\n'), "newlines are escaped: {line}");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(v.get("ii").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("report").unwrap().as_str(), Some("two\nlines"));
+    }
+
+    #[test]
+    fn error_responses_round_trip() {
+        let r = Response::error("id-1", "error", "loop:3: bad \"thing\"");
+        let v = json::parse(&r.render()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            v.get("error").unwrap().as_str(),
+            Some("loop:3: bad \"thing\"")
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The canonical human-readable compile report.
+//!
+//! This is the exact text `ltspc <file.loop>` prints for a compile (sans
+//! `--asm`/`--simulate` extras), factored out so the daemon's `compile`
+//! responses and the local CLI render through one function. Remote and
+//! local output being byte-identical is then true *by construction*, and
+//! CI diffs the two directly.
+
+use std::fmt::Write as _;
+
+use ltsp_core::{CompiledLoop, LatencyPolicy};
+
+/// Renders the compile report: the policy/HLO header line, the schedule
+/// summary, the register line, a blank separator and the kernel dump.
+pub fn render_compile_report(compiled: &CompiledLoop, policy: LatencyPolicy, trip: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: policy={} trip-estimate={} prefetches={} hinted-refs={}",
+        compiled.lp.name(),
+        policy,
+        trip,
+        compiled.hlo.prefetches_inserted,
+        compiled.hlo.hinted
+    );
+    if let Some(stats) = compiled.stats {
+        let _ = writeln!(
+            out,
+            "pipelined: II={} (ResMII={} RecMII={}) stages={} boosted={} critical={} speculated={}{}",
+            compiled.kernel.ii(),
+            stats.res_mii,
+            stats.rec_mii,
+            compiled.kernel.stage_count(),
+            stats.boosted_loads,
+            stats.critical_loads,
+            stats.speculated_edges,
+            if stats.dropped_boosts {
+                " (boosts dropped by register pressure)"
+            } else {
+                ""
+            }
+        );
+        if let Some(regs) = compiled.regs {
+            let _ = writeln!(
+                out,
+                "registers: GR {} FR {} PR {} (rotating)",
+                regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "not pipelined (acyclic fallback): schedule length {}",
+            compiled.kernel.ii()
+        );
+    }
+    out.push('\n');
+    out.push_str(&compiled.kernel.dump(&compiled.lp));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltsp_core::{compile_loop_with_profile_traced, CompileConfig};
+    use ltsp_machine::MachineModel;
+    use ltsp_telemetry::Telemetry;
+
+    #[test]
+    fn report_has_header_summary_and_kernel() {
+        let lp = ltsp_workloads::saxpy("s");
+        let m = MachineModel::itanium2();
+        let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+        let c = compile_loop_with_profile_traced(&lp, &m, &cfg, 100.0, &Telemetry::disabled());
+        let r = render_compile_report(&c, LatencyPolicy::HloHints, 100.0);
+        assert!(
+            r.starts_with("s: policy=hlo-hints trip-estimate=100 "),
+            "{r}"
+        );
+        assert!(r.contains("pipelined: II="));
+        assert!(r.contains("\n\n"), "blank line before the kernel dump");
+        assert!(r.ends_with('\n'));
+    }
+}

@@ -168,6 +168,32 @@ pub enum Event {
         /// Item wall-clock duration in µs.
         dur_us: u64,
     },
+    /// One request served by the `ltspd` compilation daemon
+    /// (`ltsp-server`). Carries only deterministic request-derived
+    /// fields — wall-clock latency lives in the metrics histograms, so a
+    /// trace stays byte-identical across worker counts and runs.
+    ServerRequest {
+        /// The client-supplied (or server-assigned) trace ID.
+        trace_id: String,
+        /// Request class: `"compile"`, `"verify"`, `"oracle"`, `"ping"`,
+        /// `"stats"`, or `"shutdown"`.
+        op: &'static str,
+        /// Terminal status: `"ok"`, `"rejected"`, `"error"`,
+        /// `"overloaded"`, or `"draining"`.
+        status: &'static str,
+        /// `"hit"`, `"miss"`, or `"-"` for uncacheable request classes.
+        cache: &'static str,
+        /// The loop the request concerned (empty for admin requests).
+        loop_name: String,
+    },
+    /// A lifecycle transition of the `ltspd` daemon: listening, drain
+    /// initiated, drain complete.
+    ServerLifecycle {
+        /// `"listen"`, `"drain"`, or `"stopped"`.
+        phase: &'static str,
+        /// Free-form detail (bind address, drain reason, request totals).
+        detail: String,
+    },
     /// A free-form diagnostic (replaces ad-hoc `eprintln!`).
     Diagnostic {
         /// `"info"`, `"warn"`, or `"error"`.
@@ -198,6 +224,8 @@ impl Event {
             Event::AcyclicFallback { .. } => "acyclic_fallback",
             Event::OracleVerdict { .. } => "oracle_verdict",
             Event::WorkerSpan { .. } => "worker_span",
+            Event::ServerRequest { .. } => "server_request",
+            Event::ServerLifecycle { .. } => "server_lifecycle",
             Event::Diagnostic { .. } => "diagnostic",
         }
     }
@@ -213,8 +241,11 @@ impl Event {
             | Event::RegallocFallback { loop_name, .. }
             | Event::AcyclicFallback { loop_name, .. }
             | Event::OracleVerdict { loop_name, .. } => Some(loop_name),
+            Event::ServerRequest { loop_name, .. } if !loop_name.is_empty() => Some(loop_name),
             Event::CycleEnumeration { .. }
             | Event::WorkerSpan { .. }
+            | Event::ServerRequest { .. }
+            | Event::ServerLifecycle { .. }
             | Event::Diagnostic { .. } => None,
         }
     }
@@ -359,6 +390,23 @@ impl Event {
                 ("start_us", (*start_us).into()),
                 ("dur_us", (*dur_us).into()),
             ],
+            Event::ServerRequest {
+                trace_id,
+                op,
+                status,
+                cache,
+                loop_name,
+            } => vec![
+                ("trace_id", trace_id.clone().into()),
+                ("op", (*op).into()),
+                ("status", (*status).into()),
+                ("cache", (*cache).into()),
+                ("loop", loop_name.clone().into()),
+            ],
+            Event::ServerLifecycle { phase, detail } => vec![
+                ("phase", (*phase).into()),
+                ("detail", detail.clone().into()),
+            ],
             Event::Diagnostic { level, message } => vec![
                 ("level", (*level).into()),
                 ("message", message.clone().into()),
@@ -478,6 +526,21 @@ impl Event {
                 "pool {pool}: item {item} on worker {worker} ({:.3} ms)",
                 *dur_us as f64 / 1e3
             ),
+            Event::ServerRequest {
+                trace_id,
+                op,
+                status,
+                cache,
+                loop_name,
+            } => format!(
+                "serve [{trace_id}] {op}{}: {status} (cache {cache})",
+                if loop_name.is_empty() {
+                    String::new()
+                } else {
+                    format!(" {loop_name}")
+                }
+            ),
+            Event::ServerLifecycle { phase, detail } => format!("ltspd {phase}: {detail}"),
             Event::Diagnostic { level, message } => format!("{level}: {message}"),
         }
     }

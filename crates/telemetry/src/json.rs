@@ -387,12 +387,20 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character.
-                let s = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
-                let c = s.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the maximal run of unescaped bytes in one step.
+                // (`"` and `\` are ASCII, so the boundary can never split
+                // a multi-byte UTF-8 character; validating per character
+                // would re-scan the whole tail and turn quadratic.)
+                let start = *pos;
+                while let Some(&c) = b.get(*pos) {
+                    if c == b'"' || c == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                out.push_str(s);
             }
         }
     }

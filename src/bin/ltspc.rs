@@ -10,6 +10,8 @@
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
 //! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
 //! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
+//! ltspc serve [--addr HOST:PORT] [--jobs N] ...  # run the ltspd daemon
+//! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle] [--shutdown]
 //! ```
 //!
 //! `verify` pipelines each loop at base latencies and runs the independent
@@ -20,11 +22,18 @@
 //! is printed in input order whatever the worker count, and the exit code
 //! is the first failing file's.
 //!
+//! `serve` runs the compilation daemon in-process (same flags as
+//! `ltspd`); `remote` ships loop files to a running daemon over the
+//! line-delimited JSON protocol and prints each response's report —
+//! byte-identical to what the local compile path prints, which CI
+//! checks. `--shutdown` drains the server after the last file.
+//!
 //! Exit codes are distinct per failure class so scripts can dispatch:
 //! `0` success (schedule certified / oracle verdict exact), `1` validator
 //! rejection or budget-limited oracle verdict, `2` usage error, `3` I/O
 //! error, `4` syntax error in the input (reported as `file:line:
-//! message`), `5` structurally invalid loop.
+//! message`), `5` structurally invalid loop, `6` server overloaded or
+//! draining (`remote` only — retry later).
 //!
 //! The telemetry flags record the compiler's decision trail — HLO hint
 //! heuristics, criticality verdicts, latency boosts, II escalations,
@@ -79,6 +88,7 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_IO: u8 = 3;
 const EXIT_SYNTAX: u8 = 4;
 const EXIT_INVALID: u8 = 5;
+const EXIT_BUSY: u8 = 6;
 
 fn usage() -> ! {
     eprintln!(
@@ -88,7 +98,11 @@ fn usage() -> ! {
          \x20             [--trace-out FILE] [--metrics-out FILE]\n\
          \x20             [--chrome-trace FILE] [-v|--verbose]\n\
          \x20      ltspc verify <file.loop | -> ... [--jobs N]\n\
-         \x20      ltspc oracle <file.loop | -> ... [--budget NODES] [--jobs N]"
+         \x20      ltspc oracle <file.loop | -> ... [--budget NODES] [--jobs N]\n\
+         \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N] [-v]\n\
+         \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
+         \x20            [--policy P] [--trip N] [--budget NODES] [--deadline-ms MS]\n\
+         \x20            [--shutdown]"
     );
     std::process::exit(i32::from(EXIT_USAGE));
 }
@@ -318,9 +332,252 @@ fn parse_args() -> Options {
     o
 }
 
+/// `ltspc serve`: run the `ltspd` daemon in-process until drained.
+fn run_serve(argv: &[String]) -> ExitCode {
+    let mut cfg = ltsp::server::ServerConfig {
+        jobs: ltsp::par::default_parallelism(),
+        handle_signals: true,
+        ..ltsp::server::ServerConfig::default()
+    };
+    let mut verbose = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                let v = it.next().cloned().unwrap_or_default();
+                cfg.jobs = ltsp::par::parse_jobs(&v).unwrap_or_else(|e| {
+                    eprintln!("ltspc: {e}");
+                    std::process::exit(i32::from(EXIT_USAGE));
+                })
+            }
+            "--queue" => {
+                cfg.queue_high_water = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--batch" => {
+                cfg.batch_max = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "-v" | "--verbose" => verbose = true,
+            _ => usage(),
+        }
+    }
+    cfg.telemetry = if verbose {
+        Telemetry::enabled_with(true)
+    } else {
+        Telemetry::disabled()
+    };
+    eprintln!("ltspc: serving on {} (jobs={})", cfg.addr, cfg.jobs);
+    match ltsp::server::serve(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ltspc: serve: {e}");
+            ExitCode::from(EXIT_IO)
+        }
+    }
+}
+
+/// `ltspc remote`: ship loop files to a running daemon, print each
+/// response's report, map statuses back onto the local exit codes.
+fn run_remote(argv: &[String]) -> ExitCode {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let mut addr: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut op = "compile".to_string();
+    let mut policy = "hlo".to_string();
+    let mut trip: f64 = 100.0;
+    let mut budget: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut shutdown = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--op" => {
+                op = match it.next().map(String::as_str) {
+                    Some(o @ ("compile" | "verify" | "oracle")) => o.to_string(),
+                    _ => usage(),
+                }
+            }
+            "--policy" => {
+                policy = match it.next().map(String::as_str) {
+                    Some(p @ ("baseline" | "l3" | "fpl2" | "hlo")) => p.to_string(),
+                    _ => usage(),
+                }
+            }
+            "--trip" => {
+                trip = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget" => {
+                budget = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--shutdown" => shutdown = true,
+            flag if flag.starts_with("--") => usage(),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => files.push(other.to_string()),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if files.is_empty() && !shutdown {
+        usage()
+    }
+
+    let stream = match std::net::TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ltspc: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ltspc: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let esc = ltsp::telemetry::json::escape;
+    let mut code = 0u8;
+    fn set_code(c: u8, code: &mut u8) {
+        if *code == 0 {
+            *code = c;
+        }
+    }
+
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ltspc: cannot read {file}: {e}");
+                set_code(EXIT_IO, &mut code);
+                continue;
+            }
+        };
+        let mut req = format!(
+            "{{\"op\":\"{}\",\"id\":\"{}\",\"loop\":\"{}\",\"policy\":\"{}\",\"trip\":{}",
+            op,
+            esc(file),
+            esc(&text),
+            policy,
+            trip
+        );
+        if let Some(b) = budget {
+            req.push_str(&format!(",\"budget\":{b}"));
+        }
+        if let Some(d) = deadline_ms {
+            req.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        req.push_str("}\n");
+
+        let mut line = String::new();
+        let sent = writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.flush());
+        if sent.is_err() || reader.read_line(&mut line).map_or(true, |n| n == 0) {
+            eprintln!("ltspc: connection to {addr} lost at {file}");
+            set_code(EXIT_IO, &mut code);
+            break;
+        }
+        let v = match ltsp::telemetry::json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("ltspc: bad response for {file}: {e}");
+                set_code(EXIT_IO, &mut code);
+                continue;
+            }
+        };
+        let status = v.get("status").and_then(|s| s.as_str()).unwrap_or("error");
+        let report = v.get("report").and_then(|r| r.as_str()).unwrap_or("");
+        match status {
+            "ok" | "rejected" => {
+                print!("{report}");
+                if let Some(violations) = v.get("violations").and_then(|x| x.as_array()) {
+                    for viol in violations {
+                        if let Some(s) = viol.as_str() {
+                            eprintln!("{s}");
+                        }
+                    }
+                }
+                if status == "rejected" {
+                    set_code(EXIT_REJECTED, &mut code);
+                }
+            }
+            "error" => {
+                let msg = v
+                    .get("error")
+                    .and_then(|e| e.as_str())
+                    .unwrap_or("unknown error");
+                match v.get("error_kind").and_then(|k| k.as_str()) {
+                    Some("syntax") => {
+                        let errline = v.get("line").and_then(|l| l.as_u64()).unwrap_or(0);
+                        eprintln!("{file}:{errline}: {msg}");
+                        set_code(EXIT_SYNTAX, &mut code);
+                    }
+                    Some("invalid") => {
+                        eprintln!("{file}: invalid loop: {msg}");
+                        set_code(EXIT_INVALID, &mut code);
+                    }
+                    _ => {
+                        eprintln!("ltspc: server error for {file}: {msg}");
+                        set_code(EXIT_IO, &mut code);
+                    }
+                }
+            }
+            "overloaded" | "draining" => {
+                eprintln!("ltspc: server {status}, {file} not compiled — retry later");
+                set_code(EXIT_BUSY, &mut code);
+            }
+            other => {
+                eprintln!("ltspc: unexpected status '{other}' for {file}");
+                set_code(EXIT_IO, &mut code);
+            }
+        }
+    }
+
+    if shutdown && code != EXIT_IO {
+        let mut line = String::new();
+        let sent = writer
+            .write_all(b"{\"op\":\"shutdown\",\"id\":\"ltspc-shutdown\"}\n")
+            .and_then(|()| writer.flush());
+        if sent.is_err() || reader.read_line(&mut line).map_or(true, |n| n == 0) {
+            eprintln!("ltspc: shutdown request to {addr} got no acknowledgment");
+            set_code(EXIT_IO, &mut code);
+        }
+    }
+    ExitCode::from(code)
+}
+
 fn main() -> ExitCode {
     // Subcommand dispatch: `ltspc verify <input>` / `ltspc oracle <input>`.
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("remote") => return run_remote(&argv[1..]),
+        _ => {}
+    }
     if let Some(cmd @ ("verify" | "oracle")) = argv.first().map(String::as_str) {
         let mut inputs: Vec<String> = Vec::new();
         let mut budget = OracleOptions::default().node_budget;
@@ -335,11 +592,11 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| usage())
                 }
                 "--jobs" => {
-                    jobs = it
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&j| j >= 1)
-                        .unwrap_or_else(|| usage())
+                    let v = it.next().cloned().unwrap_or_default();
+                    jobs = ltsp::par::parse_jobs(&v).unwrap_or_else(|e| {
+                        eprintln!("ltspc: {e}");
+                        std::process::exit(i32::from(EXIT_USAGE));
+                    })
                 }
                 flag if flag.starts_with("--") => usage(),
                 other => inputs.push(other.to_string()),
@@ -379,44 +636,12 @@ fn main() -> ExitCode {
     };
     let compiled = compile_loop_with_profile_traced(&lp, &machine, &cfg, o.trip, &tel);
 
-    println!(
-        "{}: policy={} trip-estimate={} prefetches={} hinted-refs={}",
-        lp.name(),
-        o.policy,
-        o.trip,
-        compiled.hlo.prefetches_inserted,
-        compiled.hlo.hinted
+    // The canonical report — the exact same renderer backs `ltspd`'s
+    // compile responses, so remote and local output are byte-identical.
+    print!(
+        "{}",
+        ltsp::server::render_compile_report(&compiled, o.policy, o.trip)
     );
-    if let Some(stats) = compiled.stats {
-        println!(
-            "pipelined: II={} (ResMII={} RecMII={}) stages={} boosted={} critical={} speculated={}{}",
-            compiled.kernel.ii(),
-            stats.res_mii,
-            stats.rec_mii,
-            compiled.kernel.stage_count(),
-            stats.boosted_loads,
-            stats.critical_loads,
-            stats.speculated_edges,
-            if stats.dropped_boosts {
-                " (boosts dropped by register pressure)"
-            } else {
-                ""
-            }
-        );
-        if let Some(regs) = compiled.regs {
-            println!(
-                "registers: GR {} FR {} PR {} (rotating)",
-                regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
-            );
-        }
-    } else {
-        println!(
-            "not pipelined (acyclic fallback): schedule length {}",
-            compiled.kernel.ii()
-        );
-    }
-    println!();
-    print!("{}", compiled.kernel.dump(&compiled.lp));
 
     if o.asm {
         println!();

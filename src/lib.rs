@@ -22,6 +22,10 @@
 //! - [`par`] — deterministic scoped work pool behind every `--jobs N`
 //!   batch layer (index-ordered merge, spliced telemetry, panic
 //!   propagation)
+//! - [`cache`] — content-addressed fingerprints and the sharded
+//!   byte-budget LRU behind the compile/serve caches
+//! - [`server`] — `ltspd`, the compilation-as-a-service daemon
+//!   (line-delimited JSON protocol, batching, backpressure, drain)
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use ltsp_cache as cache;
 pub use ltsp_core as core;
 pub use ltsp_ddg as ddg;
 pub use ltsp_hlo as hlo;
@@ -55,5 +60,6 @@ pub use ltsp_memsim as memsim;
 pub use ltsp_oracle as oracle;
 pub use ltsp_par as par;
 pub use ltsp_pipeliner as pipeliner;
+pub use ltsp_server as server;
 pub use ltsp_telemetry as telemetry;
 pub use ltsp_workloads as workloads;

@@ -1,0 +1,62 @@
+//! CLI batch behavior: one malformed file in a `ltspc verify` batch
+//! reports its own `file:line` diagnostic and exit status while the rest
+//! of the batch still completes.
+
+use std::process::Command;
+
+fn ltspc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ltspc"))
+}
+
+#[test]
+fn malformed_file_in_batch_is_non_fatal() {
+    let dir = std::env::temp_dir().join(format!("ltsp-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("good.loop");
+    let bad = dir.join("bad.loop");
+    std::fs::write(&good, std::fs::read_to_string("loops/saxpy.loop").unwrap()).unwrap();
+    std::fs::write(&bad, "loop broken {\n  this is not an instruction\n}\n").unwrap();
+
+    let out = ltspc()
+        .args(["verify", "--jobs", "2"])
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("run ltspc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // The good file still verified...
+    assert!(
+        stdout.contains("certified"),
+        "good file should complete: stdout={stdout} stderr={stderr}"
+    );
+    // ...the bad file reports a file:line diagnostic...
+    assert!(
+        stderr.contains("bad.loop:2:"),
+        "diagnostic should carry file:line: {stderr}"
+    );
+    // ...and the batch exits with the syntax-error status.
+    assert_eq!(out.status.code(), Some(4), "stderr={stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_jobs_is_a_clear_one_line_error() {
+    for bad in ["0", "four", "-2"] {
+        let out = ltspc()
+            .args(["verify", "--jobs", bad, "loops/saxpy.loop"])
+            .output()
+            .expect("run ltspc");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--jobs {bad} should be a usage error"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let diag: Vec<&str> = stderr.lines().filter(|l| l.contains("jobs")).collect();
+        assert_eq!(diag.len(), 1, "exactly one jobs diagnostic line: {stderr}");
+        assert!(diag[0].contains(bad), "names the offending value: {stderr}");
+    }
+}

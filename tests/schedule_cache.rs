@@ -1,0 +1,93 @@
+//! Correctness properties of the content-addressed schedule cache as
+//! the server uses it: a hit must be indistinguishable (byte-identical)
+//! from a cold compile, and eviction under a starved byte budget must
+//! never surface a stale answer after the configuration changes.
+
+use proptest::prelude::*;
+
+use ltsp::server::{parse_request, Engine, EngineConfig};
+use ltsp::telemetry::{json, Telemetry};
+use ltsp::workloads::random_loop;
+
+fn request_line(op: &str, id: &str, loop_text: &str, policy: &str, trip: f64) -> String {
+    format!(
+        "{{\"op\":\"{op}\",\"id\":\"{id}\",\"loop\":\"{}\",\"policy\":\"{policy}\",\
+         \"trip\":{trip},\"deadline_ms\":0}}",
+        json::escape(loop_text)
+    )
+}
+
+fn respond(engine: &Engine, line: &str) -> String {
+    let tel = Telemetry::disabled();
+    let req = parse_request(line).expect("well-formed request");
+    engine.handle(&req, &tel).render()
+}
+
+/// Strips the envelope's `cache` tag, which is the only field allowed to
+/// differ between a cold and a warm response.
+fn without_cache_tag(rendered: &str) -> String {
+    rendered
+        .replacen("\"cache\":\"hit\"", "\"cache\":\"-\"", 1)
+        .replacen("\"cache\":\"miss\"", "\"cache\":\"-\"", 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A warm hit returns the same bytes a cold compile produced, and the
+    /// same bytes an entirely fresh engine produces — for every op.
+    #[test]
+    fn hits_are_byte_identical_to_cold_compiles(
+        seed in 0u64..50_000,
+        op_ix in 0usize..3,
+        policy_ix in 0usize..4,
+    ) {
+        let op = ["compile", "verify", "oracle"][op_ix];
+        let policy = ["hlo", "baseline", "l3", "fpl2"][policy_ix];
+        let text = random_loop(seed).to_string();
+        let line = request_line(op, "q", &text, policy, 100.0);
+
+        let warm_engine = Engine::new(EngineConfig::default());
+        let cold = respond(&warm_engine, &line);
+        let warm = respond(&warm_engine, &line);
+        prop_assert!(warm.contains("\"cache\":\"hit\""), "second request should hit: {warm}");
+        prop_assert_eq!(without_cache_tag(&cold), without_cache_tag(&warm));
+
+        let fresh_engine = Engine::new(EngineConfig::default());
+        let fresh = respond(&fresh_engine, &line);
+        prop_assert_eq!(without_cache_tag(&cold), without_cache_tag(&fresh));
+    }
+
+    /// Under a byte budget small enough to evict constantly, and with the
+    /// run configuration (policy / trip estimate) flipping between
+    /// requests, the cache never serves an answer computed for a
+    /// different configuration: every response matches a cache-free
+    /// ground truth engine's response for the same request.
+    #[test]
+    fn starved_cache_never_serves_stale_config(
+        seeds in proptest::collection::vec(0u64..5_000, 2..5),
+    ) {
+        let starved = Engine::new(EngineConfig {
+            compile_cache_bytes: 2_048,
+            result_cache_bytes: 2_048,
+            ..EngineConfig::default()
+        });
+        for (i, seed) in seeds.iter().enumerate() {
+            let text = random_loop(*seed).to_string();
+            for (policy, trip) in [("hlo", 100.0), ("baseline", 100.0), ("hlo", 7.0)] {
+                for op in ["compile", "verify"] {
+                    let line = request_line(op, "q", &text, policy, trip);
+                    let got = respond(&starved, &line);
+                    // Fresh engine per request: no cache state at all.
+                    let truth = respond(&Engine::new(EngineConfig::default()), &line);
+                    prop_assert_eq!(
+                        without_cache_tag(&got),
+                        without_cache_tag(&truth),
+                        "request {} (seed {}, {} {} trip {}) diverged under eviction pressure",
+                        i, seed, op, policy, trip
+                    );
+                }
+            }
+        }
+    }
+}

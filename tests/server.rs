@@ -1,0 +1,168 @@
+//! End-to-end tests of the `ltspd` serving stack over real TCP: cache
+//! warm/cold byte-identity, `--jobs` determinism, backpressure, protocol
+//! errors, and drain semantics.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use ltsp::server::{spawn, ServerConfig, ServerHandle};
+use ltsp::telemetry::json;
+use ltsp::workloads::{random_loop, saxpy};
+
+fn start(jobs: usize, queue_high_water: usize) -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+        queue_high_water,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let writer = TcpStream::connect(handle.addr()).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        line
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn compile_request(id: &str, loop_text: &str) -> String {
+    format!(
+        "{{\"op\":\"compile\",\"id\":\"{id}\",\"loop\":\"{}\"}}",
+        json::escape(loop_text)
+    )
+}
+
+#[test]
+fn warm_hit_is_byte_identical_to_cold_miss() {
+    let handle = start(2, 256);
+    let mut c = Client::connect(&handle);
+    let line = compile_request("r", &saxpy("s").to_string());
+    let cold = c.round_trip(&line);
+    let warm = c.round_trip(&line);
+    assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+    assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+    assert_eq!(
+        cold.replacen("\"cache\":\"miss\"", "\"cache\":\"hit\"", 1),
+        warm,
+        "hit and miss responses differ beyond the cache tag"
+    );
+    handle.shutdown();
+}
+
+/// The determinism contract behind `--jobs`: the same pipelined request
+/// stream produces the same response bytes whether the server schedules
+/// batches on one worker or four.
+#[test]
+fn responses_are_byte_identical_across_jobs() {
+    let run = |jobs: usize| {
+        let handle = start(jobs, 1024);
+        let mut c = Client::connect(&handle);
+        // Pipeline everything first so multi-request batches actually form.
+        let mut expected = 0;
+        for i in 0..3 {
+            for seed in 0..8u64 {
+                let text = random_loop(seed).to_string();
+                for op in ["compile", "verify", "oracle"] {
+                    c.send(&format!(
+                        "{{\"op\":\"{op}\",\"id\":\"{op}-{seed}-{i}\",\"loop\":\"{}\",\
+                         \"deadline_ms\":0}}",
+                        json::escape(&text)
+                    ));
+                    expected += 1;
+                }
+            }
+        }
+        let out: String = (0..expected).map(|_| c.recv()).collect();
+        handle.shutdown();
+        out
+    };
+    assert_eq!(run(1), run(4), "response bytes depend on --jobs");
+}
+
+#[test]
+fn overload_answers_instead_of_hanging() {
+    let handle = start(1, 2);
+    let mut c = Client::connect(&handle);
+    let n = 64;
+    for i in 0..n {
+        c.send(&compile_request(
+            &format!("b{i}"),
+            &random_loop(i).to_string(),
+        ));
+    }
+    let responses: Vec<String> = (0..n).map(|_| c.recv()).collect();
+    let overloaded = responses
+        .iter()
+        .filter(|r| r.contains("\"status\":\"overloaded\""))
+        .count();
+    let ok = responses
+        .iter()
+        .filter(|r| r.contains("\"status\":\"ok\""))
+        .count();
+    assert!(
+        overloaded > 0,
+        "a 2-deep queue under a 64-request burst should shed load"
+    );
+    assert!(ok > 0, "admitted requests should still complete");
+    assert_eq!(overloaded + ok, n as usize);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_fail_soft() {
+    let handle = start(1, 256);
+    let mut c = Client::connect(&handle);
+    let bad = c.round_trip("{\"op\":\"compile\",\"id\":\"x\",\"loop\":\"not a loop\"}");
+    assert!(bad.contains("\"status\":\"error\""), "{bad}");
+    assert!(
+        bad.contains("\"id\":\"x\""),
+        "error echoes the request id: {bad}"
+    );
+    let not_json = c.round_trip("this is not json");
+    assert!(not_json.contains("\"status\":\"error\""), "{not_json}");
+    // The connection survives both and still serves work.
+    let ok = c.round_trip(&compile_request("y", &saxpy("s").to_string()));
+    assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_acknowledges_then_drains() {
+    let handle = start(2, 256);
+    let addr = handle.addr();
+    let mut c = Client::connect(&handle);
+    c.send(&compile_request("w", &saxpy("s").to_string()));
+    let first = c.recv();
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    let ack = c.round_trip("{\"op\":\"shutdown\",\"id\":\"bye\"}");
+    assert!(ack.contains("\"status\":\"draining\""), "{ack}");
+    handle.wait(); // returns only once the listener closed and work drained
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener should be closed after drain"
+    );
+}
