@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]
-//!         [--corpus DIR] [--burst K] [--seed N] [--out FILE] [--shutdown]
+//!         [--corpus DIR] [--burst K] [--seed N] [--out FILE]
+//!         [--fault-mode] [--shutdown]
 //! ```
 //!
 //! Opens `--conns` connections; each runs a closed loop (send one
@@ -20,6 +21,15 @@
 //! gives p50/p95/p99 latency overall and split by cache hit/miss,
 //! throughput, cache hit rate, and per-status counts. `--shutdown`
 //! drains the server at the end.
+//!
+//! `--fault-mode` drives a daemon running under `LTSP_FAULT` (see
+//! `ltsp_server::fault`): injected connection drops are *expected*, so a
+//! mid-workload EOF/reset reconnects and moves on (counted in the
+//! report's `fault` block) instead of aborting, `error` responses
+//! (contained handler panics) don't fail the run, and every read gets a
+//! 30s deadline — a response that never comes means a wedged
+//! connection, which *does* fail the run. That is the chaos-smoke CI
+//! contract: faults are shed, nothing hangs.
 
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
@@ -38,6 +48,7 @@ struct Options {
     synthetic: usize,
     seed: u64,
     out: String,
+    fault_mode: bool,
     shutdown: bool,
 }
 
@@ -45,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]\n\
          \x20              [--corpus DIR] [--synthetic N] [--burst K] [--seed N]\n\
-         \x20              [--out FILE] [--shutdown]"
+         \x20              [--out FILE] [--fault-mode] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -61,6 +72,7 @@ fn parse_args() -> Options {
         synthetic: 0,
         seed: 42,
         out: "results/BENCH_serve.json".to_string(),
+        fault_mode: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -97,6 +109,7 @@ fn parse_args() -> Options {
             }
             "--seed" => o.seed = num(args.next()),
             "--out" => o.out = args.next().unwrap_or_else(|| usage()),
+            "--fault-mode" => o.fault_mode = true,
             "--shutdown" => o.shutdown = true,
             _ => usage(),
         }
@@ -220,12 +233,48 @@ fn build_request(
     )
 }
 
-/// Runs one connection's workload; returns its samples.
-fn run_conn(o: &Options, corpus: &[(String, String)], conn: usize) -> std::io::Result<Vec<Sample>> {
-    let stream = TcpStream::connect(&o.addr)?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+/// Fault-mode accounting for one connection: injected drops survived.
+#[derive(Default)]
+struct FaultStats {
+    /// Times the connection died mid-workload and was reopened.
+    reconnects: u64,
+    /// Requests whose responses were lost to a drop (not re-sent — an
+    /// injected drop keys on the response id and would fire again).
+    lost: u64,
+}
+
+/// True for the error kinds an injected connection drop produces at the
+/// client (as opposed to a deadline expiry, which means a wedge).
+fn is_drop(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
+}
+
+/// Runs one connection's workload; returns its samples (plus survived
+/// drops in fault mode).
+fn run_conn(
+    o: &Options,
+    corpus: &[(String, String)],
+    conn: usize,
+) -> std::io::Result<(Vec<Sample>, FaultStats)> {
+    let connect = || -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let stream = TcpStream::connect(&o.addr)?;
+        stream.set_nodelay(true)?;
+        if o.fault_mode {
+            // The wedge detector: under faults, a response that never
+            // arrives must fail the run loudly, not hang it.
+            stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        }
+        let writer = stream.try_clone()?;
+        Ok((writer, BufReader::new(stream)))
+    };
+    let (mut writer, mut reader) = connect()?;
+    let mut stats = FaultStats::default();
     let mut rng = SplitMix64::new(o.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut samples = Vec::with_capacity(o.burst + o.requests);
     let mut line = String::new();
@@ -263,10 +312,22 @@ fn run_conn(o: &Options, corpus: &[(String, String)], conn: usize) -> std::io::R
             writer.write_all(build_request(&mut rng, o.mix, corpus, conn, i).as_bytes())?;
         }
         writer.flush()?;
-        for _ in 0..o.burst {
-            let mut s = read_sample(&mut reader, &mut line, 0)?;
-            s.micros = 0;
-            samples.push(s);
+        for got in 0..o.burst {
+            match read_sample(&mut reader, &mut line, 0) {
+                Ok(mut s) => {
+                    s.micros = 0;
+                    samples.push(s);
+                }
+                Err(e) if o.fault_mode && is_drop(&e) => {
+                    // A drop mid-burst kills every response still
+                    // queued behind it on this connection.
+                    stats.lost += (o.burst - got) as u64;
+                    stats.reconnects += 1;
+                    (writer, reader) = connect()?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -274,14 +335,28 @@ fn run_conn(o: &Options, corpus: &[(String, String)], conn: usize) -> std::io::R
     for i in 0..o.requests {
         let req = build_request(&mut rng, o.mix, corpus, conn, o.burst + i);
         let t0 = Instant::now();
-        writer.write_all(req.as_bytes())?;
-        writer.flush()?;
-        let micros = |t0: Instant| t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        let mut s = read_sample(&mut reader, &mut line, 0)?;
-        s.micros = micros(t0);
-        samples.push(s);
+        let sent = writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.flush());
+        let outcome = sent.and_then(|()| read_sample(&mut reader, &mut line, 0));
+        match outcome {
+            Ok(mut s) => {
+                s.micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                samples.push(s);
+            }
+            Err(e) if o.fault_mode && is_drop(&e) => {
+                // Injected drop: the response is gone by design. Move
+                // on with a fresh connection; the id is not re-sent
+                // (the drop decision is deterministic per id and would
+                // just fire again).
+                stats.lost += 1;
+                stats.reconnects += 1;
+                (writer, reader) = connect()?;
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(samples)
+    Ok((samples, stats))
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -316,7 +391,7 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let results: Vec<std::io::Result<Vec<Sample>>> = std::thread::scope(|scope| {
+    let results: Vec<std::io::Result<(Vec<Sample>, FaultStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..o.conns)
             .map(|conn| {
                 let o = &o;
@@ -329,11 +404,22 @@ fn main() {
     let wall_s = t0.elapsed().as_secs_f64();
 
     let mut samples = Vec::new();
+    let mut fault = FaultStats::default();
     for r in results {
         match r {
-            Ok(s) => samples.extend(s),
+            Ok((s, f)) => {
+                samples.extend(s);
+                fault.reconnects += f.reconnects;
+                fault.lost += f.lost;
+            }
             Err(e) => {
-                eprintln!("loadgen: connection failed: {e}");
+                let wedged = e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut;
+                if wedged {
+                    eprintln!("loadgen: connection wedged (no response within deadline): {e}");
+                } else {
+                    eprintln!("loadgen: connection failed: {e}");
+                }
                 std::process::exit(3);
             }
         }
@@ -394,6 +480,12 @@ fn main() {
         "  \"status_counts\": {{\"ok\": {ok}, \"rejected\": {rejected}, \"error\": {error}, \
          \"overloaded\": {overloaded}, \"draining\": {draining}}},\n"
     ));
+    if o.fault_mode {
+        out.push_str(&format!(
+            "  \"fault\": {{\"mode\": true, \"reconnects\": {}, \"lost_responses\": {}}},\n",
+            fault.reconnects, fault.lost
+        ));
+    }
     out.push_str(&format!("  \"cache_hits\": {hits},\n"));
     out.push_str(&format!("  \"cache_misses\": {misses},\n"));
     out.push_str(&format!("  \"cache_hit_rate\": {hit_rate:.4},\n"));
@@ -426,7 +518,9 @@ fn main() {
         }
     }
 
-    if error > 0 {
+    // Contained handler panics surface as `error` responses — under
+    // fault injection that is the success criterion, not a failure.
+    if error > 0 && !o.fault_mode {
         eprintln!("loadgen: {error} error responses");
         std::process::exit(1);
     }

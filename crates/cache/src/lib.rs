@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ltsp_telemetry::Telemetry;
+use ltsp_telemetry::{lock_unpoisoned, Telemetry};
 
 /// A stable 128-bit content fingerprint (FNV-1a).
 ///
@@ -263,7 +263,7 @@ impl<V> ShardedLru<V> {
 
     /// Looks up a key, bumping its recency on a hit.
     pub fn get(&self, key: Fingerprint) -> Option<Arc<V>> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_unpoisoned(self.shard(key));
         let tick = shard.tick();
         match shard.map.get_mut(&key.0) {
             Some(e) => {
@@ -290,7 +290,7 @@ impl<V> ShardedLru<V> {
         if bytes > self.budget_per_shard {
             return value;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_unpoisoned(self.shard(key));
         let tick = shard.tick();
         if let Some(old) = shard.map.insert(
             key.0,
@@ -355,7 +355,7 @@ impl<V> ShardedLru<V> {
         let mut entries = 0u64;
         let mut bytes = 0u64;
         for s in &self.shards {
-            let s = s.lock().expect("cache shard poisoned");
+            let s = lock_unpoisoned(s);
             entries += s.map.len() as u64;
             bytes += s.bytes as u64;
         }
@@ -373,7 +373,7 @@ impl<V> ShardedLru<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| lock_unpoisoned(s).map.len())
             .sum()
     }
 
@@ -385,7 +385,7 @@ impl<V> ShardedLru<V> {
     /// Drops every entry (counters are retained).
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut s = s.lock().expect("cache shard poisoned");
+            let mut s = lock_unpoisoned(s);
             s.map.clear();
             s.bytes = 0;
         }

@@ -37,7 +37,7 @@ use std::panic::resume_unwind;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ltsp_telemetry::{Event, Telemetry};
+use ltsp_telemetry::{lock_unpoisoned, Event, Telemetry};
 
 /// The worker count to use when the user does not specify one: the
 /// machine's available parallelism (1 if it cannot be determined).
@@ -220,21 +220,21 @@ impl Pool {
 /// Pops the front of worker `k`'s own deque, or steals the back half of
 /// the first non-empty victim queue (round-robin from `k+1`).
 fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], k: usize) -> Option<usize> {
-    if let Some(i) = deques[k].lock().expect("pool deque poisoned").pop_front() {
+    if let Some(i) = lock_unpoisoned(&deques[k]).pop_front() {
         return Some(i);
     }
     let w = deques.len();
     for d in 1..w {
         let victim = (k + d) % w;
         let stolen = {
-            let mut vq = deques[victim].lock().expect("pool deque poisoned");
+            let mut vq = lock_unpoisoned(&deques[victim]);
             let len = vq.len();
             if len == 0 {
                 continue;
             }
             vq.split_off(len - len.div_ceil(2))
         };
-        let mut own = deques[k].lock().expect("pool deque poisoned");
+        let mut own = lock_unpoisoned(&deques[k]);
         *own = stolen;
         if let Some(i) = own.pop_front() {
             return Some(i);

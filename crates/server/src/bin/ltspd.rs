@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ltspd [--addr HOST:PORT] [--jobs N] [--batch N] [--queue N]
+//!       [--outbound N] [--write-deadline-ms MS]
 //!       [--cache-bytes N] [--result-cache-bytes N]
 //!       [--oracle-budget NODES] [--oracle-deadline-ms MS]
 //!       [--trace-out FILE] [--metrics-out FILE] [-v]
@@ -13,16 +14,23 @@
 //! requests complete) and exits 0. `--oracle-deadline-ms 0` removes the
 //! default per-request oracle wall-clock budget. Telemetry artifacts
 //! (request trace, cache counters) are written at drain.
+//!
+//! `--write-deadline-ms` bounds how long a single response write may
+//! stall on a non-reading client before the connection is shed;
+//! `--outbound` caps each connection's outbound response queue. The
+//! `LTSP_FAULT` environment variable (see `ltsp_server::fault`) turns
+//! on deterministic fault injection for chaos testing.
 
 use std::process::ExitCode;
 
 use ltsp_par::parse_jobs;
-use ltsp_server::{serve, EngineConfig, ServerConfig};
+use ltsp_server::{serve, EngineConfig, FaultPlan, ServerConfig};
 use ltsp_telemetry::Telemetry;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ltspd [--addr HOST:PORT] [--jobs N] [--batch N] [--queue N]\n\
+         \x20            [--outbound N] [--write-deadline-ms MS]\n\
          \x20            [--cache-bytes N] [--result-cache-bytes N]\n\
          \x20            [--oracle-budget NODES] [--oracle-deadline-ms MS]\n\
          \x20            [--trace-out FILE] [--metrics-out FILE] [-v|--verbose]"
@@ -57,6 +65,11 @@ fn main() -> ExitCode {
             }
             "--batch" => cfg.batch_max = num::<usize>(args.next()).max(1),
             "--queue" => cfg.queue_high_water = num::<usize>(args.next()).max(1),
+            "--outbound" => cfg.outbound_max = num::<usize>(args.next()).max(1),
+            "--write-deadline-ms" => {
+                cfg.write_deadline =
+                    std::time::Duration::from_millis(num::<u64>(args.next()).max(1))
+            }
             "--cache-bytes" => engine.compile_cache_bytes = num(args.next()),
             "--result-cache-bytes" => engine.result_cache_bytes = num(args.next()),
             "--oracle-budget" => engine.oracle_node_budget = num(args.next()),
@@ -74,6 +87,13 @@ fn main() -> ExitCode {
         }
     }
     cfg.engine = engine;
+    cfg.fault = FaultPlan::from_env().unwrap_or_else(|e| {
+        eprintln!("ltspd: {e}");
+        std::process::exit(2);
+    });
+    if cfg.fault.is_active() {
+        eprintln!("ltspd: LTSP_FAULT active — injecting deterministic faults");
+    }
     let want_telemetry = trace_out.is_some() || metrics_out.is_some() || verbose;
     let tel = if want_telemetry {
         Telemetry::enabled_with(verbose)

@@ -1,11 +1,13 @@
-//! The threaded TCP daemon: connection readers, a bounded admission
-//! queue, one batching dispatcher, and graceful drain.
+//! The threaded TCP daemon: connection readers, per-connection writers,
+//! a bounded admission queue, one batching dispatcher, and graceful
+//! drain — with every failure contained to the request or connection
+//! that caused it.
 //!
 //! # Threading model
 //!
 //! ```text
 //!             accept loop (non-blocking poll, watches drain flag)
-//!                  │ one reader thread per connection
+//!                  │ one reader + one writer thread per connection
 //!                  ▼
 //!   reader: read line → parse → admit ──────────► bounded queue
 //!           │            │                        (Mutex<VecDeque> + Condvar)
@@ -14,7 +16,12 @@
 //!                  │
 //!                  ▼ (single dispatcher thread)
 //!   dispatcher: pop up to batch_max jobs → ltsp_par::Pool::map_traced
-//!               → write responses in admission order
+//!               → enqueue responses (admission order) on each conn's
+//!                 bounded outbound queue
+//!                  │
+//!                  ▼ (per-connection writer thread)
+//!   writer: pop outbound line → write under the write deadline
+//!           └─ stalled past the deadline → shed the conn (close it)
 //! ```
 //!
 //! # Backpressure state machine
@@ -32,6 +39,33 @@
 //!   and in-flight work completes, readers close once idle, the
 //!   dispatcher exits when the queue is empty, and [`serve`] returns.
 //!
+//! # Fault containment
+//!
+//! Every blocking edge has a deadline and every failure has a contained
+//! recovery (DESIGN.md §13):
+//!
+//! - **A panicking request** is caught (`catch_unwind` around
+//!   [`Engine::handle`], on the fast path and per pool item), answered
+//!   `status:"error"` with the panic payload, recorded as an
+//!   [`Event::RequestPanic`], and forgotten — the daemon keeps serving.
+//!   Locks are poison-tolerant ([`ltsp_telemetry::lock_unpoisoned`]),
+//!   so an unwinding thread cannot cascade-abort the process.
+//! - **A stalled client** sheds its *own* responses: the dispatcher
+//!   only ever enqueues onto a bounded per-connection outbound queue
+//!   (never blocks on a socket), and the connection's writer thread
+//!   kills the connection once a write stalls past
+//!   [`ServerConfig::write_deadline`] or the queue overflows
+//!   [`ServerConfig::outbound_max`]. Other connections never wait.
+//! - **A dying dispatcher** (the one per-process thread) is loud, not
+//!   silent: drain trips immediately, an
+//!   `Event::ServerLifecycle { phase: "dispatcher-died" }` fires, and
+//!   every queued request is answered `error` — nothing is admitted
+//!   into a queue nobody drains.
+//! - **Injected faults** ([`FaultPlan`], `LTSP_FAULT`) exercise all of
+//!   the above deterministically: handler panics and delays key on the
+//!   request id, connection drops and torn writes on the response id —
+//!   pure functions of the spec, independent of timing and batching.
+//!
 //! # Drain semantics
 //!
 //! The drain flag only ever flips **under the queue lock**, and the
@@ -46,24 +80,30 @@
 //! Batch *composition* depends on arrival timing and is not
 //! deterministic — but every response is a pure function of its request
 //! (see [`crate::engine`]), results inside a batch are merged in
-//! admission order by [`ltsp_par::Pool::map_traced`], and responses per
-//! connection are written in admission order. The bytes each client
-//! reads are therefore identical at any `--jobs`, which CI enforces.
+//! admission order by [`ltsp_par::Pool::map_traced`], and each
+//! connection's outbound queue preserves admission order. The bytes
+//! each client reads are therefore identical at any `--jobs`, which CI
+//! enforces — and because fault decisions are also request-keyed, the
+//! same holds for every *non-faulted* request under an active
+//! [`FaultPlan`] (the chaos tests' core assertion).
 
 use std::collections::VecDeque;
 use std::io::{Read as _, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ltsp_telemetry::{Event, Telemetry};
+use ltsp_telemetry::{lock_unpoisoned, Event, Telemetry};
 
 use crate::engine::{Engine, EngineConfig};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::proto::{parse_request, ReqOp, Request, Response};
 
-/// How often blocked loops (accept, idle reads) re-check the drain flag.
+/// How often blocked loops (accept, idle reads, stalled writes) re-check
+/// the drain flag.
 const POLL: Duration = Duration::from_millis(25);
 
 /// Full daemon configuration.
@@ -79,11 +119,21 @@ pub struct ServerConfig {
     /// Admission-queue high-water mark: at or past it, new requests are
     /// answered `overloaded`.
     pub queue_high_water: usize,
+    /// Per-connection outbound-queue cap: responses past it are shed
+    /// (the client stopped reading; its own responses pay, nobody
+    /// else's).
+    pub outbound_max: usize,
+    /// How long one response write may stall before the connection is
+    /// declared dead and closed.
+    pub write_deadline: Duration,
     /// Drain gracefully on SIGTERM/SIGINT. Process-global, so off by
     /// default; the `ltspd` / `ltspc serve` binaries turn it on.
     pub handle_signals: bool,
     /// Engine knobs (caches, oracle budgets).
     pub engine: EngineConfig,
+    /// Deterministic fault injection (`LTSP_FAULT`); inactive by
+    /// default.
+    pub fault: FaultPlan,
     /// Telemetry sink for server events and cache metrics.
     pub telemetry: Telemetry,
 }
@@ -95,8 +145,11 @@ impl Default for ServerConfig {
             jobs: 1,
             batch_max: 32,
             queue_high_water: 256,
+            outbound_max: 128,
+            write_deadline: Duration::from_secs(5),
             handle_signals: false,
             engine: EngineConfig::default(),
+            fault: FaultPlan::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -108,20 +161,83 @@ struct Job {
     conn: Arc<Conn>,
 }
 
-/// A connection's write half, shared by its reader thread (admission
-/// responses) and the dispatcher (batch responses).
+/// A connection's bounded outbound queue, drained by its writer thread.
+#[derive(Default)]
+struct Outbound {
+    /// `(response id, rendered line)` in enqueue (= admission) order.
+    queue: VecDeque<(String, String)>,
+    /// The reader finished; the writer flushes what is queued (and what
+    /// in-flight jobs still enqueue) and exits once it is the last
+    /// holder.
+    closed: bool,
+    /// The connection was declared dead (stalled past the write
+    /// deadline, injected drop, or a hard I/O error): discard
+    /// everything, immediately.
+    dead: bool,
+    /// Responses dropped because the queue was full.
+    shed: u64,
+}
+
+/// The sending half of a connection, shared by its reader thread
+/// (admission responses), the dispatcher (batch responses), and its
+/// writer thread (the only place that touches the socket for writes).
+///
+/// [`Conn::send`] only ever enqueues — it never blocks on the network —
+/// so a client that stops reading can only stall its own writer thread,
+/// never the dispatcher.
 struct Conn {
-    stream: Mutex<TcpStream>,
+    out: Mutex<Outbound>,
+    ready: Condvar,
+    max: usize,
 }
 
 impl Conn {
+    fn new(max: usize) -> Conn {
+        Conn {
+            out: Mutex::new(Outbound::default()),
+            ready: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+
+    /// Enqueues a response for the writer thread. Never blocks: a full
+    /// queue sheds the response (the client is not reading; shedding its
+    /// own responses is the contained failure), a dead connection
+    /// discards it.
     fn send(&self, resp: &Response) {
         let mut line = resp.render();
         line.push('\n');
-        let mut s = self.stream.lock().unwrap();
-        // A vanished client is not a server error; drop the response.
-        let _ = s.write_all(line.as_bytes());
-        let _ = s.flush();
+        {
+            let mut out = lock_unpoisoned(&self.out);
+            if out.dead {
+                return;
+            }
+            if out.queue.len() >= self.max {
+                out.shed += 1;
+                return;
+            }
+            out.queue.push_back((resp.id.clone(), line));
+        }
+        self.ready.notify_one();
+    }
+
+    /// Marks the reader side finished: the writer flushes and exits.
+    fn close(&self) {
+        lock_unpoisoned(&self.out).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Declares the connection dead and discards everything queued.
+    fn kill(&self) -> u64 {
+        let mut out = lock_unpoisoned(&self.out);
+        out.dead = true;
+        let dropped = out.queue.len() as u64;
+        out.queue.clear();
+        out.shed += dropped;
+        let shed = out.shed;
+        drop(out);
+        self.ready.notify_all();
+        shed
     }
 }
 
@@ -140,7 +256,7 @@ impl State {
     /// docs' drain semantics.
     fn admit(&self, req: Request, conn: &Arc<Conn>, tel: &Telemetry) {
         let verdict = {
-            let mut q = self.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&self.queue);
             if self.draining.load(Ordering::SeqCst) {
                 Some(("draining", "server is draining".to_string()))
             } else if q.len() >= self.cfg.queue_high_water {
@@ -170,7 +286,7 @@ impl State {
 
     fn start_drain(&self, why: &str, tel: &Telemetry) {
         let flipped = {
-            let _q = self.queue.lock().unwrap();
+            let _q = lock_unpoisoned(&self.queue);
             !self.draining.swap(true, Ordering::SeqCst)
         };
         if flipped && tel.is_enabled() {
@@ -310,12 +426,43 @@ fn run(listener: TcpListener, state: Arc<State>) {
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
 
+    // The dispatcher is the one per-process serving thread: its death
+    // must be loud and terminal, never a silently wedged queue. A panic
+    // escaping `dispatch_loop` (worker spawn failure, a bug outside the
+    // per-request containment) trips drain, announces itself, and
+    // answers everything still queued with an error.
     let dispatcher = {
         let state = Arc::clone(&state);
         let tel = tel.clone();
         thread::Builder::new()
             .name("ltspd-dispatch".to_string())
-            .spawn(move || dispatch_loop(&state, &tel))
+            .spawn(move || {
+                let died = catch_unwind(AssertUnwindSafe(|| dispatch_loop(&state, &tel)));
+                if let Err(payload) = died {
+                    let why = panic_message(payload.as_ref());
+                    eprintln!("ltspd: dispatcher died: {why}");
+                    tel.emit(Event::ServerLifecycle {
+                        phase: "dispatcher-died",
+                        detail: why.clone(),
+                    });
+                    // Flip drain first (under the queue lock): after
+                    // this, nothing new is admitted, so one sweep
+                    // answers every job that beat the flip.
+                    state.start_drain("dispatcher died", &tel);
+                    let orphans: Vec<Job> = {
+                        let mut q = lock_unpoisoned(&state.queue);
+                        q.drain(..).collect()
+                    };
+                    for job in orphans {
+                        let resp = Response::error(
+                            &job.req.id,
+                            "error",
+                            &format!("dispatcher died ({why}); request abandoned"),
+                        );
+                        job.conn.send(&state.engine.finish(&job.req, resp, &tel));
+                    }
+                }
+            })
             .expect("spawn ltspd dispatcher")
     };
 
@@ -350,6 +497,64 @@ fn run(listener: TcpListener, state: Arc<State>) {
     }
 }
 
+/// Stringifies a panic payload (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs one request with its failure contained: injected delays and
+/// panics fire here (keyed on the request id), and *any* panic out of
+/// [`Engine::handle`] — injected or real — becomes a `status:"error"`
+/// response plus an [`Event::RequestPanic`], never a dead daemon.
+fn handle_contained(state: &State, req: &Request, tel: &Telemetry) -> Response {
+    let fault = &state.cfg.fault;
+    if fault.is_active() && fault.fires(FaultSite::Slow, &req.id) {
+        if tel.is_enabled() {
+            tel.emit(Event::FaultInjected {
+                site: "slow",
+                trace_id: req.id.clone(),
+            });
+        }
+        thread::sleep(fault.slow);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if fault.is_active() && fault.fires(FaultSite::Panic, &req.id) {
+            if tel.is_enabled() {
+                tel.emit(Event::FaultInjected {
+                    site: "panic",
+                    trace_id: req.id.clone(),
+                });
+            }
+            panic!("injected handler panic for request {}", req.id);
+        }
+        state.engine.handle(req, tel)
+    }));
+    match result {
+        Ok(resp) => resp,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            if tel.is_enabled() {
+                tel.emit(Event::RequestPanic {
+                    trace_id: req.id.clone(),
+                    op: req.op.tag(),
+                    payload: msg.clone(),
+                });
+            }
+            let resp = Response::error(
+                &req.id,
+                "error",
+                &format!("request handler panicked: {msg}"),
+            );
+            state.engine.finish(req, resp, tel)
+        }
+    }
+}
+
 /// Per-connection reader: frame lines, answer protocol errors and
 /// `shutdown` inline, admit the rest.
 ///
@@ -361,14 +566,34 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
     // Accepted sockets may inherit the listener's non-blocking mode on
     // some platforms; normalize to blocking-with-timeout. Nagle off:
     // responses are single small writes and latency is the product.
-    stream.set_nonblocking(false).expect("set_nonblocking");
-    stream
-        .set_read_timeout(Some(POLL))
-        .expect("set_read_timeout");
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
     let _ = stream.set_nodelay(true);
-    let conn = Arc::new(Conn {
-        stream: Mutex::new(stream.try_clone().expect("clone stream")),
-    });
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn::new(state.cfg.outbound_max));
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let state = Arc::clone(state);
+        let tel = tel.clone();
+        thread::Builder::new()
+            .name("ltspd-write".to_string())
+            .spawn(move || writer_loop(&conn, write_half, &state, &tel))
+            .expect("spawn ltspd writer")
+    };
+    read_requests(&mut stream, &conn, state, tel);
+    conn.close();
+    // Drop our handle *before* joining: the writer exits once it is the
+    // last holder (queued jobs done, outbound flushed).
+    drop(conn);
+    let _ = writer.join();
+}
+
+/// The reader's framing/admission loop (split out so [`reader_loop`]
+/// can run cleanup — close + join the writer — on every exit path).
+fn read_requests(stream: &mut TcpStream, conn: &Arc<Conn>, state: &Arc<State>, tel: &Telemetry) {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -387,6 +612,11 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
                 continue;
             }
             Err(_) => return,
+        }
+        // The writer may have declared the connection dead (stalled
+        // past the write deadline); stop reading from it too.
+        if lock_unpoisoned(&conn.out).dead {
+            return;
         }
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
@@ -407,7 +637,7 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
                     state.start_drain("shutdown request", tel);
                     return;
                 }
-                Ok(req) => state.admit(req, &conn, tel),
+                Ok(req) => state.admit(req, conn, tel),
                 Err(e) => {
                     let resp = Response::error(&e.id, "error", &e.message);
                     conn.send(&state.engine.finish_admission(&e.id, "proto", resp, tel));
@@ -417,22 +647,171 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
     }
 }
 
+/// Per-connection writer: drains the bounded outbound queue onto the
+/// socket under the write deadline. This is the only thread that writes
+/// to the socket, so a stalled client stalls exactly one thread — and
+/// only until the deadline kills the connection.
+fn writer_loop(conn: &Arc<Conn>, mut stream: TcpStream, state: &State, tel: &Telemetry) {
+    let _ = stream.set_write_timeout(Some(POLL));
+    let fault = &state.cfg.fault;
+    loop {
+        let next = {
+            let mut out = lock_unpoisoned(&conn.out);
+            loop {
+                if out.dead {
+                    return;
+                }
+                if let Some(item) = out.queue.pop_front() {
+                    break Some(item);
+                }
+                // Flush complete: exit once nobody can enqueue anymore
+                // (reader gone, no queued/in-flight job holds the conn).
+                if out.closed && Arc::strong_count(conn) == 1 {
+                    break None;
+                }
+                // Timed wait: job completions don't notify the condvar,
+                // so re-check the strong count periodically.
+                let (guard, _timeout) = conn
+                    .ready
+                    .wait_timeout(out, POLL)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                out = guard;
+            }
+        };
+        let Some((id, line)) = next else { return };
+        if fault.is_active() && fault.fires(FaultSite::Drop, &id) {
+            if tel.is_enabled() {
+                tel.emit(Event::FaultInjected {
+                    site: "drop",
+                    trace_id: id.clone(),
+                });
+            }
+            shed_connection(conn, &stream, tel, "injected connection drop");
+            return;
+        }
+        let torn = fault.is_active() && fault.fires(FaultSite::ShortWrite, &id);
+        let wrote = if torn && line.len() >= 2 {
+            if tel.is_enabled() {
+                tel.emit(Event::FaultInjected {
+                    site: "short-write",
+                    trace_id: id.clone(),
+                });
+            }
+            // A torn write: the same bytes in two TCP segments. Client
+            // framing must reassemble them — the response is *not*
+            // faulted, and chaos tests assert it stays byte-identical.
+            let mid = line.len() / 2;
+            write_with_deadline(&mut stream, line.as_bytes()[..mid].as_ref(), state)
+                .and_then(|()| write_with_deadline(&mut stream, &line.as_bytes()[mid..], state))
+        } else {
+            write_with_deadline(&mut stream, line.as_bytes(), state)
+        };
+        match wrote {
+            Ok(()) => {
+                let _ = stream.flush();
+            }
+            Err(e) => {
+                // A vanished client is not a server error; a stalled one
+                // is shed. Either way the connection is done.
+                let why = if e.kind() == std::io::ErrorKind::TimedOut {
+                    "write deadline exceeded (stalled client)"
+                } else {
+                    "client connection lost"
+                };
+                shed_connection(conn, &stream, tel, why);
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a connection dead: discards its outbound queue, shuts the
+/// socket down (which also unblocks its reader), and accounts the shed.
+fn shed_connection(conn: &Conn, stream: &TcpStream, tel: &Telemetry, why: &str) {
+    let shed = conn.kill();
+    let _ = stream.shutdown(Shutdown::Both);
+    if tel.is_enabled() {
+        tel.warn(format!("connection shed: {why} ({shed} responses dropped)"));
+        tel.counter_add("serve.conn.shed", 1);
+        tel.counter_add("serve.responses.shed", shed);
+    }
+}
+
+/// Writes the whole buffer, tolerating per-chunk timeouts as long as
+/// the write makes progress, and giving up once a single stall lasts
+/// past [`ServerConfig::write_deadline`].
+fn write_with_deadline(stream: &mut TcpStream, buf: &[u8], state: &State) -> std::io::Result<()> {
+    let mut off = 0;
+    let mut stall_start = Instant::now();
+    while off < buf.len() {
+        match stream.write(&buf[off..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket closed mid-response",
+                ))
+            }
+            Ok(n) => {
+                off += n;
+                stall_start = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stall_start.elapsed() >= state.cfg.write_deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "write deadline exceeded",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// The single dispatcher: pop up to `batch_max` jobs, run them on the
-/// pool (forked telemetry, index-ordered merge), write responses in
-/// admission order.
+/// pool (forked telemetry, index-ordered merge), enqueue responses in
+/// admission order. Each job runs under [`handle_contained`]; the
+/// dispatcher itself never blocks on a socket and never unwinds past a
+/// request.
 fn dispatch_loop(state: &Arc<State>, tel: &Telemetry) {
     let pool = ltsp_par::Pool::new(state.cfg.jobs);
+    let fault = &state.cfg.fault;
     loop {
         let batch: Vec<Job> = {
-            let mut q = state.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&state.queue);
             while q.is_empty() && !state.draining.load(Ordering::SeqCst) {
-                let (guard, _timeout) = state.ready.wait_timeout(q, POLL).unwrap();
+                let (guard, _timeout) = state
+                    .ready
+                    .wait_timeout(q, POLL)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 q = guard;
             }
             if q.is_empty() {
                 // Draining and empty — and since drain flips under this
                 // lock, nothing can be admitted after this observation.
                 return;
+            }
+            // The dispatcher-death drill: fire *before* popping, so the
+            // queue is intact for the died-handler's error sweep.
+            if fault.is_active() {
+                if let Some(front) = q.front() {
+                    if fault.fires(FaultSite::Dispatch, &front.req.id) {
+                        let id = front.req.id.clone();
+                        drop(q);
+                        if tel.is_enabled() {
+                            tel.emit(Event::FaultInjected {
+                                site: "dispatch",
+                                trace_id: id.clone(),
+                            });
+                        }
+                        panic!("injected dispatcher panic at request {id}");
+                    }
+                }
             }
             let n = q.len().min(state.cfg.batch_max);
             q.drain(..n).collect()
@@ -443,20 +822,60 @@ fn dispatch_loop(state: &Arc<State>, tel: &Telemetry) {
         if let [job] = batch.as_slice() {
             let resp = if tel.is_enabled() {
                 let child = tel.fork();
-                let resp = state.engine.handle(&job.req, &child);
+                let resp = handle_contained(state, &job.req, &child);
                 tel.absorb(child, 0);
                 resp
             } else {
-                state.engine.handle(&job.req, tel)
+                handle_contained(state, &job.req, tel)
             };
             job.conn.send(&resp);
             continue;
         }
         let responses = pool.map_traced(tel, "serve-batch", &batch, |tel, _idx, job| {
-            state.engine.handle(&job.req, tel)
+            handle_contained(state, &job.req, tel)
         });
         for (job, resp) in batch.iter().zip(&responses) {
             job.conn.send(resp);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a thread panicking while holding a daemon lock used
+    /// to poison it, turning every later `.lock().unwrap()` into a
+    /// cascading abort of the whole process. Poison-tolerant locking
+    /// must shrug it off.
+    #[test]
+    fn a_poisoned_outbound_lock_does_not_cascade() {
+        let conn = Arc::new(Conn::new(4));
+        let poisoner = Arc::clone(&conn);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.out.lock().unwrap();
+            panic!("poison the outbound lock");
+        })
+        .join();
+        assert!(conn.out.lock().is_err(), "lock should be poisoned");
+        // send/close/kill all reacquire the poisoned lock; none may panic.
+        conn.send(&Response::error("x", "error", "after poison"));
+        assert_eq!(lock_unpoisoned(&conn.out).queue.len(), 1);
+        conn.close();
+        assert_eq!(conn.kill(), 1, "the queued response is discarded");
+        conn.send(&Response::error("y", "error", "dead conn"));
+        assert!(lock_unpoisoned(&conn.out).queue.is_empty());
+    }
+
+    /// A full outbound queue sheds new responses instead of blocking.
+    #[test]
+    fn outbound_overflow_sheds_instead_of_blocking() {
+        let conn = Conn::new(2);
+        for i in 0..5 {
+            conn.send(&Response::error(&format!("r{i}"), "error", "x"));
+        }
+        let out = lock_unpoisoned(&conn.out);
+        assert_eq!(out.queue.len(), 2, "capacity respected");
+        assert_eq!(out.shed, 3, "overflow accounted");
     }
 }

@@ -19,10 +19,12 @@
 
 pub mod daemon;
 pub mod engine;
+pub mod fault;
 pub mod proto;
 mod report;
 
 pub use daemon::{serve, spawn, ServerConfig, ServerHandle};
 pub use engine::{Engine, EngineConfig};
+pub use fault::{FaultPlan, FaultSite};
 pub use proto::{parse_request, ProtoError, ReqOp, Request, Response};
 pub use report::render_compile_report;

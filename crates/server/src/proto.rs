@@ -358,4 +358,24 @@ mod tests {
             Some("loop:3: bad \"thing\"")
         );
     }
+
+    #[test]
+    fn hostile_error_messages_stay_one_parseable_line() {
+        // Error text can quote arbitrary client input: embedded quotes,
+        // newlines, control bytes, and the U+FFFD replacement chars that
+        // `from_utf8_lossy` leaves behind for invalid UTF-8. None of it
+        // may break line framing or JSON syntax.
+        let lossy = String::from_utf8_lossy(b"ld g1 = \xFF\xFE@m0").into_owned();
+        let msg = format!("bad \"input\":\nline two\r\ttab \u{1F}unit {lossy}\u{0}end");
+        let r = Response::error("evil\n\"id\"", "error", &msg);
+        let line = r.render();
+        assert!(!line.contains('\n'), "one line: {line}");
+        assert!(
+            line.bytes().all(|b| b >= 0x20),
+            "control bytes are escaped: {line:?}"
+        );
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("evil\n\"id\""));
+        assert_eq!(v.get("error").unwrap().as_str(), Some(msg.as_str()));
+    }
 }

@@ -187,12 +187,32 @@ pub enum Event {
         loop_name: String,
     },
     /// A lifecycle transition of the `ltspd` daemon: listening, drain
-    /// initiated, drain complete.
+    /// initiated, drain complete, or the dispatcher dying abnormally.
     ServerLifecycle {
-        /// `"listen"`, `"drain"`, or `"stopped"`.
+        /// `"listen"`, `"drain"`, `"dispatcher-died"`, or `"stopped"`.
         phase: &'static str,
         /// Free-form detail (bind address, drain reason, request totals).
         detail: String,
+    },
+    /// A request handler panicked and the panic was contained: the
+    /// daemon answered `status:"error"` and kept serving. The payload is
+    /// the panic message (lossily stringified).
+    RequestPanic {
+        /// The request whose handler panicked.
+        trace_id: String,
+        /// Request class (`"compile"`, `"verify"`, `"oracle"`, …).
+        op: &'static str,
+        /// The panic payload, when it was a string (else a placeholder).
+        payload: String,
+    },
+    /// The deterministic fault-injection harness fired at one of its
+    /// named sites (`LTSP_FAULT`; see `ltsp_server::fault`).
+    FaultInjected {
+        /// The injection site: `"panic"`, `"slow"`, `"drop"`,
+        /// `"short-write"`, or `"dispatch"`.
+        site: &'static str,
+        /// The request/response the fault keyed on.
+        trace_id: String,
     },
     /// A free-form diagnostic (replaces ad-hoc `eprintln!`).
     Diagnostic {
@@ -226,6 +246,8 @@ impl Event {
             Event::WorkerSpan { .. } => "worker_span",
             Event::ServerRequest { .. } => "server_request",
             Event::ServerLifecycle { .. } => "server_lifecycle",
+            Event::RequestPanic { .. } => "request_panic",
+            Event::FaultInjected { .. } => "fault_injected",
             Event::Diagnostic { .. } => "diagnostic",
         }
     }
@@ -246,6 +268,8 @@ impl Event {
             | Event::WorkerSpan { .. }
             | Event::ServerRequest { .. }
             | Event::ServerLifecycle { .. }
+            | Event::RequestPanic { .. }
+            | Event::FaultInjected { .. }
             | Event::Diagnostic { .. } => None,
         }
     }
@@ -407,6 +431,19 @@ impl Event {
                 ("phase", (*phase).into()),
                 ("detail", detail.clone().into()),
             ],
+            Event::RequestPanic {
+                trace_id,
+                op,
+                payload,
+            } => vec![
+                ("trace_id", trace_id.clone().into()),
+                ("op", (*op).into()),
+                ("payload", payload.clone().into()),
+            ],
+            Event::FaultInjected { site, trace_id } => vec![
+                ("site", (*site).into()),
+                ("trace_id", trace_id.clone().into()),
+            ],
             Event::Diagnostic { level, message } => vec![
                 ("level", (*level).into()),
                 ("message", message.clone().into()),
@@ -541,6 +578,14 @@ impl Event {
                 }
             ),
             Event::ServerLifecycle { phase, detail } => format!("ltspd {phase}: {detail}"),
+            Event::RequestPanic {
+                trace_id,
+                op,
+                payload,
+            } => format!("panic contained [{trace_id}] {op}: {payload}"),
+            Event::FaultInjected { site, trace_id } => {
+                format!("fault injected [{trace_id}] at {site}")
+            }
             Event::Diagnostic { level, message } => format!("{level}: {message}"),
         }
     }

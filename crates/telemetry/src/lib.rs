@@ -33,6 +33,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod sync;
 
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -41,6 +42,7 @@ use std::time::Instant;
 pub use event::Event;
 pub use json::{parse as parse_json, JsonValue, Scalar};
 pub use metrics::{Histogram, Metrics};
+pub use sync::lock_unpoisoned;
 
 /// An [`Event`] stamped with its emission time (µs since the handle was
 /// created).
@@ -118,7 +120,7 @@ impl Drop for SpanGuard {
             if inner.verbose {
                 eprintln!("[ltsp] {name}: {:.3} ms", dur_us as f64 / 1e3);
             }
-            let mut st = inner.state.lock().expect("telemetry poisoned");
+            let mut st = lock_unpoisoned(&inner.state);
             let seq = st.next_seq();
             st.spans.push(SpanRecord {
                 seq,
@@ -173,7 +175,7 @@ impl Telemetry {
             eprintln!("[ltsp] {}", event.render_human());
         }
         let ts_us = inner.epoch.elapsed().as_micros() as u64;
-        let mut st = inner.state.lock().expect("telemetry poisoned");
+        let mut st = lock_unpoisoned(&inner.state);
         let seq = st.next_seq();
         st.events.push(TimedEvent { seq, ts_us, event });
     }
@@ -226,8 +228,8 @@ impl Telemetry {
             .epoch
             .checked_duration_since(inner.epoch)
             .map_or(0, |d| d.as_micros() as u64);
-        let cstate = std::mem::take(&mut *cinner.state.lock().expect("telemetry poisoned"));
-        let mut st = inner.state.lock().expect("telemetry poisoned");
+        let cstate = std::mem::take(&mut *lock_unpoisoned(&cinner.state));
+        let mut st = lock_unpoisoned(&inner.state);
         for e in cstate.events {
             let seq = st.next_seq();
             st.events.push(TimedEvent {
@@ -268,7 +270,7 @@ impl Telemetry {
     /// Adds to a monotonic counter (no-op when disabled).
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut st = inner.state.lock().expect("telemetry poisoned");
+            let mut st = lock_unpoisoned(&inner.state);
             st.metrics.counter_add(name, delta);
         }
     }
@@ -276,29 +278,29 @@ impl Telemetry {
     /// Records a histogram sample (no-op when disabled).
     pub fn histogram_record(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
-            let mut st = inner.state.lock().expect("telemetry poisoned");
+            let mut st = lock_unpoisoned(&inner.state);
             st.metrics.histogram_record(name, value);
         }
     }
 
     /// A snapshot of the recorded events.
     pub fn events(&self) -> Vec<TimedEvent> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| {
-            i.state.lock().expect("telemetry poisoned").events.clone()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| lock_unpoisoned(&i.state).events.clone())
     }
 
     /// A snapshot of the closed spans.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| {
-            i.state.lock().expect("telemetry poisoned").spans.clone()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| lock_unpoisoned(&i.state).spans.clone())
     }
 
     /// A snapshot of the metrics registry.
     pub fn metrics(&self) -> Metrics {
         self.inner.as_ref().map_or_else(Metrics::default, |i| {
-            i.state.lock().expect("telemetry poisoned").metrics.clone()
+            lock_unpoisoned(&i.state).metrics.clone()
         })
     }
 

@@ -1,0 +1,50 @@
+//! Poison-tolerant locking.
+//!
+//! `Mutex::lock().unwrap()` turns one panicking thread into a process
+//! abort cascade: every later thread that touches the poisoned lock
+//! panics too. For the serving stack — where a single request's panic
+//! must be contained, answered as an error, and forgotten — that policy
+//! is exactly wrong. Every lock in this workspace guards data whose
+//! invariants hold between statements (queues, append-only buffers,
+//! LRU maps): a panic while holding the lock cannot leave them
+//! half-updated in a way later readers would misinterpret, so the
+//! poison flag carries no information we want to act on.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard when the mutex is poisoned.
+///
+/// A poisoned mutex means some thread panicked while holding it; the
+/// protected value is still there, and for the collection-shaped state
+/// this workspace locks, still structurally valid. Recovering keeps one
+/// contained panic from cascade-aborting every other thread.
+#[inline]
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        // Poison it: panic while holding the guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned(), "the panic should have poisoned the lock");
+        let g = lock_unpoisoned(&m);
+        assert_eq!(*g, vec![1, 2, 3], "the value survives poisoning");
+    }
+
+    #[test]
+    fn plain_lock_still_works() {
+        let m = Mutex::new(7u32);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

@@ -11,7 +11,8 @@
 //! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
 //! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
 //! ltspc serve [--addr HOST:PORT] [--jobs N] ...  # run the ltspd daemon
-//! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle] [--shutdown]
+//! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]
+//!       [--timeout SECS] [--retries N] [--shutdown]
 //! ```
 //!
 //! `verify` pipelines each loop at base latencies and runs the independent
@@ -27,6 +28,14 @@
 //! line-delimited JSON protocol and prints each response's report —
 //! byte-identical to what the local compile path prints, which CI
 //! checks. `--shutdown` drains the server after the last file.
+//!
+//! `remote` never hangs on a stalled or wedged server: `--timeout SECS`
+//! (default 30, `0` disables) bounds the connect, every request write,
+//! and every response read. An `overloaded` response is retried up to
+//! `--retries N` times (default 4) with capped exponential backoff
+//! before giving up with exit 6; a `draining` response exits 6
+//! immediately — the server is deliberately going away, and a retry
+//! against the same address cannot succeed.
 //!
 //! Exit codes are distinct per failure class so scripts can dispatch:
 //! `0` success (schedule certified / oracle verdict exact), `1` validator
@@ -102,7 +111,7 @@ fn usage() -> ! {
          \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N] [-v]\n\
          \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
          \x20            [--policy P] [--trip N] [--budget NODES] [--deadline-ms MS]\n\
-         \x20            [--shutdown]"
+         \x20            [--timeout SECS] [--retries N] [--shutdown]"
     );
     std::process::exit(i32::from(EXIT_USAGE));
 }
@@ -384,6 +393,45 @@ fn run_serve(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Connects under a deadline. `TcpStream::connect` alone can hang for
+/// minutes on an unresponsive host; with a timeout every resolved
+/// address gets at most `t` before the next is tried.
+fn connect_with_timeout(
+    addr: &str,
+    timeout: Option<std::time::Duration>,
+) -> std::io::Result<std::net::TcpStream> {
+    use std::net::ToSocketAddrs as _;
+    let Some(t) = timeout else {
+        return std::net::TcpStream::connect(addr);
+    };
+    let mut last: Option<std::io::Error> = None;
+    for a in addr.to_socket_addrs()? {
+        match std::net::TcpStream::connect_timeout(&a, t) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    }))
+}
+
+/// Tells a deadline expiry ("the server is wedged or slow — see
+/// `--timeout`") apart from a genuinely lost connection.
+fn report_net_error(doing: &str, what: &str, addr: &str, e: &std::io::Error, timeout_secs: u64) {
+    if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+        eprintln!(
+            "ltspc: timed out after {timeout_secs}s {doing} {what} \
+             (server stalled; see --timeout)"
+        );
+    } else {
+        eprintln!("ltspc: connection to {addr} lost {doing} {what}: {e}");
+    }
+}
+
 /// `ltspc remote`: ship loop files to a running daemon, print each
 /// response's report, map statuses back onto the local exit codes.
 fn run_remote(argv: &[String]) -> ExitCode {
@@ -396,6 +444,8 @@ fn run_remote(argv: &[String]) -> ExitCode {
     let mut trip: f64 = 100.0;
     let mut budget: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut timeout_secs: u64 = 30;
+    let mut retries: u32 = 4;
     let mut shutdown = false;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -432,6 +482,18 @@ fn run_remote(argv: &[String]) -> ExitCode {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--timeout" => {
+                timeout_secs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--shutdown" => shutdown = true,
             flag if flag.starts_with("--") => usage(),
             other if addr.is_none() => addr = Some(other.to_string()),
@@ -443,7 +505,9 @@ fn run_remote(argv: &[String]) -> ExitCode {
         usage()
     }
 
-    let stream = match std::net::TcpStream::connect(&addr) {
+    // --timeout 0 disables every deadline (debugging escape hatch).
+    let timeout = (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs));
+    let stream = match connect_with_timeout(&addr, timeout) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ltspc: cannot connect to {addr}: {e}");
@@ -451,6 +515,8 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
     };
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(e) => {
@@ -467,7 +533,7 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
     }
 
-    for file in &files {
+    'files: for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
             Err(e) => {
@@ -492,26 +558,61 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
         req.push_str("}\n");
 
-        let mut line = String::new();
-        let sent = writer
-            .write_all(req.as_bytes())
-            .and_then(|()| writer.flush());
-        if sent.is_err() || reader.read_line(&mut line).map_or(true, |n| n == 0) {
-            eprintln!("ltspc: connection to {addr} lost at {file}");
-            set_code(EXIT_IO, &mut code);
-            break;
-        }
-        let v = match ltsp::telemetry::json::parse(&line) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("ltspc: bad response for {file}: {e}");
+        let mut attempt: u32 = 0;
+        let (v, status) = loop {
+            let mut line = String::new();
+            if let Err(e) = writer
+                .write_all(req.as_bytes())
+                .and_then(|()| writer.flush())
+            {
+                report_net_error("sending", file, &addr, &e, timeout_secs);
                 set_code(EXIT_IO, &mut code);
+                break 'files;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    eprintln!("ltspc: connection to {addr} lost at {file}");
+                    set_code(EXIT_IO, &mut code);
+                    break 'files;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    report_net_error("awaiting response for", file, &addr, &e, timeout_secs);
+                    set_code(EXIT_IO, &mut code);
+                    break 'files;
+                }
+            }
+            let v = match ltsp::telemetry::json::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("ltspc: bad response for {file}: {e}");
+                    set_code(EXIT_IO, &mut code);
+                    continue 'files;
+                }
+            };
+            let status = v
+                .get("status")
+                .and_then(|s| s.as_str())
+                .unwrap_or("error")
+                .to_string();
+            // An overloaded server sheds load *now*; the request is
+            // worth re-sending after a breather. Capped exponential
+            // backoff: 100ms · 2^attempt, at most 2s per wait.
+            if status == "overloaded" && attempt < retries {
+                let wait = std::time::Duration::from_millis((100u64 << attempt.min(5)).min(2000));
+                attempt += 1;
+                eprintln!(
+                    "ltspc: server overloaded, retrying {file} in {}ms \
+                     (attempt {attempt}/{retries})",
+                    wait.as_millis()
+                );
+                std::thread::sleep(wait);
                 continue;
             }
+            break (v, status);
         };
-        let status = v.get("status").and_then(|s| s.as_str()).unwrap_or("error");
         let report = v.get("report").and_then(|r| r.as_str()).unwrap_or("");
-        match status {
+        match status.as_str() {
             "ok" | "rejected" => {
                 print!("{report}");
                 if let Some(violations) = v.get("violations").and_then(|x| x.as_array()) {
@@ -546,8 +647,17 @@ fn run_remote(argv: &[String]) -> ExitCode {
                     }
                 }
             }
-            "overloaded" | "draining" => {
-                eprintln!("ltspc: server {status}, {file} not compiled — retry later");
+            "overloaded" => {
+                eprintln!(
+                    "ltspc: server overloaded, {file} not compiled \
+                     (gave up after {retries} retries)"
+                );
+                set_code(EXIT_BUSY, &mut code);
+            }
+            "draining" => {
+                // Deliberate shutdown: retrying the same address cannot
+                // succeed, so fail fast instead of backing off.
+                eprintln!("ltspc: server draining, {file} not compiled");
                 set_code(EXIT_BUSY, &mut code);
             }
             other => {

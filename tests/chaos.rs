@@ -1,0 +1,293 @@
+//! Chaos tests: `ltspd` under deterministic fault injection.
+//!
+//! The contract under test (DESIGN.md §13): with injected handler
+//! panics, handler delays, torn writes, and connection drops, the
+//! daemon never dies and never wedges — faulted requests get a
+//! contained outcome (an `error` response or a closed connection), and
+//! every **non-faulted** request's response stays byte-identical to a
+//! fault-free run, at any `--jobs`. Fault decisions are pure functions
+//! of `(seed, site, request id)` ([`FaultPlan::fires`]), so the tests
+//! compute the expected faulted set up front.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ltsp::server::{spawn, FaultPlan, FaultSite, ServerConfig, ServerHandle};
+use ltsp::telemetry::json;
+use ltsp::workloads::random_loop;
+
+fn start_with(jobs: usize, fault: FaultPlan) -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+        fault,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The request corpus every chaos test uses: explicit ids so the
+/// expected fault set is computable, a *unique* loop per request so no
+/// response's cache tag depends on whether an earlier request (possibly
+/// a panicked one) populated a shared cache entry, and `deadline_ms:0`
+/// so responses stay deterministic.
+fn corpus(n: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| {
+            let id = format!("chaos-{i}");
+            let op = if i % 3 == 2 { "verify" } else { "compile" };
+            let line = format!(
+                "{{\"op\":\"{op}\",\"id\":\"{id}\",\"loop\":\"{}\",\"deadline_ms\":0}}",
+                json::escape(&random_loop(i as u64).to_string())
+            );
+            (id, line)
+        })
+        .collect()
+}
+
+/// Round-trips one request on its own connection; `None` means the
+/// server closed the connection without answering (an injected drop).
+fn lone_round_trip(handle: &ServerHandle, line: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut resp = String::new();
+    match BufReader::new(stream).read_line(&mut resp) {
+        Ok(0) => None,
+        Ok(_) => Some(resp),
+        Err(e) => panic!("read wedged or failed under faults: {e}"),
+    }
+}
+
+/// Fault-free golden responses for a corpus, keyed by request id.
+fn golden(corpus: &[(String, String)]) -> Vec<String> {
+    let handle = start_with(2, FaultPlan::default());
+    let out = corpus
+        .iter()
+        .map(|(id, line)| lone_round_trip(&handle, line).unwrap_or_else(|| panic!("{id}: EOF")))
+        .collect();
+    handle.shutdown();
+    out
+}
+
+/// The chaos matrix: jobs 1 and 4 × fault specs mixing panics, delays,
+/// drops, and torn writes. Every faulted request has a contained,
+/// *predicted* outcome; every non-faulted response byte-matches the
+/// fault-free golden.
+#[test]
+fn non_faulted_responses_match_the_fault_free_golden() {
+    let corpus = corpus(24);
+    let golden = golden(&corpus);
+    for spec in [
+        "panic:0.3,seed:7",
+        "drop:0.3,seed:7",
+        "short:1.0",
+        "panic:0.2,slow:5ms@0.2,drop:0.2,short:0.3,seed:3",
+    ] {
+        let plan = FaultPlan::parse(spec).expect("valid spec");
+        for jobs in [1, 4] {
+            let handle = start_with(jobs, plan.clone());
+            for ((id, line), want) in corpus.iter().zip(&golden) {
+                let got = lone_round_trip(&handle, line);
+                if plan.fires(FaultSite::Drop, id) {
+                    assert_eq!(
+                        got, None,
+                        "{spec}/jobs={jobs}: {id} should be dropped before the response"
+                    );
+                } else if plan.fires(FaultSite::Panic, id) {
+                    let got = got.unwrap_or_else(|| panic!("{spec}: {id}: unexpected EOF"));
+                    assert!(
+                        got.contains("\"status\":\"error\"") && got.contains("panicked"),
+                        "{spec}/jobs={jobs}: {id}: contained panic expected, got {got}"
+                    );
+                    assert!(got.contains(&format!("\"id\":\"{id}\"")), "{got}");
+                } else {
+                    // Not faulted (a torn write re-assembles to the same
+                    // bytes; a slow handler changes nothing).
+                    let got = got.unwrap_or_else(|| panic!("{spec}: {id}: unexpected EOF"));
+                    assert_eq!(
+                        &got, want,
+                        "{spec}/jobs={jobs}: {id}: non-faulted response must be \
+                         byte-identical to the fault-free run"
+                    );
+                }
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+/// Pipelined chaos determinism: with panics, delays, and torn writes
+/// active (no drops), the full response stream — contained panics
+/// included — is byte-identical at jobs 1 and 4.
+#[test]
+fn chaos_response_stream_is_byte_identical_across_jobs() {
+    let corpus = corpus(24);
+    let plan = FaultPlan::parse("panic:0.25,slow:2ms@0.25,short:0.4,seed:5").expect("valid spec");
+    assert!(
+        corpus
+            .iter()
+            .any(|(id, _)| plan.fires(FaultSite::Panic, id)),
+        "spec too weak: no panic fires on this corpus"
+    );
+    let run = |jobs: usize| {
+        let handle = start_with(jobs, plan.clone());
+        let writer = TcpStream::connect(handle.addr()).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+        let mut writer = writer;
+        // Pipeline everything so multi-request batches actually form.
+        for (_, line) in &corpus {
+            writer.write_all(line.as_bytes()).expect("send");
+            writer.write_all(b"\n").expect("send newline");
+        }
+        let out: String = (0..corpus.len())
+            .map(|_| {
+                let mut l = String::new();
+                reader.read_line(&mut l).expect("read");
+                assert!(!l.is_empty(), "EOF mid-stream without drop faults");
+                l
+            })
+            .collect();
+        handle.shutdown();
+        out
+    };
+    assert_eq!(run(1), run(4), "chaos response bytes depend on --jobs");
+}
+
+/// The stalled-reader regression: a client that never reads must shed
+/// its *own* responses, not head-of-line-block the dispatcher. While a
+/// non-reading connection floods requests, another connection's round
+/// trips must complete promptly, and drain must still finish.
+#[test]
+fn stalled_reader_does_not_delay_other_connections() {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        outbound_max: 4,
+        write_deadline: Duration::from_millis(250),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+
+    // The stalled client: floods requests, never reads a byte.
+    let mut stalled = TcpStream::connect(handle.addr()).expect("connect stalled");
+    for i in 0..64 {
+        let line = format!(
+            "{{\"op\":\"compile\",\"id\":\"stall-{i}\",\"loop\":\"{}\"}}\n",
+            json::escape(&random_loop(i % 4).to_string())
+        );
+        stalled.write_all(line.as_bytes()).expect("flood");
+    }
+    stalled.flush().expect("flush flood");
+
+    // The well-behaved client: every round trip must complete while the
+    // flood is pending; generous bound, but far below any "waits behind
+    // 64 stalled responses" schedule.
+    let mut live = TcpStream::connect(handle.addr()).expect("connect live");
+    live.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(live.try_clone().expect("clone"));
+    let t0 = Instant::now();
+    for i in 0..8 {
+        let line = format!(
+            "{{\"op\":\"compile\",\"id\":\"live-{i}\",\"loop\":\"{}\"}}\n",
+            json::escape(&random_loop(0).to_string())
+        );
+        live.write_all(line.as_bytes()).expect("send live");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("live response");
+        assert!(
+            resp.contains("\"status\":\"ok\"") || resp.contains("\"status\":\"overloaded\""),
+            "live connection starved: {resp}"
+        );
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "live round trips took {:?} behind a stalled reader",
+        t0.elapsed()
+    );
+    drop(stalled);
+    // Bounded drain: shutdown() joining promptly (the test not hanging)
+    // is the assertion.
+    handle.shutdown();
+}
+
+/// Dispatcher death is loud and drains, never a silent wedge: with the
+/// `dispatch` fault certain to fire, the in-flight request is answered
+/// `error` (not abandoned), the daemon drains, and the listener closes.
+#[test]
+fn dispatcher_death_answers_queued_work_and_drains() {
+    let handle = start_with(2, FaultPlan::parse("dispatch:1.0").expect("valid spec"));
+    let addr = handle.addr();
+    let resp = lone_round_trip(
+        &handle,
+        &format!(
+            "{{\"op\":\"compile\",\"id\":\"doomed\",\"loop\":\"{}\"}}",
+            json::escape(&random_loop(0).to_string())
+        ),
+    )
+    .expect("queued request must be answered, not dropped");
+    assert!(
+        resp.contains("\"status\":\"error\"") && resp.contains("dispatcher died"),
+        "expected a dispatcher-died error, got {resp}"
+    );
+    assert!(resp.contains("\"id\":\"doomed\""), "{resp}");
+    handle.wait();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener should be closed after the dispatcher-died drain"
+    );
+}
+
+/// A connection the server kills (stalled past the write deadline) ends
+/// in EOF for the client, and the daemon survives to serve others.
+#[test]
+fn write_deadline_sheds_only_the_stalled_connection() {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        outbound_max: 2,
+        write_deadline: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+
+    let mut stalled = TcpStream::connect(handle.addr()).expect("connect");
+    // Shrink the client's receive window so the server's socket buffer
+    // actually fills and the write deadline trips.
+    let _ = stalled.set_read_timeout(Some(Duration::from_secs(30)));
+    for i in 0..128 {
+        let line = format!(
+            "{{\"op\":\"compile\",\"id\":\"s-{i}\",\"loop\":\"{}\"}}\n",
+            json::escape(&random_loop(i % 8).to_string())
+        );
+        if stalled.write_all(line.as_bytes()).is_err() {
+            break; // server already shed us — that's the mechanism working
+        }
+    }
+    // Either the kernel buffered everything (responses shed via the
+    // outbound cap) or the server killed the connection; both contained.
+    // A healthy connection still gets served afterwards.
+    let mut live = TcpStream::connect(handle.addr()).expect("connect live");
+    live.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let line = format!(
+        "{{\"op\":\"compile\",\"id\":\"after\",\"loop\":\"{}\"}}\n",
+        json::escape(&random_loop(1).to_string())
+    );
+    live.write_all(line.as_bytes()).expect("send");
+    let mut resp = String::new();
+    BufReader::new(live).read_line(&mut resp).expect("read");
+    assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+    // The stalled connection must resolve to EOF/reset, not a hang.
+    drop(stalled.shutdown(std::net::Shutdown::Write));
+    let mut sink = Vec::new();
+    let _ = stalled.read_to_end(&mut sink); // bounded by the read timeout
+    handle.shutdown();
+}
