@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]
 //!         [--corpus DIR] [--burst K] [--seed N] [--out FILE]
-//!         [--fault-mode] [--shutdown]
+//!         [--timings] [--metrics-out FILE] [--fault-mode] [--shutdown]
 //! ```
 //!
 //! Opens `--conns` connections; each runs a closed loop (send one
@@ -22,6 +22,17 @@
 //! throughput, cache hit rate, and per-status counts. `--shutdown`
 //! drains the server at the end.
 //!
+//! `--timings` sets the opt-in per-request flag: every response carries
+//! its server-side per-phase breakdown, which loadgen accumulates into
+//! client-side histograms and reports as a `"phases"` block (p50/p99
+//! per phase) — the per-phase KPI record. `--metrics-out FILE` scrapes
+//! the daemon's `{"op":"metrics"}` Prometheus snapshot at the end of
+//! the run (before `--shutdown`), writes it to FILE, and **fails
+//! loudly** when observability disagrees with the load generator's own
+//! accounting: expected phase histograms empty, panic counters nonzero
+//! outside fault mode, or shed/panic counters inconsistent with the
+//! drops and errors the client actually saw.
+//!
 //! `--fault-mode` drives a daemon running under `LTSP_FAULT` (see
 //! `ltsp_server::fault`): injected connection drops are *expected*, so a
 //! mid-workload EOF/reset reconnects and moves on (counted in the
@@ -35,8 +46,11 @@ use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::Instant;
 
+use std::collections::BTreeMap;
+
 use ltsp_ir::{DataClass, LoopBuilder, SplitMix64};
-use ltsp_telemetry::json;
+use ltsp_telemetry::prom::PromSnapshot;
+use ltsp_telemetry::{json, Histogram};
 
 struct Options {
     addr: String,
@@ -48,6 +62,8 @@ struct Options {
     synthetic: usize,
     seed: u64,
     out: String,
+    timings: bool,
+    metrics_out: Option<String>,
     fault_mode: bool,
     shutdown: bool,
 }
@@ -56,7 +72,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]\n\
          \x20              [--corpus DIR] [--synthetic N] [--burst K] [--seed N]\n\
-         \x20              [--out FILE] [--fault-mode] [--shutdown]"
+         \x20              [--out FILE] [--timings] [--metrics-out FILE]\n\
+         \x20              [--fault-mode] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -72,6 +89,8 @@ fn parse_args() -> Options {
         synthetic: 0,
         seed: 42,
         out: "results/BENCH_serve.json".to_string(),
+        timings: false,
+        metrics_out: None,
         fault_mode: false,
         shutdown: false,
     };
@@ -109,6 +128,8 @@ fn parse_args() -> Options {
             }
             "--seed" => o.seed = num(args.next()),
             "--out" => o.out = args.next().unwrap_or_else(|| usage()),
+            "--timings" => o.timings = true,
+            "--metrics-out" => o.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--fault-mode" => o.fault_mode = true,
             "--shutdown" => o.shutdown = true,
             _ => usage(),
@@ -216,6 +237,7 @@ fn build_request(
     corpus: &[(String, String)],
     conn: usize,
     i: usize,
+    timings: bool,
 ) -> String {
     let (c, v, z) = mix;
     let pick = rng.next_u64() % (c + v + z);
@@ -227,9 +249,10 @@ fn build_request(
         "oracle"
     };
     let (name, text) = &corpus[(rng.next_u64() % corpus.len() as u64) as usize];
+    let flags = if timings { ",\"timings\":true" } else { "" };
     // deadline_ms:0 keeps oracle work node-budget-bound (deterministic).
     format!(
-        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\",\"deadline_ms\":0}}\n"
+        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\",\"deadline_ms\":0{flags}}}\n"
     )
 }
 
@@ -261,7 +284,7 @@ fn run_conn(
     o: &Options,
     corpus: &[(String, String)],
     conn: usize,
-) -> std::io::Result<(Vec<Sample>, FaultStats)> {
+) -> std::io::Result<(Vec<Sample>, FaultStats, BTreeMap<String, Histogram>)> {
     let connect = || -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
         let stream = TcpStream::connect(&o.addr)?;
         stream.set_nodelay(true)?;
@@ -275,11 +298,13 @@ fn run_conn(
     };
     let (mut writer, mut reader) = connect()?;
     let mut stats = FaultStats::default();
+    let mut phases: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut rng = SplitMix64::new(o.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut samples = Vec::with_capacity(o.burst + o.requests);
     let mut line = String::new();
     let read_sample = |reader: &mut BufReader<TcpStream>,
                        line: &mut String,
+                       phases: &mut BTreeMap<String, Histogram>,
                        micros: u64|
      -> std::io::Result<Sample> {
         line.clear();
@@ -290,6 +315,22 @@ fn run_conn(
             ));
         }
         let v = json::parse(line).map_err(std::io::Error::other)?;
+        // Opt-in server-side phase breakdown: fold each `<phase>_us`
+        // field into the client's own histograms. Zero spans are skipped
+        // — a request that never touched a phase is not a 0us sample of
+        // that phase.
+        if let Some(t) = v.get("timings") {
+            if let Some(fields) = t.as_object() {
+                for (k, val) in fields {
+                    let (Some(name), Some(us)) = (k.strip_suffix("_us"), val.as_u64()) else {
+                        continue;
+                    };
+                    if us > 0 {
+                        phases.entry(name.to_string()).or_default().record(us);
+                    }
+                }
+            }
+        }
         Ok(Sample {
             status: v
                 .get("status")
@@ -309,11 +350,12 @@ fn run_conn(
     // here — recorded as 0 and excluded from percentiles).
     if o.burst > 0 {
         for i in 0..o.burst {
-            writer.write_all(build_request(&mut rng, o.mix, corpus, conn, i).as_bytes())?;
+            writer
+                .write_all(build_request(&mut rng, o.mix, corpus, conn, i, o.timings).as_bytes())?;
         }
         writer.flush()?;
         for got in 0..o.burst {
-            match read_sample(&mut reader, &mut line, 0) {
+            match read_sample(&mut reader, &mut line, &mut phases, 0) {
                 Ok(mut s) => {
                     s.micros = 0;
                     samples.push(s);
@@ -333,12 +375,12 @@ fn run_conn(
 
     // Closed loop: one request in flight at a time.
     for i in 0..o.requests {
-        let req = build_request(&mut rng, o.mix, corpus, conn, o.burst + i);
+        let req = build_request(&mut rng, o.mix, corpus, conn, o.burst + i, o.timings);
         let t0 = Instant::now();
         let sent = writer
             .write_all(req.as_bytes())
             .and_then(|()| writer.flush());
-        let outcome = sent.and_then(|()| read_sample(&mut reader, &mut line, 0));
+        let outcome = sent.and_then(|()| read_sample(&mut reader, &mut line, &mut phases, 0));
         match outcome {
             Ok(mut s) => {
                 s.micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -356,7 +398,30 @@ fn run_conn(
             Err(e) => return Err(e),
         }
     }
-    Ok((samples, stats))
+    Ok((samples, stats, phases))
+}
+
+/// One metrics-op round trip: returns the Prometheus text snapshot.
+fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"op\":\"metrics\",\"id\":\"loadgen-metrics\"}\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed before answering metrics",
+        ));
+    }
+    let v = json::parse(&line).map_err(std::io::Error::other)?;
+    v.get("metrics")
+        .and_then(|m| m.as_str())
+        .map(ToString::to_string)
+        .ok_or_else(|| std::io::Error::other("metrics response carries no \"metrics\" field"))
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -391,7 +456,8 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let results: Vec<std::io::Result<(Vec<Sample>, FaultStats)>> = std::thread::scope(|scope| {
+    type ConnResult = std::io::Result<(Vec<Sample>, FaultStats, BTreeMap<String, Histogram>)>;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..o.conns)
             .map(|conn| {
                 let o = &o;
@@ -405,12 +471,16 @@ fn main() {
 
     let mut samples = Vec::new();
     let mut fault = FaultStats::default();
+    let mut phases: BTreeMap<String, Histogram> = BTreeMap::new();
     for r in results {
         match r {
-            Ok((s, f)) => {
+            Ok((s, f, ph)) => {
                 samples.extend(s);
                 fault.reconnects += f.reconnects;
                 fault.lost += f.lost;
+                for (name, h) in ph {
+                    phases.entry(name).or_default().merge(&h);
+                }
             }
             Err(e) => {
                 let wedged = e.kind() == std::io::ErrorKind::WouldBlock
@@ -498,6 +568,21 @@ fn main() {
         "  \"warm_latency_us\": {},\n",
         pct_block(&mut warm)
     ));
+    if o.timings {
+        out.push_str("  \"phases\": {");
+        for (i, (name, h)) in phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {{\"p50\": {}, \"p99\": {}, \"count\": {}}}",
+                h.quantile(0.50).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                h.count
+            ));
+        }
+        out.push_str("},\n");
+    }
     out.push_str(&format!("  \"speedup_warm_p50\": {speedup:.2}\n"));
     out.push_str("}\n");
 
@@ -509,6 +594,93 @@ fn main() {
         std::process::exit(3);
     }
     print!("{out}");
+
+    // The observability cross-check: scrape the daemon's own metrics
+    // (before shutdown) and fail loudly when they disagree with what the
+    // load generator just saw. This is the CI guard that the phase
+    // histograms are actually fed and the chaos counters actually count.
+    if let Some(path) = &o.metrics_out {
+        let text = match scrape_metrics(&o.addr) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("loadgen: metrics scrape failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+        let snap = match PromSnapshot::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("loadgen: metrics snapshot malformed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut bad = false;
+        // Every served request crosses these lifecycle phases; compile
+        // phases additionally require at least one result-cache miss.
+        let mut expected = vec!["queue_wait", "dispatch", "handler", "write"];
+        if misses > 0 {
+            expected.push("parse");
+        }
+        for phase in expected {
+            let n = snap
+                .histogram_count("ltsp_phase_us", &[("phase", phase)])
+                .unwrap_or(0.0);
+            if n <= 0.0 {
+                eprintln!("loadgen: phase histogram '{phase}' has no samples");
+                bad = true;
+            }
+        }
+        let counter = |name: &str| snap.value(name, &[]).unwrap_or(0.0) as u64;
+        let panics = counter("ltsp_request_panics_total");
+        let conn_shed = counter("ltsp_connections_shed_total");
+        if o.fault_mode {
+            // Every contained-panic error the client saw must be counted
+            // server-side, and every injected-drop reconnect implies a
+            // shed connection.
+            if (panics as usize) < error {
+                eprintln!(
+                    "loadgen: saw {error} panic-error responses but server counted \
+                     only {panics} request panics"
+                );
+                bad = true;
+            }
+            if conn_shed < fault.reconnects {
+                eprintln!(
+                    "loadgen: survived {} injected drops but server counted only \
+                     {conn_shed} shed connections",
+                    fault.reconnects
+                );
+                bad = true;
+            }
+        } else {
+            for (name, v) in [
+                ("ltsp_request_panics_total", panics),
+                ("ltsp_connections_shed_total", conn_shed),
+                (
+                    "ltsp_responses_shed_total",
+                    counter("ltsp_responses_shed_total"),
+                ),
+                (
+                    "ltsp_dispatcher_deaths_total",
+                    counter("ltsp_dispatcher_deaths_total"),
+                ),
+            ] {
+                if v != 0 {
+                    eprintln!("loadgen: {name} = {v} on a fault-free run");
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            eprintln!("loadgen: metrics disagree with load-generator accounting");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: metrics cross-check ok ({path})");
+    }
 
     if o.shutdown {
         if let Ok(mut s) = TcpStream::connect(&o.addr) {

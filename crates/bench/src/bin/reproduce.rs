@@ -8,6 +8,13 @@
 //!           [--bench-out FILE] [--no-bench] [-v]
 //! ```
 //!
+//! The `--bench-out` record also carries a `"phases"` block: the kernel
+//! library is compiled once per policy with a phase timer attached, and
+//! each compiler phase (parse is server-side only; here hlo → ddg → mrt
+//! → sched → regalloc) reports p50/p99 wall microseconds — the
+//! compile-latency KPI baseline the serving-path histograms are compared
+//! against.
+//!
 //! `--scale` multiplies each loop's simulated entry count (default 1.0;
 //! use e.g. 0.1 for a quick pass). `--jobs` sets the worker-thread count
 //! for every batch layer (default: the machine's available parallelism);
@@ -27,7 +34,8 @@ use ltsp_bench::{
     versioning_experiment,
 };
 use ltsp_machine::MachineModel;
-use ltsp_telemetry::Telemetry;
+use ltsp_telemetry::phase::{PhaseTimer, ALL_PHASES};
+use ltsp_telemetry::{Histogram, Telemetry};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -59,16 +67,53 @@ fn write_artifact(
     }
 }
 
+/// Compiles the kernel library once per latency policy with a phase
+/// timer attached and folds each compiler phase's wall-clock into a
+/// histogram: the compile-latency KPI source for the bench record.
+fn compile_phase_kpis(machine: &MachineModel) -> Vec<(&'static str, Histogram)> {
+    use ltsp_core::{compile_loop_with_profile_phased, CompileConfig, LatencyPolicy};
+    let tel = Telemetry::disabled();
+    let mut hists: Vec<(&'static str, Histogram)> = ALL_PHASES
+        .iter()
+        .map(|p| (p.name(), Histogram::default()))
+        .collect();
+    for policy in [
+        LatencyPolicy::Baseline,
+        LatencyPolicy::AllLoadsL3,
+        LatencyPolicy::AllFpLoadsL2,
+        LatencyPolicy::HloHints,
+    ] {
+        let cfg = CompileConfig::new(policy);
+        for (_, lp) in ltsp_workloads::kernel_library() {
+            let phases = PhaseTimer::new();
+            let _ =
+                compile_loop_with_profile_phased(&lp, machine, &cfg, 100.0, &tel, Some(&phases));
+            for (phase, us) in phases.snapshot() {
+                if us == 0 {
+                    continue;
+                }
+                if let Some((_, h)) = hists.iter_mut().find(|(n, _)| *n == phase.name()) {
+                    h.record(us);
+                }
+            }
+        }
+    }
+    hists.retain(|(_, h)| h.count > 0);
+    hists
+}
+
 /// The machine-readable wall-clock record (`--bench-out`): total and
-/// per-experiment timings, plus the knobs that shaped the run. Timing is
-/// the one output that legitimately varies between runs — everything else
-/// `reproduce` writes is byte-identical for any `--jobs` value.
+/// per-experiment timings, per-phase compile-latency KPIs, plus the
+/// knobs that shaped the run. Timing is the one output that legitimately
+/// varies between runs — everything else `reproduce` writes is
+/// byte-identical for any `--jobs` value.
 fn bench_json(
     which: &str,
     scale: f64,
     jobs: usize,
     total_ms: f64,
     timings: &[(String, f64)],
+    phases: &[(&'static str, Histogram)],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"ltsp.bench.reproduce.v1\",\n");
@@ -80,6 +125,19 @@ fn bench_json(
         ltsp_par::default_parallelism()
     ));
     s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
+    s.push_str("  \"phases\": {");
+    for (i, (name, h)) in phases.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "\"{name}\": {{\"p50\": {}, \"p99\": {}, \"count\": {}}}",
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.count
+        ));
+    }
+    s.push_str("},\n");
     s.push_str("  \"experiments\": [\n");
     for (i, (name, ms)) in timings.iter().enumerate() {
         let sep = if i + 1 < timings.len() { "," } else { "" };
@@ -253,7 +311,12 @@ fn main() {
     write_artifact(metrics_out.as_deref(), "metrics", |w| {
         tel.write_metrics_json(w)
     });
+    let phase_kpis = if bench_out.is_some() {
+        compile_phase_kpis(&machine)
+    } else {
+        Vec::new()
+    };
     write_artifact(bench_out.as_deref(), "bench record", |w| {
-        w.write_all(bench_json(&which, scale, jobs, total_ms, &timings).as_bytes())
+        w.write_all(bench_json(&which, scale, jobs, total_ms, &timings, &phase_kpis).as_bytes())
     });
 }

@@ -19,9 +19,10 @@ use std::sync::Arc;
 use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
 use ltsp_ir::LoopIr;
 use ltsp_machine::MachineModel;
+use ltsp_telemetry::phase::{Phase, PhaseTimer};
 use ltsp_telemetry::Telemetry;
 
-use crate::compile::{compile_loop_with_profile_traced, CompiledLoop};
+use crate::compile::{compile_loop_with_profile_phased, CompiledLoop};
 use crate::config::CompileConfig;
 
 impl CompileConfig {
@@ -93,15 +94,39 @@ pub fn compile_loop_cached(
     trip_estimate: f64,
     tel: &Telemetry,
 ) -> (Arc<CompiledLoop>, bool) {
+    compile_loop_cached_phased(cache, lp, machine, cfg, trip_estimate, tel, None)
+}
+
+/// [`compile_loop_cached`] with optional per-phase wall-clock
+/// attribution: a cold compile books its time under the compile phases
+/// (`hlo`/`ddg`/`mrt`/`sched`/`regalloc`), a hit books the probe under
+/// `cache_lookup`.
+pub fn compile_loop_cached_phased(
+    cache: &CompileCache,
+    lp: &LoopIr,
+    machine: &MachineModel,
+    cfg: &CompileConfig,
+    trip_estimate: f64,
+    tel: &Telemetry,
+    phases: Option<&PhaseTimer>,
+) -> (Arc<CompiledLoop>, bool) {
     let key = compile_key(lp, machine, cfg, trip_estimate);
-    cache.get_or_insert_with(key, approx_bytes, || {
-        compile_loop_with_profile_traced(lp, machine, cfg, trip_estimate, tel)
-    })
+    let t0 = std::time::Instant::now();
+    let (compiled, hit) = cache.get_or_insert_with(key, approx_bytes, || {
+        compile_loop_with_profile_phased(lp, machine, cfg, trip_estimate, tel, phases)
+    });
+    if hit {
+        if let Some(p) = phases {
+            p.add_us(Phase::CacheLookup, t0.elapsed().as_micros() as u64);
+        }
+    }
+    (compiled, hit)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile_loop_with_profile_traced;
     use crate::config::LatencyPolicy;
     use ltsp_workloads::saxpy;
 

@@ -5,9 +5,10 @@ use ltsp_ir::{DataClass, InstId, LatencyHint, LoopIr, Opcode, RegClass};
 use ltsp_machine::LatencyQuery;
 use ltsp_machine::MachineModel;
 use ltsp_pipeliner::{
-    acyclic_schedule, pipeline_loop_traced, LoadClassification, ModuloSchedule, PipelineStats,
+    acyclic_schedule, pipeline_loop_phased, LoadClassification, ModuloSchedule, PipelineStats,
     RegAllocation,
 };
+use ltsp_telemetry::phase::{time_opt, Phase, PhaseTimer};
 use ltsp_telemetry::{Event, Telemetry};
 
 use crate::config::{CompileConfig, LatencyPolicy};
@@ -259,16 +260,34 @@ pub fn compile_loop_with_profile_traced(
     trip_estimate: f64,
     tel: &Telemetry,
 ) -> CompiledLoop {
+    compile_loop_with_profile_phased(lp, machine, cfg, trip_estimate, tel, None)
+}
+
+/// [`compile_loop_with_profile_traced`] with optional per-phase
+/// wall-clock attribution on a [`PhaseTimer`]: `hlo` for high-level
+/// optimization, and the pipeliner's `ddg`/`mrt`/`sched`/`regalloc`
+/// split (the acyclic fallback books its DDG rebuild and list schedule
+/// under `ddg`/`sched`). Timing is observational only.
+pub fn compile_loop_with_profile_phased(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    cfg: &CompileConfig,
+    trip_estimate: f64,
+    tel: &Telemetry,
+    phases: Option<&PhaseTimer>,
+) -> CompiledLoop {
     let mut lp = lp.clone();
     let hlo = {
         let _span = tel.span(format!("hlo:{}", lp.name()));
-        run_hlo_traced(&mut lp, machine, Some(trip_estimate), &cfg.hlo, tel)
+        time_opt(phases, Phase::Hlo, || {
+            run_hlo_traced(&mut lp, machine, Some(trip_estimate), &cfg.hlo, tel)
+        })
     };
 
     let hint_fn = |inst: InstId| hint_for_load(&lp, &hlo, cfg, trip_estimate, inst);
     let pipelined = {
         let _span = tel.span(format!("pipeline:{}", lp.name()));
-        pipeline_loop_traced(&lp, machine, &hint_fn, &cfg.pipeline, tel)
+        pipeline_loop_phased(&lp, machine, &hint_fn, &cfg.pipeline, tel, phases)
     };
     tel.counter_add("compile.loops", 1);
     match pipelined {
@@ -309,8 +328,12 @@ pub fn compile_loop_with_profile_traced(
                 tel.counter_add("compile.acyclic_fallbacks", 1);
             }
             // Rebuild the base-latency DDG for the fallback.
-            let ddg = ltsp_ddg::Ddg::build_with_load_floor(&lp, machine, 0);
-            let kernel = acyclic_schedule(&lp, machine, &ddg);
+            let ddg = time_opt(phases, Phase::Ddg, || {
+                ltsp_ddg::Ddg::build_with_load_floor(&lp, machine, 0)
+            });
+            let kernel = time_opt(phases, Phase::Sched, || {
+                acyclic_schedule(&lp, machine, &ddg)
+            });
             let regs_total = (lp.vreg_count(RegClass::Gr)
                 + lp.vreg_count(RegClass::Fr)
                 + lp.vreg_count(RegClass::Pr)) as u32;

@@ -39,8 +39,8 @@ pub use emit::{
 };
 pub use mrt::Mrt;
 pub use pipeline::{
-    pipeline_loop, pipeline_loop_traced, PipelineError, PipelineOptions, PipelineStats,
-    PipelinedLoop,
+    pipeline_loop, pipeline_loop_phased, pipeline_loop_traced, PipelineError, PipelineOptions,
+    PipelineStats, PipelinedLoop,
 };
 pub use regalloc::{allocate_rotating, RegAllocError, RegAllocation};
 pub use schedule::{KernelSlot, ModuloSchedule};

@@ -7,6 +7,7 @@ use ltsp_ddg::Ddg;
 use ltsp_ir::{InstId, LatencyHint, LoopIr, Opcode};
 use ltsp_machine::{LatencyQuery, MachineModel};
 
+use ltsp_telemetry::phase::{time_opt, Phase, PhaseTimer};
 use ltsp_telemetry::{Event, Telemetry};
 
 use crate::criticality::{classify_loads_traced, LoadClass, LoadClassification};
@@ -219,49 +220,71 @@ pub fn pipeline_loop_traced(
     opts: &PipelineOptions,
     tel: &Telemetry,
 ) -> Result<PipelinedLoop, PipelineError> {
-    let mut ddg_base = Ddg::build_with_load_floor(lp, machine, 0);
-    let res_mii = machine.res_mii(lp);
-    let mut rec_mii = ddg_base.rec_mii();
+    pipeline_loop_phased(lp, machine, hint_of, opts, tel, None)
+}
 
-    // Data speculation (Sec. 3.3): when recurrences dominate, break the
-    // memory-flow edges sitting on cycles that force the II above the
-    // Resource II.
-    let mut speculated: Vec<(InstId, InstId, u32)> = Vec::new();
-    if opts.data_speculation && rec_mii > res_mii {
-        for cycle in ddg_base.recurrence_cycles(opts.cycle_cap) {
-            let summary = ddg_base.cycle_summary(&cycle, &|_| None);
-            if summary.implied_ii <= res_mii {
-                continue;
-            }
-            for &ei in &cycle.edges {
-                let e = ddg_base.edges()[ei];
-                if e.kind == ltsp_ddg::DepKind::MemFlow {
-                    let key = (e.from, e.to, e.omega);
-                    if !speculated.contains(&key) {
-                        speculated.push(key);
+/// [`pipeline_loop_traced`] with optional per-phase wall-clock
+/// attribution: DDG construction and MII analysis (`ddg`), criticality
+/// classification and the acyclic profitability ceiling (`mrt`), every
+/// modulo-scheduling attempt across II escalations (`sched`), and
+/// rotating register allocation (`regalloc`). Timing is observational —
+/// results are identical with or without a timer.
+pub fn pipeline_loop_phased(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    hint_of: &dyn Fn(InstId) -> Option<LatencyHint>,
+    opts: &PipelineOptions,
+    tel: &Telemetry,
+    phases: Option<&PhaseTimer>,
+) -> Result<PipelinedLoop, PipelineError> {
+    let (ddg_base, res_mii, rec_mii, speculated) = time_opt(phases, Phase::Ddg, || {
+        let mut ddg_base = Ddg::build_with_load_floor(lp, machine, 0);
+        let res_mii = machine.res_mii(lp);
+        let mut rec_mii = ddg_base.rec_mii();
+
+        // Data speculation (Sec. 3.3): when recurrences dominate, break the
+        // memory-flow edges sitting on cycles that force the II above the
+        // Resource II.
+        let mut speculated: Vec<(InstId, InstId, u32)> = Vec::new();
+        if opts.data_speculation && rec_mii > res_mii {
+            for cycle in ddg_base.recurrence_cycles(opts.cycle_cap) {
+                let summary = ddg_base.cycle_summary(&cycle, &|_| None);
+                if summary.implied_ii <= res_mii {
+                    continue;
+                }
+                for &ei in &cycle.edges {
+                    let e = ddg_base.edges()[ei];
+                    if e.kind == ltsp_ddg::DepKind::MemFlow {
+                        let key = (e.from, e.to, e.omega);
+                        if !speculated.contains(&key) {
+                            speculated.push(key);
+                        }
                     }
                 }
             }
+            if !speculated.is_empty() {
+                let spec = speculated.clone();
+                ddg_base.retain_edges(|e| {
+                    e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
+                });
+                rec_mii = ddg_base.rec_mii();
+            }
         }
-        if !speculated.is_empty() {
-            let spec = speculated.clone();
-            ddg_base.retain_edges(|e| {
-                e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
-            });
-            rec_mii = ddg_base.rec_mii();
-        }
-    }
+        (ddg_base, res_mii, rec_mii, speculated)
+    });
     let min_ii = res_mii.max(rec_mii);
 
-    let cls = classify_loads_traced(
-        lp,
-        machine,
-        &ddg_base,
-        hint_of,
-        opts.cycle_cap,
-        opts.balance_cycle_slack,
-        tel,
-    );
+    let cls = time_opt(phases, Phase::Mrt, || {
+        classify_loads_traced(
+            lp,
+            machine,
+            &ddg_base,
+            hint_of,
+            opts.cycle_cap,
+            opts.balance_cycle_slack,
+            tel,
+        )
+    });
     let critical_loads = lp
         .insts()
         .iter()
@@ -270,7 +293,9 @@ pub fn pipeline_loop_traced(
 
     // Profitability ceiling: beyond the acyclic schedule length, the global
     // code scheduler does at least as well without pipelining overhead.
-    let acyclic_len = acyclic_schedule(lp, machine, &ddg_base).ii();
+    let acyclic_len = time_opt(phases, Phase::Mrt, || {
+        acyclic_schedule(lp, machine, &ddg_base).ii()
+    });
     let max_ii = (min_ii + opts.max_ii_slack).min(acyclic_len.max(min_ii));
 
     let mut attempts = 0u32;
@@ -287,13 +312,16 @@ pub fn pipeline_loop_traced(
 
     let mut base_phase_start = min_ii;
     if cls.boosted_count() > 0 {
-        let mut ddg_boosted = build_ddg(lp, machine, |id| cls.query(id));
-        if !speculated.is_empty() {
-            let spec = speculated.clone();
-            ddg_boosted.retain_edges(|e| {
-                e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
-            });
-        }
+        let ddg_boosted = time_opt(phases, Phase::Ddg, || {
+            let mut ddg_boosted = build_ddg(lp, machine, |id| cls.query(id));
+            if !speculated.is_empty() {
+                let spec = speculated.clone();
+                ddg_boosted.retain_edges(|e| {
+                    e.kind != ltsp_ddg::DepKind::MemFlow || !spec.contains(&(e.from, e.to, e.omega))
+                });
+            }
+            ddg_boosted
+        });
         let scheduler = ModuloScheduler::new(lp, machine, &ddg_boosted);
         let mut alloc_failed_at: Option<u32> = None;
         let base_scheduler = ModuloScheduler::new(lp, machine, &ddg_base);
@@ -310,7 +338,9 @@ pub fn pipeline_loop_traced(
                 }
             }
             attempts += 1;
-            let sched = match scheduler.schedule_at(ii, opts.budget_factor) {
+            let sched = match time_opt(phases, Phase::Sched, || {
+                scheduler.schedule_at(ii, opts.budget_factor)
+            }) {
                 Ok(sched) => {
                     if tel.is_enabled() {
                         tel.emit(Event::ScheduleAttempt {
@@ -336,7 +366,9 @@ pub fn pipeline_loop_traced(
                     // permanently higher II for the boosts — containment says
                     // drop the boosts instead.
                     attempts += 1;
-                    let base_res = base_scheduler.schedule_at(ii, opts.budget_factor);
+                    let base_res = time_opt(phases, Phase::Sched, || {
+                        base_scheduler.schedule_at(ii, opts.budget_factor)
+                    });
                     if tel.is_enabled() {
                         tel.emit(Event::ScheduleAttempt {
                             loop_name: lp.name().to_string(),
@@ -360,7 +392,9 @@ pub fn pipeline_loop_traced(
                     continue;
                 }
             };
-            match allocate_rotating(lp, &sched, machine) {
+            match time_opt(phases, Phase::Regalloc, || {
+                allocate_rotating(lp, &sched, machine)
+            }) {
                 Ok(regs) => {
                     stats.schedule_attempts = attempts;
                     if tel.is_enabled() {
@@ -412,7 +446,9 @@ pub fn pipeline_loop_traced(
             }
         }
         attempts += 1;
-        let sched = match scheduler.schedule_at(ii, opts.budget_factor) {
+        let sched = match time_opt(phases, Phase::Sched, || {
+            scheduler.schedule_at(ii, opts.budget_factor)
+        }) {
             Ok(sched) => {
                 if tel.is_enabled() {
                     tel.emit(Event::ScheduleAttempt {
@@ -437,7 +473,9 @@ pub fn pipeline_loop_traced(
                 continue;
             }
         };
-        match allocate_rotating(lp, &sched, machine) {
+        match time_opt(phases, Phase::Regalloc, || {
+            allocate_rotating(lp, &sched, machine)
+        }) {
             Ok(regs) => {
                 stats.schedule_attempts = attempts;
                 if tel.is_enabled() {

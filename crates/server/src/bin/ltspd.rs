@@ -5,6 +5,7 @@
 //!       [--outbound N] [--write-deadline-ms MS]
 //!       [--cache-bytes N] [--result-cache-bytes N]
 //!       [--oracle-budget NODES] [--oracle-deadline-ms MS]
+//!       [--flight-dir DIR] [--flight-len N]
 //!       [--trace-out FILE] [--metrics-out FILE] [-v]
 //! ```
 //!
@@ -20,6 +21,13 @@
 //! `--outbound` caps each connection's outbound response queue. The
 //! `LTSP_FAULT` environment variable (see `ltsp_server::fault`) turns
 //! on deterministic fault injection for chaos testing.
+//!
+//! `--flight-dir` enables the flight recorder's dump-to-disk path: the
+//! last `--flight-len` request lifecycles (default 256) are written as
+//! JSONL whenever a contained panic, injected fault, dispatcher death,
+//! or write-deadline shed fires (see `ltsp_server::flight`). A live
+//! Prometheus snapshot is always available via `{"op":"metrics"}` /
+//! `ltspc remote ADDR --op metrics`.
 
 use std::process::ExitCode;
 
@@ -33,6 +41,7 @@ fn usage() -> ! {
          \x20            [--outbound N] [--write-deadline-ms MS]\n\
          \x20            [--cache-bytes N] [--result-cache-bytes N]\n\
          \x20            [--oracle-budget NODES] [--oracle-deadline-ms MS]\n\
+         \x20            [--flight-dir DIR] [--flight-len N]\n\
          \x20            [--trace-out FILE] [--metrics-out FILE] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -79,6 +88,10 @@ fn main() -> ExitCode {
                     ms => Some(ms),
                 }
             }
+            "--flight-dir" => {
+                engine.flight_dir = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--flight-len" => engine.flight_len = num::<usize>(args.next()).max(1),
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "-v" | "--verbose" => verbose = true,

@@ -96,10 +96,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use ltsp_telemetry::phase::{Phase, PhaseTimer};
 use ltsp_telemetry::{lock_unpoisoned, Event, Telemetry};
 
 use crate::engine::{Engine, EngineConfig};
 use crate::fault::{FaultPlan, FaultSite};
+use crate::flight::FlightRecord;
 use crate::proto::{parse_request, ReqOp, Request, Response};
 
 /// How often blocked loops (accept, idle reads, stalled writes) re-check
@@ -159,6 +161,8 @@ impl Default for ServerConfig {
 struct Job {
     req: Request,
     conn: Arc<Conn>,
+    /// Admission time, for the `queue_wait` phase span.
+    enqueued_at: Instant,
 }
 
 /// A connection's bounded outbound queue, drained by its writer thread.
@@ -271,7 +275,12 @@ impl State {
                 q.push_back(Job {
                     req: req.clone(),
                     conn: Arc::clone(conn),
+                    enqueued_at: Instant::now(),
                 });
+                self.engine
+                    .gauges
+                    .queue_depth
+                    .store(q.len() as u64, Ordering::Relaxed);
                 None
             }
         };
@@ -441,6 +450,12 @@ fn run(listener: TcpListener, state: Arc<State>) {
                 if let Err(payload) = died {
                     let why = panic_message(payload.as_ref());
                     eprintln!("ltspd: dispatcher died: {why}");
+                    state
+                        .engine
+                        .gauges
+                        .dispatcher_deaths
+                        .fetch_add(1, Ordering::Relaxed);
+                    state.engine.flight.dump("dispatcher-died");
                     tel.emit(Event::ServerLifecycle {
                         phase: "dispatcher-died",
                         detail: why.clone(),
@@ -511,9 +526,34 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// panics fire here (keyed on the request id), and *any* panic out of
 /// [`Engine::handle`] — injected or real — becomes a `status:"error"`
 /// response plus an [`Event::RequestPanic`], never a dead daemon.
-fn handle_contained(state: &State, req: &Request, tel: &Telemetry) -> Response {
+///
+/// Also the head of the server-side lifecycle spans: `queue_wait`
+/// (admission → batch pop), `dispatch` (pop → handler entry). A slow
+/// fault's sleep lands in `dispatch` — the delay is real latency and
+/// must not vanish from the breakdown — and a panicking request is
+/// flight-recorded here (the engine's own observation point never ran)
+/// and triggers a `request-panic` dump.
+fn handle_contained(
+    state: &State,
+    req: &Request,
+    enqueued_at: Instant,
+    popped_at: Instant,
+    tel: &Telemetry,
+) -> Response {
+    let phases = PhaseTimer::new();
+    phases.add_us(
+        Phase::QueueWait,
+        popped_at.duration_since(enqueued_at).as_micros() as u64,
+    );
     let fault = &state.cfg.fault;
+    let mut fault_fired = false;
     if fault.is_active() && fault.fires(FaultSite::Slow, &req.id) {
+        fault_fired = true;
+        state
+            .engine
+            .gauges
+            .faults_injected
+            .fetch_add(1, Ordering::Relaxed);
         if tel.is_enabled() {
             tel.emit(Event::FaultInjected {
                 site: "slow",
@@ -522,8 +562,14 @@ fn handle_contained(state: &State, req: &Request, tel: &Telemetry) -> Response {
         }
         thread::sleep(fault.slow);
     }
+    phases.add_us(Phase::Dispatch, popped_at.elapsed().as_micros() as u64);
     let result = catch_unwind(AssertUnwindSafe(|| {
         if fault.is_active() && fault.fires(FaultSite::Panic, &req.id) {
+            state
+                .engine
+                .gauges
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
             if tel.is_enabled() {
                 tel.emit(Event::FaultInjected {
                     site: "panic",
@@ -532,12 +578,22 @@ fn handle_contained(state: &State, req: &Request, tel: &Telemetry) -> Response {
             }
             panic!("injected handler panic for request {}", req.id);
         }
-        state.engine.handle(req, tel)
+        state.engine.handle_phased(req, tel, &phases)
     }));
     match result {
-        Ok(resp) => resp,
+        Ok(resp) => {
+            if fault_fired {
+                state.engine.flight.dump("fault-injected");
+            }
+            resp
+        }
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
+            state
+                .engine
+                .gauges
+                .request_panics
+                .fetch_add(1, Ordering::Relaxed);
             if tel.is_enabled() {
                 tel.emit(Event::RequestPanic {
                     trace_id: req.id.clone(),
@@ -550,7 +606,13 @@ fn handle_contained(state: &State, req: &Request, tel: &Telemetry) -> Response {
                 "error",
                 &format!("request handler panicked: {msg}"),
             );
-            state.engine.finish(req, resp, tel)
+            let resp = state.engine.finish(req, resp, tel);
+            state
+                .engine
+                .flight
+                .record(FlightRecord::capture(req, "error", "-", &phases));
+            state.engine.flight.dump("request-panic");
+            resp
         }
     }
 }
@@ -574,6 +636,11 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
         return;
     };
     let conn = Arc::new(Conn::new(state.cfg.outbound_max));
+    state
+        .engine
+        .gauges
+        .connections
+        .fetch_add(1, Ordering::Relaxed);
     let writer = {
         let conn = Arc::clone(&conn);
         let state = Arc::clone(state);
@@ -589,6 +656,11 @@ fn reader_loop(mut stream: TcpStream, state: &Arc<State>, tel: &Telemetry) {
     // last holder (queued jobs done, outbound flushed).
     drop(conn);
     let _ = writer.join();
+    state
+        .engine
+        .gauges
+        .connections
+        .fetch_sub(1, Ordering::Relaxed);
 }
 
 /// The reader's framing/admission loop (split out so [`reader_loop`]
@@ -632,6 +704,7 @@ fn read_requests(stream: &mut TcpStream, conn: &Arc<Conn>, state: &Arc<State>, t
                         status: "draining",
                         cache: "-",
                         body: ",\"op\":\"shutdown\"".to_string(),
+                        timings: None,
                     };
                     conn.send(&state.engine.finish(&req, resp, tel));
                     state.start_drain("shutdown request", tel);
@@ -680,17 +753,29 @@ fn writer_loop(conn: &Arc<Conn>, mut stream: TcpStream, state: &State, tel: &Tel
         };
         let Some((id, line)) = next else { return };
         if fault.is_active() && fault.fires(FaultSite::Drop, &id) {
+            state
+                .engine
+                .gauges
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
             if tel.is_enabled() {
                 tel.emit(Event::FaultInjected {
                     site: "drop",
                     trace_id: id.clone(),
                 });
             }
-            shed_connection(conn, &stream, tel, "injected connection drop");
+            shed_connection(conn, &stream, state, tel, "injected connection drop");
+            state.engine.flight.dump("fault-injected");
             return;
         }
         let torn = fault.is_active() && fault.fires(FaultSite::ShortWrite, &id);
+        let write_start = Instant::now();
         let wrote = if torn && line.len() >= 2 {
+            state
+                .engine
+                .gauges
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
             if tel.is_enabled() {
                 tel.emit(Event::FaultInjected {
                     site: "short-write",
@@ -709,6 +794,12 @@ fn writer_loop(conn: &Arc<Conn>, mut stream: TcpStream, state: &State, tel: &Tel
         match wrote {
             Ok(()) => {
                 let _ = stream.flush();
+                // The outbound write happens after the response is
+                // rendered, so it can never ride on the request's own
+                // timer — it feeds the phase histogram directly.
+                state
+                    .engine
+                    .record_phase_sample(Phase::Write, write_start.elapsed().as_micros() as u64);
             }
             Err(e) => {
                 // A vanished client is not a server error; a stalled one
@@ -718,7 +809,10 @@ fn writer_loop(conn: &Arc<Conn>, mut stream: TcpStream, state: &State, tel: &Tel
                 } else {
                     "client connection lost"
                 };
-                shed_connection(conn, &stream, tel, why);
+                shed_connection(conn, &stream, state, tel, why);
+                if e.kind() == std::io::ErrorKind::TimedOut {
+                    state.engine.flight.dump("write-shed");
+                }
                 return;
             }
         }
@@ -727,9 +821,19 @@ fn writer_loop(conn: &Arc<Conn>, mut stream: TcpStream, state: &State, tel: &Tel
 
 /// Declares a connection dead: discards its outbound queue, shuts the
 /// socket down (which also unblocks its reader), and accounts the shed.
-fn shed_connection(conn: &Conn, stream: &TcpStream, tel: &Telemetry, why: &str) {
+fn shed_connection(conn: &Conn, stream: &TcpStream, state: &State, tel: &Telemetry, why: &str) {
     let shed = conn.kill();
     let _ = stream.shutdown(Shutdown::Both);
+    state
+        .engine
+        .gauges
+        .conn_shed
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .engine
+        .gauges
+        .responses_shed
+        .fetch_add(shed, Ordering::Relaxed);
     if tel.is_enabled() {
         tel.warn(format!("connection shed: {why} ({shed} responses dropped)"));
         tel.counter_add("serve.conn.shed", 1);
@@ -814,29 +918,80 @@ fn dispatch_loop(state: &Arc<State>, tel: &Telemetry) {
                 }
             }
             let n = q.len().min(state.cfg.batch_max);
-            q.drain(..n).collect()
+            let batch: Vec<Job> = q.drain(..n).collect();
+            state
+                .engine
+                .gauges
+                .queue_depth
+                .store(q.len() as u64, Ordering::Relaxed);
+            batch
         };
+        let popped_at = Instant::now();
+        let gauges = &state.engine.gauges;
+        gauges
+            .inflight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         // Fast path: a lone request runs on the dispatcher thread — no
         // worker spawn, so a cache hit costs microseconds, not a thread.
         // Telemetry still goes through fork/absorb, same as the pool.
         if let [job] = batch.as_slice() {
             let resp = if tel.is_enabled() {
                 let child = tel.fork();
-                let resp = handle_contained(state, &job.req, &child);
+                let resp = handle_contained(state, &job.req, job.enqueued_at, popped_at, &child);
                 tel.absorb(child, 0);
                 resp
             } else {
-                handle_contained(state, &job.req, tel)
+                handle_contained(state, &job.req, job.enqueued_at, popped_at, tel)
             };
             job.conn.send(&resp);
+            gauges.inflight.fetch_sub(1, Ordering::Relaxed);
             continue;
         }
-        let responses = pool.map_traced(tel, "serve-batch", &batch, |tel, _idx, job| {
-            handle_contained(state, &job.req, tel)
+        // Identical requests inside one batch must not race on the
+        // result cache: the loser's "cache" tag would depend on worker
+        // timing, a --jobs-dependent byte in the response stream. First
+        // occurrences of each key run on the pool; duplicates replay
+        // afterwards in admission order, where they hit the cache
+        // exactly as a serial run would.
+        let keys: Vec<_> = batch
+            .iter()
+            .map(|j| state.engine.request_key(&j.req))
+            .collect();
+        let follower: Vec<bool> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| k.is_some() && keys[..i].contains(k))
+            .collect();
+        let leader_idx: Vec<usize> = (0..batch.len()).filter(|&i| !follower[i]).collect();
+        let leader_resps = pool.map_traced(tel, "serve-batch", &leader_idx, |tel, _i, &idx| {
+            let job = &batch[idx];
+            handle_contained(state, &job.req, job.enqueued_at, popped_at, tel)
         });
-        for (job, resp) in batch.iter().zip(&responses) {
-            job.conn.send(resp);
+        let mut responses: Vec<Option<Response>> = batch.iter().map(|_| None).collect();
+        for (&idx, resp) in leader_idx.iter().zip(leader_resps) {
+            responses[idx] = Some(resp);
         }
+        for (i, job) in batch.iter().enumerate() {
+            if !follower[i] {
+                continue;
+            }
+            let resp = if tel.is_enabled() {
+                let child = tel.fork();
+                let resp = handle_contained(state, &job.req, job.enqueued_at, popped_at, &child);
+                tel.absorb(child, 0);
+                resp
+            } else {
+                handle_contained(state, &job.req, job.enqueued_at, popped_at, tel)
+            };
+            responses[i] = Some(resp);
+        }
+        for (job, resp) in batch.iter().zip(&responses) {
+            job.conn
+                .send(resp.as_ref().expect("every batch job is answered"));
+        }
+        gauges
+            .inflight
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
     }
 }
 

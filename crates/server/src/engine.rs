@@ -18,16 +18,21 @@
 //! request, which is what keeps batch composition (and therefore
 //! `--jobs`) out of the bytes on the wire.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
-use ltsp_core::{compile_loop_cached, new_compile_cache, CompileCache, CompileConfig};
+use ltsp_core::{compile_loop_cached_phased, new_compile_cache, CompileCache, CompileConfig};
 use ltsp_ir::{parse_loop, LoopIr, ParseError};
 use ltsp_machine::MachineModel;
 use ltsp_oracle::{differential_case, IiVerdict, OracleOptions};
-use ltsp_telemetry::{Event, Telemetry};
+use ltsp_telemetry::phase::{Phase, PhaseTimer};
+use ltsp_telemetry::{lock_unpoisoned, prom, Event, Histogram, Telemetry};
 
+use crate::flight::{FlightRecord, FlightRecorder};
 use crate::proto::{push_bool_field, push_str_field, push_u64_field, ReqOp, Request, Response};
 use crate::report::render_compile_report;
 
@@ -51,6 +56,10 @@ pub struct EngineConfig {
     /// Default oracle wall-clock budget when a request names none
     /// (`None` = unlimited).
     pub oracle_deadline_ms: Option<u64>,
+    /// Flight-recorder dump directory (`None` = ring only, no dumps).
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (request lifecycles retained).
+    pub flight_len: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +69,8 @@ impl Default for EngineConfig {
             result_cache_bytes: 16 << 20,
             oracle_node_budget: 200_000,
             oracle_deadline_ms: Some(10_000),
+            flight_dir: None,
+            flight_len: 256,
         }
     }
 }
@@ -92,6 +103,30 @@ impl ServeCounters {
     }
 }
 
+/// Live operational gauges and chaos counters, updated by the daemon's
+/// threads and read by the `metrics` exposition. Plain atomics:
+/// monotonically increasing for the `*_total` counters, last-write-wins
+/// snapshots for the gauges.
+#[derive(Debug, Default)]
+pub struct ServerGauges {
+    /// Requests sitting in the admission queue right now.
+    pub queue_depth: AtomicU64,
+    /// Requests currently being handled by the dispatcher batch.
+    pub inflight: AtomicU64,
+    /// Open client connections.
+    pub connections: AtomicU64,
+    /// Connections killed for missing the write deadline.
+    pub conn_shed: AtomicU64,
+    /// Responses dropped on shed/dead connections.
+    pub responses_shed: AtomicU64,
+    /// Handler panics contained (real or injected).
+    pub request_panics: AtomicU64,
+    /// Faults injected by the active [`crate::FaultPlan`].
+    pub faults_injected: AtomicU64,
+    /// Dispatcher deaths survived (drain-and-exit path).
+    pub dispatcher_deaths: AtomicU64,
+}
+
 /// The shared, thread-safe request engine.
 pub struct Engine {
     machine: MachineModel,
@@ -100,6 +135,15 @@ pub struct Engine {
     cfg: EngineConfig,
     /// Per-status response tallies.
     pub counters: ServeCounters,
+    /// Operational gauges (fed by the daemon, read by `metrics`).
+    pub gauges: ServerGauges,
+    /// The flight recorder (fed per request, dumped on faults).
+    pub flight: FlightRecorder,
+    /// Per-phase latency histograms behind the `metrics` op. Kept out
+    /// of the telemetry registry on purpose: wall-clock buckets differ
+    /// run to run, and the drain-time telemetry export participates in
+    /// determinism comparisons.
+    phase_hists: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Engine {
@@ -112,8 +156,11 @@ impl Engine {
                 byte_budget: cfg.result_cache_bytes,
                 ..CacheConfig::default()
             }),
+            flight: FlightRecorder::new(cfg.flight_len, cfg.flight_dir.clone()),
             cfg,
             counters: ServeCounters::default(),
+            gauges: ServerGauges::default(),
+            phase_hists: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -121,18 +168,66 @@ impl Engine {
     /// on `tel` and tallies the status. `shutdown` is the daemon's
     /// business and answers `error` here.
     pub fn handle(&self, req: &Request, tel: &Telemetry) -> Response {
+        let phases = PhaseTimer::new();
+        self.handle_phased(req, tel, &phases)
+    }
+
+    /// [`Engine::handle`] against a caller-owned [`PhaseTimer`] (the
+    /// daemon pre-loads `queue_wait`/`dispatch` before calling). Records
+    /// total handler time, feeds the per-phase histograms and the flight
+    /// recorder, and — when the request opted in with `"timings":true` —
+    /// attaches the breakdown to the response envelope.
+    pub fn handle_phased(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        let t0 = Instant::now();
         let resp = match req.op {
             ReqOp::Ping => Response {
                 id: req.id.clone(),
                 status: "ok",
                 cache: "-",
                 body: ",\"op\":\"ping\"".to_string(),
+                timings: None,
             },
             ReqOp::Stats => self.stats_response(req),
+            ReqOp::Metrics => self.metrics_response(req),
             ReqOp::Shutdown => Response::error(&req.id, "error", "shutdown not admitted here"),
-            ReqOp::Compile | ReqOp::Verify | ReqOp::Oracle => self.cached_response(req, tel),
+            ReqOp::Compile | ReqOp::Verify | ReqOp::Oracle => {
+                self.cached_response(req, tel, phases)
+            }
         };
-        self.finish(req, resp, tel)
+        phases.add_us(Phase::Handler, t0.elapsed().as_micros() as u64);
+        let mut resp = self.finish(req, resp, tel);
+        if req.timings {
+            resp.timings = Some(phases.to_json_object());
+        }
+        self.observe(req, &resp, phases);
+        resp
+    }
+
+    /// Feeds a finished request into the phase histograms and the flight
+    /// recorder.
+    fn observe(&self, req: &Request, resp: &Response, phases: &PhaseTimer) {
+        {
+            let mut hists = lock_unpoisoned(&self.phase_hists);
+            for (p, us) in phases.snapshot() {
+                // Handler always records (it is the request-total KPI);
+                // other phases record only when they actually ran, so a
+                // phase histogram's count is "times this phase ran".
+                if us > 0 || p == Phase::Handler {
+                    hists.entry(p.name()).or_default().record(us);
+                }
+            }
+        }
+        self.flight
+            .record(FlightRecord::capture(req, resp.status, resp.cache, phases));
+    }
+
+    /// Records a single out-of-band phase sample (the outbound writer
+    /// books `write` time here after the response envelope is sealed).
+    pub fn record_phase_sample(&self, phase: Phase, us: u64) {
+        lock_unpoisoned(&self.phase_hists)
+            .entry(phase.name())
+            .or_default()
+            .record(us);
     }
 
     /// First-level cache in front of the pipeline, keyed on the *raw*
@@ -142,32 +237,45 @@ impl Engine {
     /// that differ only in formatting. Responses are pure functions of
     /// their requests, so caching the whole outcome (including error
     /// outcomes) is sound.
-    fn cached_response(&self, req: &Request, tel: &Telemetry) -> Response {
-        let key = {
-            let mut h = FingerprintHasher::new();
-            h.write_str("request-v1");
-            h.write_str(req.op.tag());
-            h.write_str(&req.loop_text);
-            h.write_str(&req.policy.to_string());
-            h.write_f64(req.trip);
-            h.write_u64(u64::from(req.threshold));
-            h.write_u64(
-                u64::from(req.prefetch)
-                    | u64::from(req.balanced) << 1
-                    | u64::from(req.speculate) << 2,
-            );
-            h.write_u64(req.budget);
-            h.write_u64(self.effective_deadline_ms(req).map_or(u64::MAX, |d| d));
-            h.finish()
-        };
+    /// The first-level cache key of a request, or `None` for ops that
+    /// bypass the result cache. The daemon uses this to dedupe identical
+    /// requests *within* a parallel batch: without that, two same-key
+    /// requests race on who populates the cache and the loser's
+    /// `"cache"` tag depends on worker timing — a `--jobs`-dependent
+    /// byte in an otherwise deterministic response stream.
+    pub fn request_key(&self, req: &Request) -> Option<Fingerprint> {
+        match req.op {
+            ReqOp::Compile | ReqOp::Verify | ReqOp::Oracle => {}
+            _ => return None,
+        }
+        let mut h = FingerprintHasher::new();
+        h.write_str("request-v1");
+        h.write_str(req.op.tag());
+        h.write_str(&req.loop_text);
+        h.write_str(&req.policy.to_string());
+        h.write_f64(req.trip);
+        h.write_u64(u64::from(req.threshold));
+        h.write_u64(
+            u64::from(req.prefetch) | u64::from(req.balanced) << 1 | u64::from(req.speculate) << 2,
+        );
+        h.write_u64(req.budget);
+        h.write_u64(self.effective_deadline_ms(req).map_or(u64::MAX, |d| d));
+        Some(h.finish())
+    }
+
+    fn cached_response(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        let key = self
+            .request_key(req)
+            .expect("cached_response only serves cacheable ops");
         let inner_tag = std::cell::Cell::new("miss");
+        let t0 = Instant::now();
         let (cached, hit) = self.result_cache.get_or_insert_with(
             key,
             |r| r.body.len() + req.loop_text.len() + 64,
             || {
                 let resp = match req.op {
-                    ReqOp::Compile => self.compile(req, tel),
-                    _ => self.verify_or_oracle(req, tel),
+                    ReqOp::Compile => self.compile(req, tel, phases),
+                    _ => self.verify_or_oracle(req, tel, phases),
                 };
                 inner_tag.set(resp.cache);
                 CachedResult {
@@ -176,11 +284,17 @@ impl Engine {
                 }
             },
         );
+        if hit {
+            // On a miss the probe time is dwarfed by (and attributed to)
+            // the compile phases the closure just ran.
+            phases.add_us(Phase::CacheLookup, t0.elapsed().as_micros() as u64);
+        }
         Response {
             id: req.id.clone(),
             status: cached.status,
             cache: if hit { "hit" } else { inner_tag.get() },
             body: cached.body.clone(),
+            timings: None,
         }
     }
 
@@ -246,8 +360,8 @@ impl Engine {
         );
     }
 
-    fn parse(&self, req: &Request) -> Result<LoopIr, Response> {
-        match parse_loop(&req.loop_text) {
+    fn parse(&self, req: &Request, phases: &PhaseTimer) -> Result<LoopIr, Response> {
+        match phases.time(Phase::Parse, || parse_loop(&req.loop_text)) {
             Ok(lp) => Ok(lp),
             Err(ParseError::Syntax { line, message }) => {
                 let mut body = String::new();
@@ -260,6 +374,7 @@ impl Engine {
                     status: "error",
                     cache: "-",
                     body,
+                    timings: None,
                 })
             }
             Err(ParseError::Invalid(e)) => {
@@ -272,13 +387,14 @@ impl Engine {
                     status: "error",
                     cache: "-",
                     body,
+                    timings: None,
                 })
             }
         }
     }
 
-    fn compile(&self, req: &Request, tel: &Telemetry) -> Response {
-        let lp = match self.parse(req) {
+    fn compile(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        let lp = match self.parse(req, phases) {
             Ok(lp) => lp,
             Err(resp) => return resp,
         };
@@ -302,43 +418,46 @@ impl Engine {
             body_key,
             |r| r.body.len() + 32,
             || {
-                let (compiled, hit) = compile_loop_cached(
+                let (compiled, hit) = compile_loop_cached_phased(
                     &self.compile_cache,
                     &lp,
                     &self.machine,
                     &cfg,
                     req.trip,
                     tel,
+                    Some(phases),
                 );
                 artifact_hit.set(hit);
-                let mut body = String::new();
-                push_str_field(&mut body, "op", "compile");
-                push_str_field(&mut body, "loop", compiled.lp.name());
-                push_bool_field(&mut body, "pipelined", compiled.pipelined);
-                push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
-                push_u64_field(
-                    &mut body,
-                    "stages",
-                    u64::from(compiled.kernel.stage_count()),
-                );
-                if let Some(stats) = compiled.stats {
-                    push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
-                    push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
-                }
-                if let Some(regs) = compiled.regs {
-                    use std::fmt::Write as _;
-                    let _ = write!(
-                        body,
-                        ",\"regs\":[{},{},{}]",
-                        regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+                phases.time(Phase::Render, || {
+                    let mut body = String::new();
+                    push_str_field(&mut body, "op", "compile");
+                    push_str_field(&mut body, "loop", compiled.lp.name());
+                    push_bool_field(&mut body, "pipelined", compiled.pipelined);
+                    push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
+                    push_u64_field(
+                        &mut body,
+                        "stages",
+                        u64::from(compiled.kernel.stage_count()),
                     );
-                }
-                push_str_field(
-                    &mut body,
-                    "report",
-                    &render_compile_report(&compiled, req.policy, req.trip),
-                );
-                CachedResult { status: "ok", body }
+                    if let Some(stats) = compiled.stats {
+                        push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
+                        push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
+                    }
+                    if let Some(regs) = compiled.regs {
+                        use std::fmt::Write as _;
+                        let _ = write!(
+                            body,
+                            ",\"regs\":[{},{},{}]",
+                            regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+                        );
+                    }
+                    push_str_field(
+                        &mut body,
+                        "report",
+                        &render_compile_report(&compiled, req.policy, req.trip),
+                    );
+                    CachedResult { status: "ok", body }
+                })
             },
         );
         Response {
@@ -350,6 +469,7 @@ impl Engine {
                 "miss"
             },
             body: cached.body.clone(),
+            timings: None,
         }
     }
 
@@ -357,8 +477,8 @@ impl Engine {
     /// oracle adds the exact-II proof. Outcomes are cached as rendered
     /// bodies keyed on the canonicalized loop and every knob that can
     /// change the answer.
-    fn verify_or_oracle(&self, req: &Request, tel: &Telemetry) -> Response {
-        let lp = match self.parse(req) {
+    fn verify_or_oracle(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        let lp = match self.parse(req, phases) {
             Ok(lp) => lp,
             Err(resp) => return resp,
         };
@@ -384,6 +504,7 @@ impl Engine {
             status: cached.status,
             cache: if hit { "hit" } else { "miss" },
             body: cached.body.clone(),
+            timings: None,
         }
     }
 
@@ -516,7 +637,111 @@ impl Engine {
             status: "ok",
             cache: "-",
             body,
+            timings: None,
         }
+    }
+
+    /// The `{"op":"metrics"}` response: the Prometheus text snapshot
+    /// escaped into a `"metrics"` string field. Bypasses every cache
+    /// (like `stats`) and is excluded from the determinism contract.
+    fn metrics_response(&self, req: &Request) -> Response {
+        let mut body = String::new();
+        push_str_field(&mut body, "op", "metrics");
+        push_str_field(&mut body, "metrics", &self.render_prometheus());
+        Response {
+            id: req.id.clone(),
+            status: "ok",
+            cache: "-",
+            body,
+            timings: None,
+        }
+    }
+
+    /// The full operational snapshot in Prometheus text format: request
+    /// counters by status, cache counters and sizes, live gauges, chaos
+    /// counters, and the per-phase latency histograms (cumulative
+    /// `le` buckets in microseconds).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        prom::push_type(&mut out, "ltsp_requests_total", "counter");
+        for (status, v) in [
+            ("ok", self.counters.ok.load(Ordering::Relaxed)),
+            ("rejected", self.counters.rejected.load(Ordering::Relaxed)),
+            ("error", self.counters.error.load(Ordering::Relaxed)),
+            (
+                "overloaded",
+                self.counters.overloaded.load(Ordering::Relaxed),
+            ),
+            ("draining", self.counters.draining.load(Ordering::Relaxed)),
+        ] {
+            prom::push_sample(
+                &mut out,
+                "ltsp_requests_total",
+                &[("status", status)],
+                v as f64,
+            );
+        }
+        let caches = [
+            ("compile", self.compile_cache.stats()),
+            ("result", self.result_cache.stats()),
+        ];
+        for (name, kind, get) in [
+            (
+                "ltsp_cache_hits_total",
+                "counter",
+                (|s| s.hits) as fn(&ltsp_cache::CacheStats) -> u64,
+            ),
+            ("ltsp_cache_misses_total", "counter", |s| s.misses),
+            ("ltsp_cache_evictions_total", "counter", |s| s.evictions),
+            ("ltsp_cache_entries", "gauge", |s| s.entries),
+            ("ltsp_cache_bytes", "gauge", |s| s.bytes),
+        ] {
+            prom::push_type(&mut out, name, kind);
+            for (cache, stats) in &caches {
+                prom::push_sample(&mut out, name, &[("cache", cache)], get(stats) as f64);
+            }
+        }
+        for (name, v) in [
+            ("ltsp_queue_depth", &self.gauges.queue_depth),
+            ("ltsp_inflight", &self.gauges.inflight),
+            ("ltsp_connections", &self.gauges.connections),
+        ] {
+            prom::push_type(&mut out, name, "gauge");
+            prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
+        }
+        for (name, v) in [
+            ("ltsp_connections_shed_total", &self.gauges.conn_shed),
+            ("ltsp_responses_shed_total", &self.gauges.responses_shed),
+            ("ltsp_request_panics_total", &self.gauges.request_panics),
+            ("ltsp_faults_injected_total", &self.gauges.faults_injected),
+            (
+                "ltsp_dispatcher_deaths_total",
+                &self.gauges.dispatcher_deaths,
+            ),
+        ] {
+            prom::push_type(&mut out, name, "counter");
+            prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
+        }
+        prom::push_type(&mut out, "ltsp_flight_records", "gauge");
+        prom::push_sample(
+            &mut out,
+            "ltsp_flight_records",
+            &[],
+            self.flight.len() as f64,
+        );
+        prom::push_type(&mut out, "ltsp_flight_dumps_total", "counter");
+        prom::push_sample(
+            &mut out,
+            "ltsp_flight_dumps_total",
+            &[],
+            self.flight.dump_count() as f64,
+        );
+        prom::push_type(&mut out, "ltsp_phase_us", "histogram");
+        let hists = lock_unpoisoned(&self.phase_hists);
+        for (name, h) in hists.iter() {
+            prom::push_histogram(&mut out, "ltsp_phase_us", &[("phase", name)], h);
+        }
+        out
     }
 }
 

@@ -20,11 +20,13 @@
 pub mod daemon;
 pub mod engine;
 pub mod fault;
+pub mod flight;
 pub mod proto;
 mod report;
 
 pub use daemon::{serve, spawn, ServerConfig, ServerHandle};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, ServerGauges};
 pub use fault::{FaultPlan, FaultSite};
+pub use flight::{normalize_flight_dump, read_dumps, FlightRecord, FlightRecorder};
 pub use proto::{parse_request, ProtoError, ReqOp, Request, Response};
 pub use report::render_compile_report;

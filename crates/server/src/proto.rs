@@ -36,7 +36,13 @@
 //! of the server instance), which is what makes the serving layer
 //! byte-deterministic at any `--jobs` and what makes response bodies
 //! cacheable at all. Wall-clock observability lives in the telemetry
-//! metrics, never on the wire.
+//! metrics and the `{"op":"metrics"}` exposition, never on the wire —
+//! with one explicit opt-out: a request carrying `"timings":true` gets a
+//! trailing `"timings":{...}` object of per-phase microseconds appended
+//! to its response *envelope* (never to the cached body, and never
+//! folded into the cache key), so clients that ask for wall-clock
+//! attribution knowingly leave the byte-identity contract for that
+//! response.
 
 use ltsp_cache::Fingerprint;
 use ltsp_core::LatencyPolicy;
@@ -56,6 +62,9 @@ pub enum ReqOp {
     Ping,
     /// Server + cache counters (excluded from the determinism contract).
     Stats,
+    /// Prometheus-text-format metrics snapshot (excluded from the
+    /// determinism contract, like `Stats`).
+    Metrics,
     /// Begin graceful drain: stop admitting, finish in-flight, exit.
     Shutdown,
 }
@@ -69,6 +78,7 @@ impl ReqOp {
             ReqOp::Oracle => "oracle",
             ReqOp::Ping => "ping",
             ReqOp::Stats => "stats",
+            ReqOp::Metrics => "metrics",
             ReqOp::Shutdown => "shutdown",
         }
     }
@@ -101,6 +111,9 @@ pub struct Request {
     /// Oracle wall-clock budget in ms (oracle only; `None` = server
     /// default).
     pub deadline_ms: Option<u64>,
+    /// Opt-in per-phase wall-clock breakdown on the response envelope
+    /// (default false; never part of any cache key).
+    pub timings: bool,
 }
 
 impl Default for Request {
@@ -117,6 +130,7 @@ impl Default for Request {
             speculate: false,
             budget: 200_000,
             deadline_ms: None,
+            timings: false,
         }
     }
 }
@@ -159,6 +173,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         Some("oracle") => ReqOp::Oracle,
         Some("ping") => ReqOp::Ping,
         Some("stats") => ReqOp::Stats,
+        Some("metrics") => ReqOp::Metrics,
         Some("shutdown") => ReqOp::Shutdown,
         Some(other) => return Err(fail(format!("unknown op '{other}'"))),
         None => return Err(fail("missing 'op'".to_string())),
@@ -201,6 +216,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         ("prefetch", &mut req.prefetch as &mut bool),
         ("balanced", &mut req.balanced),
         ("speculate", &mut req.speculate),
+        ("timings", &mut req.timings),
     ] {
         if let Some(b) = v.get(key) {
             *slot = match b {
@@ -237,6 +253,12 @@ pub struct Response {
     /// JSON fragment appended after the envelope fields; either empty or
     /// starting with `,` (e.g. `,"op":"ping"`).
     pub body: String,
+    /// Per-phase wall-clock breakdown as a rendered JSON object, present
+    /// only when the request opted in with `"timings":true`. Lives on
+    /// the envelope, after the body, and is never cached: the same
+    /// cached body re-splices with whatever actually happened for *this*
+    /// request (a hit reports its probe, not the original compile).
+    pub timings: Option<String>,
 }
 
 impl Response {
@@ -247,17 +269,23 @@ impl Response {
             status,
             cache: "-",
             body: format!(",\"error\":\"{}\"", escape(message)),
+            timings: None,
         }
     }
 
     /// Renders the single response line (no trailing newline).
     pub fn render(&self) -> String {
+        let timings = match &self.timings {
+            Some(obj) => format!(",\"timings\":{obj}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"id\":\"{}\",\"status\":\"{}\",\"cache\":\"{}\"{}}}",
+            "{{\"id\":\"{}\",\"status\":\"{}\",\"cache\":\"{}\"{}{}}}",
             escape(&self.id),
             self.status,
             self.cache,
-            self.body
+            self.body,
+            timings
         )
     }
 }
@@ -337,6 +365,7 @@ mod tests {
             status: "ok",
             cache: "miss",
             body,
+            timings: None,
         };
         let line = r.render();
         assert!(!line.contains('\n'), "newlines are escaped: {line}");
@@ -346,6 +375,41 @@ mod tests {
         assert_eq!(v.get("cache").unwrap().as_str(), Some("miss"));
         assert_eq!(v.get("ii").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("report").unwrap().as_str(), Some("two\nlines"));
+    }
+
+    #[test]
+    fn timings_flag_parses_and_renders_on_the_envelope() {
+        let r = parse_request(r#"{"op":"compile","id":"t","loop":"loop x {\n}","timings":true}"#)
+            .unwrap();
+        assert!(r.timings);
+        let off = parse_request(r#"{"op":"compile","id":"t","loop":"loop x {\n}"}"#).unwrap();
+        assert!(!off.timings, "timings defaults to off");
+
+        let mut resp = Response {
+            id: "t".to_string(),
+            status: "ok",
+            cache: "hit",
+            body: ",\"op\":\"compile\"".to_string(),
+            timings: None,
+        };
+        let plain = resp.render();
+        resp.timings = Some("{\"sched_us\":12}".to_string());
+        let timed = resp.render();
+        assert!(!plain.contains("timings"));
+        let v = json::parse(&timed).unwrap();
+        assert_eq!(
+            v.get("timings").unwrap().get("sched_us").unwrap().as_u64(),
+            Some(12)
+        );
+        // The envelope change is strictly additive.
+        assert!(timed.starts_with(plain.trim_end_matches('}')));
+    }
+
+    #[test]
+    fn metrics_op_parses() {
+        let r = parse_request(r#"{"op":"metrics","id":"m"}"#).unwrap();
+        assert_eq!(r.op, ReqOp::Metrics);
+        assert_eq!(r.op.tag(), "metrics");
     }
 
     #[test]

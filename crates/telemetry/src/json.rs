@@ -189,6 +189,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as an object's ordered `(key, value)` fields, if it is
+    /// one.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Re-serializes the value as compact JSON, preserving object field
     /// order. Whole numbers render without a fractional part, so a parse →
     /// render round-trip of integer-valued traces is stable.

@@ -33,6 +33,8 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod phase;
+pub mod prom;
 pub mod sync;
 
 use std::io::{self, Write};
@@ -42,6 +44,7 @@ use std::time::Instant;
 pub use event::Event;
 pub use json::{parse as parse_json, JsonValue, Scalar};
 pub use metrics::{Histogram, Metrics};
+pub use phase::{Phase, PhaseTimer};
 pub use sync::lock_unpoisoned;
 
 /// An [`Event`] stamped with its emission time (µs since the handle was

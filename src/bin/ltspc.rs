@@ -12,7 +12,10 @@
 //! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
 //! ltspc serve [--addr HOST:PORT] [--jobs N] ...  # run the ltspd daemon
 //! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]
-//!       [--timeout SECS] [--retries N] [--shutdown]
+//!       [--timeout SECS] [--retries N] [--timings] [--shutdown]
+//! ltspc remote <addr> --op metrics [--check-phases p1,p2,...]
+//! ltspc remote <addr> --op stats
+//! ltspc top <addr> [--interval-ms MS] [--count N]  # live dashboard
 //! ```
 //!
 //! `verify` pipelines each loop at base latencies and runs the independent
@@ -28,6 +31,18 @@
 //! line-delimited JSON protocol and prints each response's report —
 //! byte-identical to what the local compile path prints, which CI
 //! checks. `--shutdown` drains the server after the last file.
+//!
+//! `remote --op metrics` needs no files: it prints the daemon's live
+//! Prometheus text snapshot (see `ltsp_server::engine`) to stdout, and
+//! `--check-phases parse,sched,...` additionally fails with exit 1 when
+//! any named per-phase latency histogram has no samples — the CI smoke
+//! check that observability is actually wired. `--op stats` prints the
+//! raw stats response line. `--timings` sets the opt-in request flag so
+//! each response carries its per-phase breakdown, echoed to stderr.
+//! `top` polls the metrics op and renders a one-screen dashboard
+//! (request rates, cache hit ratio, queue depth, per-phase p50/p99,
+//! shed/panic counters) every `--interval-ms` (default 1000),
+//! `--count` times (default: until interrupted).
 //!
 //! `remote` never hangs on a stalled or wedged server: `--timeout SECS`
 //! (default 30, `0` disables) bounds the connect, every request write,
@@ -111,7 +126,10 @@ fn usage() -> ! {
          \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N] [-v]\n\
          \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
          \x20            [--policy P] [--trip N] [--budget NODES] [--deadline-ms MS]\n\
-         \x20            [--timeout SECS] [--retries N] [--shutdown]"
+         \x20            [--timeout SECS] [--retries N] [--timings] [--shutdown]\n\
+         \x20      ltspc remote <addr> --op metrics [--check-phases p1,p2,...]\n\
+         \x20      ltspc remote <addr> --op stats\n\
+         \x20      ltspc top <addr> [--interval-ms MS] [--count N] [--timeout SECS]"
     );
     std::process::exit(i32::from(EXIT_USAGE));
 }
@@ -447,14 +465,28 @@ fn run_remote(argv: &[String]) -> ExitCode {
     let mut timeout_secs: u64 = 30;
     let mut retries: u32 = 4;
     let mut shutdown = false;
+    let mut timings = false;
+    let mut check_phases: Vec<String> = Vec::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--op" => {
                 op = match it.next().map(String::as_str) {
-                    Some(o @ ("compile" | "verify" | "oracle")) => o.to_string(),
+                    Some(o @ ("compile" | "verify" | "oracle" | "metrics" | "stats")) => {
+                        o.to_string()
+                    }
                     _ => usage(),
                 }
+            }
+            "--timings" => timings = true,
+            "--check-phases" => {
+                check_phases = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
             }
             "--policy" => {
                 policy = match it.next().map(String::as_str) {
@@ -501,7 +533,11 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
     }
     let Some(addr) = addr else { usage() };
-    if files.is_empty() && !shutdown {
+    let fileless_op = op == "metrics" || op == "stats";
+    if files.is_empty() && !shutdown && !fileless_op {
+        usage()
+    }
+    if fileless_op && !files.is_empty() {
         usage()
     }
 
@@ -533,6 +569,66 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
     }
 
+    if fileless_op {
+        let req = format!("{{\"op\":\"{op}\",\"id\":\"ltspc-{op}\"}}\n");
+        let mut line = String::new();
+        if let Err(e) = writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.flush())
+            .and_then(|()| reader.read_line(&mut line).map(drop))
+        {
+            report_net_error("requesting", &op, &addr, &e, timeout_secs);
+            return ExitCode::from(EXIT_IO);
+        }
+        let v = match ltsp::telemetry::json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("ltspc: bad {op} response: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        if op == "stats" {
+            print!("{line}");
+            return ExitCode::SUCCESS;
+        }
+        let Some(text) = v.get("metrics").and_then(|m| m.as_str()) else {
+            eprintln!("ltspc: metrics response carries no \"metrics\" field");
+            return ExitCode::from(EXIT_IO);
+        };
+        print!("{text}");
+        if !check_phases.is_empty() {
+            let snap = match ltsp::telemetry::prom::PromSnapshot::parse(text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ltspc: metrics snapshot malformed: {e}");
+                    return ExitCode::from(EXIT_REJECTED);
+                }
+            };
+            let mut empty: Vec<&str> = Vec::new();
+            for phase in &check_phases {
+                let n = snap
+                    .histogram_count("ltsp_phase_us", &[("phase", phase)])
+                    .unwrap_or(0.0);
+                if n <= 0.0 {
+                    empty.push(phase);
+                }
+            }
+            if !empty.is_empty() {
+                eprintln!(
+                    "ltspc: phase histograms without samples: {} — \
+                     per-phase observability is not wired",
+                    empty.join(", ")
+                );
+                return ExitCode::from(EXIT_REJECTED);
+            }
+            eprintln!(
+                "ltspc: all {} checked phase histograms have samples",
+                check_phases.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     'files: for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -555,6 +651,9 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
         if let Some(d) = deadline_ms {
             req.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if timings {
+            req.push_str(",\"timings\":true");
         }
         req.push_str("}\n");
 
@@ -615,6 +714,13 @@ fn run_remote(argv: &[String]) -> ExitCode {
         match status.as_str() {
             "ok" | "rejected" => {
                 print!("{report}");
+                if timings {
+                    if let Some(t) = v.get("timings") {
+                        let mut s = String::new();
+                        t.render(&mut s);
+                        eprintln!("{file}: timings {s}");
+                    }
+                }
                 if let Some(violations) = v.get("violations").and_then(|x| x.as_array()) {
                     for viol in violations {
                         if let Some(s) = viol.as_str() {
@@ -680,12 +786,214 @@ fn run_remote(argv: &[String]) -> ExitCode {
     ExitCode::from(code)
 }
 
+/// One `ltspc top` scrape: pull the metrics op, return the parsed
+/// snapshot. The connection is re-used across ticks.
+fn scrape_metrics(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+) -> Result<ltsp::telemetry::prom::PromSnapshot, String> {
+    use std::io::{BufRead as _, Write as _};
+    let mut line = String::new();
+    writer
+        .write_all(b"{\"op\":\"metrics\",\"id\":\"ltspc-top\"}\n")
+        .and_then(|()| writer.flush())
+        .and_then(|()| reader.read_line(&mut line).map(drop))
+        .map_err(|e| e.to_string())?;
+    if line.is_empty() {
+        return Err("connection closed".to_string());
+    }
+    let v = ltsp::telemetry::json::parse(&line).map_err(|e| e.to_string())?;
+    let text = v
+        .get("metrics")
+        .and_then(|m| m.as_str())
+        .ok_or_else(|| "no \"metrics\" field in response".to_string())?;
+    ltsp::telemetry::prom::PromSnapshot::parse(text)
+}
+
+/// `ltspc top`: a small live dashboard over the metrics op — request
+/// rate, cache hit ratio, queue/inflight/connection gauges, per-phase
+/// p50/p99 latency, and the chaos counters. Clears the screen between
+/// ticks on a TTY; appends plain blocks when piped.
+fn run_top(argv: &[String]) -> ExitCode {
+    use std::io::IsTerminal as _;
+
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut count: u64 = 0; // 0 = until interrupted
+    let mut timeout_secs: u64 = 30;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--count" => {
+                count = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--timeout" => {
+                timeout_secs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            flag if flag.starts_with("--") => usage(),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let timeout = (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs));
+    let stream = match connect_with_timeout(&addr, timeout) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ltspc: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ltspc: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let mut reader = std::io::BufReader::new(stream);
+
+    let tty = std::io::stdout().is_terminal();
+    let mut prev_total: Option<f64> = None;
+    let mut prev_when = std::time::Instant::now();
+    let mut tick: u64 = 0;
+    loop {
+        let snap = match scrape_metrics(&mut writer, &mut reader) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ltspc: top: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        let now = std::time::Instant::now();
+        let statuses = ["ok", "rejected", "error", "overloaded", "draining"];
+        let total: f64 = statuses
+            .iter()
+            .filter_map(|s| snap.value("ltsp_requests_total", &[("status", s)]))
+            .sum();
+        let rps = prev_total.map(|p| {
+            let dt = now.duration_since(prev_when).as_secs_f64();
+            if dt > 0.0 {
+                (total - p).max(0.0) / dt
+            } else {
+                0.0
+            }
+        });
+        prev_total = Some(total);
+        prev_when = now;
+
+        if tty {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("ltspd {addr} — {total:.0} requests");
+        match rps {
+            Some(r) => println!("  rate        {r:8.1} req/s"),
+            None => println!("  rate        (first sample)"),
+        }
+        for s in statuses {
+            let v = snap
+                .value("ltsp_requests_total", &[("status", s)])
+                .unwrap_or(0.0);
+            if v > 0.0 || s == "ok" {
+                println!("  {s:<11} {v:8.0}");
+            }
+        }
+        for cache in ["compile", "result"] {
+            let hits = snap
+                .value("ltsp_cache_hits_total", &[("cache", cache)])
+                .unwrap_or(0.0);
+            let misses = snap
+                .value("ltsp_cache_misses_total", &[("cache", cache)])
+                .unwrap_or(0.0);
+            let ratio = if hits + misses > 0.0 {
+                100.0 * hits / (hits + misses)
+            } else {
+                0.0
+            };
+            println!("  {cache:<7} cache {hits:8.0} hits {misses:8.0} misses ({ratio:5.1}% hit)");
+        }
+        for g in ["ltsp_queue_depth", "ltsp_inflight", "ltsp_connections"] {
+            let v = snap.value(g, &[]).unwrap_or(0.0);
+            println!("  {:<11} {v:8.0}", g.trim_start_matches("ltsp_"));
+        }
+        println!("  phase            p50us      p99us    samples");
+        for phase in [
+            "parse",
+            "hlo",
+            "ddg",
+            "mrt",
+            "sched",
+            "regalloc",
+            "render",
+            "cache_lookup",
+            "queue_wait",
+            "dispatch",
+            "handler",
+            "write",
+        ] {
+            let labels = [("phase", phase)];
+            let n = snap
+                .histogram_count("ltsp_phase_us", &labels)
+                .unwrap_or(0.0);
+            if n <= 0.0 {
+                continue;
+            }
+            let p50 = snap
+                .histogram_quantile("ltsp_phase_us", &labels, 0.50)
+                .unwrap_or(0.0);
+            let p99 = snap
+                .histogram_quantile("ltsp_phase_us", &labels, 0.99)
+                .unwrap_or(0.0);
+            println!("  {phase:<14} {p50:9.0}  {p99:9.0}  {n:9.0}");
+        }
+        let chaos: Vec<String> = [
+            ("shed_conns", "ltsp_connections_shed_total"),
+            ("shed_resps", "ltsp_responses_shed_total"),
+            ("panics", "ltsp_request_panics_total"),
+            ("faults", "ltsp_faults_injected_total"),
+            ("disp_deaths", "ltsp_dispatcher_deaths_total"),
+        ]
+        .iter()
+        .filter_map(|(label, name)| {
+            let v = snap.value(name, &[]).unwrap_or(0.0);
+            (v > 0.0).then(|| format!("{label}={v:.0}"))
+        })
+        .collect();
+        if !chaos.is_empty() {
+            println!("  chaos: {}", chaos.join(" "));
+        }
+
+        tick += 1;
+        if count > 0 && tick >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn main() -> ExitCode {
     // Subcommand dispatch: `ltspc verify <input>` / `ltspc oracle <input>`.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return run_serve(&argv[1..]),
         Some("remote") => return run_remote(&argv[1..]),
+        Some("top") => return run_top(&argv[1..]),
         _ => {}
     }
     if let Some(cmd @ ("verify" | "oracle")) = argv.first().map(String::as_str) {

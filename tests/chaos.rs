@@ -245,6 +245,100 @@ fn dispatcher_death_answers_queued_work_and_drains() {
     );
 }
 
+/// The flight recorder under panic faults: every contained panic dumps
+/// the ring to `flight_dir`, the dump is parseable JSONL, it names the
+/// faulted request with its full phase breakdown, and — after scrubbing
+/// wall-clock fields — the jobs=1 and jobs=4 dumps are byte-identical.
+#[test]
+fn flight_recorder_dumps_faulted_lifecycles_deterministically() {
+    use ltsp::server::{normalize_flight_dump, read_dumps};
+
+    let corpus = corpus(12);
+    let plan = FaultPlan::parse("panic:0.3,seed:7").expect("valid spec");
+    let faulted: Vec<&str> = corpus
+        .iter()
+        .filter(|(id, _)| plan.fires(FaultSite::Panic, id))
+        .map(|(id, _)| id.as_str())
+        .collect();
+    assert!(!faulted.is_empty(), "spec too weak: no panic fires");
+
+    let run = |jobs: usize| -> Vec<(String, String)> {
+        let dir =
+            std::env::temp_dir().join(format!("ltsp-flight-test-{}-j{jobs}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create flight dir");
+        let mut cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs,
+            fault: plan.clone(),
+            ..ServerConfig::default()
+        };
+        cfg.engine.flight_dir = Some(dir.clone());
+        let handle = spawn(cfg).expect("bind ephemeral port");
+        // Sequential lone round trips: the ring order (and so the dump
+        // bytes) must not depend on worker interleaving.
+        for (_, line) in &corpus {
+            let _ = lone_round_trip(&handle, line);
+        }
+        handle.shutdown();
+        let dumps = read_dumps(&dir).expect("read flight dumps");
+        let _ = std::fs::remove_dir_all(&dir);
+        dumps
+    };
+
+    let (d1, d4) = (run(1), run(4));
+    assert_eq!(
+        d1.len(),
+        faulted.len(),
+        "one dump per contained panic, got {:?}",
+        d1.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    for (name, _) in &d1 {
+        assert!(name.contains("request-panic"), "unexpected dump {name}");
+    }
+
+    // The final dump's ring holds every faulted lifecycle: parseable
+    // JSONL, faulted id present, all-phase timing object attached.
+    let last = &d1.last().expect("at least one dump").1;
+    let records: Vec<json::JsonValue> = last
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("unparseable flight line {l}: {e}")))
+        .collect();
+    for id in &faulted {
+        let rec = records
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("faulted {id} missing from flight dump"));
+        assert_eq!(
+            rec.get("status").and_then(|v| v.as_str()),
+            Some("error"),
+            "faulted {id} should be recorded as a contained error"
+        );
+        let phases = rec
+            .get("phases")
+            .unwrap_or_else(|| panic!("{id}: no phase breakdown in flight record"));
+        for key in ["parse_us", "queue_wait_us", "dispatch_us", "handler_us"] {
+            assert!(
+                phases.get(key).and_then(|v| v.as_u64()).is_some(),
+                "{id}: flight record phases missing {key}"
+            );
+        }
+    }
+
+    // Determinism across --jobs once wall-clock micros are scrubbed.
+    let scrub = |dumps: &[(String, String)]| -> Vec<(String, String)> {
+        dumps
+            .iter()
+            .map(|(n, c)| (n.clone(), normalize_flight_dump(c)))
+            .collect()
+    };
+    assert_eq!(
+        scrub(&d1),
+        scrub(&d4),
+        "scrubbed flight dumps depend on --jobs"
+    );
+}
+
 /// A connection the server kills (stalled past the write deadline) ends
 /// in EOF for the client, and the daemon survives to serve others.
 #[test]

@@ -1,0 +1,131 @@
+//! Property-based tests for the quantile-capable [`Histogram`]: the
+//! contracts the observability layer leans on (DESIGN.md §14).
+//!
+//! - quantiles are monotone in `q` and bracketed by `[min, max]`;
+//! - a merged histogram answers quantiles like the concatenated stream,
+//!   within the log-bucket relative-error bound (sub-buckets are 1/8 of
+//!   an octave, so ≤ 12.5 % plus integer rounding);
+//! - empty histograms answer `None`, never a fake 0;
+//! - `merge` agrees with recording the concatenated stream exactly
+//!   (same buckets, not merely close).
+
+use proptest::prelude::*;
+
+use ltsp::telemetry::Histogram;
+
+/// The documented worst-case relative error of a quantile answer: one
+/// sub-bucket of an octave (2^octave / 8), plus one unit of integer
+/// truncation slack.
+fn within_bucket_error(got: u64, reference: u64) -> bool {
+    let hi = reference.max(got);
+    let lo = reference.min(got);
+    // 12.5 % of the larger endpoint, + 1 for integer rounding at the
+    // bottom octaves where a sub-bucket spans less than one integer.
+    hi - lo <= hi / 8 + 1
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles never decrease as `q` grows, and always land inside
+    /// the recorded `[min, max]` envelope.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let got = h.quantile(q).expect("non-empty histogram answers");
+            prop_assert!(got >= prev, "quantile({q}) = {got} < previous {prev}");
+            prop_assert!((lo..=hi).contains(&got), "quantile({q}) = {got} outside [{lo}, {hi}]");
+            prev = got;
+        }
+        prop_assert_eq!(h.quantile(1.0), Some(hi), "p100 must be the exact max");
+    }
+
+    /// Every quantile answer is within one log-scale sub-bucket of the
+    /// exact order statistic of the recorded stream.
+    #[test]
+    fn quantile_error_is_bounded_by_the_bucket_width(
+        values in proptest::collection::vec(0u64..10_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let want = exact_quantile(&sorted, q);
+        let got = h.quantile(q).expect("non-empty histogram answers");
+        prop_assert!(
+            within_bucket_error(got, want),
+            "quantile({q}) = {got}, exact = {want}: outside the bucket error bound"
+        );
+    }
+
+    /// `merge` is exactly recording the concatenated stream: identical
+    /// counts, sums, envelopes, buckets — and so identical quantiles.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::default();
+        let mut hb = Histogram::default();
+        let mut hc = Histogram::default();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count, hc.count);
+        prop_assert_eq!(ha.sum, hc.sum);
+        prop_assert_eq!(ha.min, hc.min);
+        prop_assert_eq!(ha.max, hc.max);
+        prop_assert_eq!(ha.nonzero_buckets(), hc.nonzero_buckets());
+        prop_assert_eq!(ha.cumulative_buckets(), hc.cumulative_buckets());
+        for q in [0.50, 0.90, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q), "merged quantile({}) diverges", q);
+        }
+    }
+
+    /// Merging into an empty histogram reproduces the donor; merging an
+    /// empty histogram is a no-op; empty quantiles stay `None`.
+    #[test]
+    fn empty_is_the_merge_identity(
+        values in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let empty = Histogram::default();
+        prop_assert_eq!(empty.quantile(0.5), None, "empty must answer None, not 0");
+
+        let mut left = Histogram::default();
+        left.merge(&h);
+        let mut right = h.clone();
+        right.merge(&Histogram::default());
+        for side in [&left, &right] {
+            prop_assert_eq!(side.count, h.count);
+            prop_assert_eq!(side.quantile(0.99), h.quantile(0.99));
+            prop_assert_eq!(side.nonzero_buckets(), h.nonzero_buckets());
+        }
+    }
+}
