@@ -41,6 +41,13 @@
 //! 30s deadline — a response that never comes means a wedged
 //! connection, which *does* fail the run. That is the chaos-smoke CI
 //! contract: faults are shed, nothing hangs.
+//!
+//! Pointed at an `ltspr` cluster router instead of a single daemon,
+//! loadgen detects the aggregated snapshot (via `ltsp_shard_up`) and
+//! adds a `"cluster"` block to the report — shard count, router
+//! proxy/failover counters, and per-shard request share, hit rate, and
+//! handler p99. The `--metrics-out` cross-check sums shard-labeled
+//! samples so the same invariants hold against a router.
 
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
@@ -424,6 +431,82 @@ fn scrape_metrics(addr: &str) -> std::io::Result<String> {
         .ok_or_else(|| std::io::Error::other("metrics response carries no \"metrics\" field"))
 }
 
+/// Shard indices present in an aggregated (router) metrics snapshot —
+/// empty against a plain single-process daemon. Presence of the
+/// `ltsp_shard_up` family is how loadgen detects it talked to `ltspr`.
+fn shard_ids(snap: &PromSnapshot) -> Vec<String> {
+    let mut ids: Vec<u64> = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "ltsp_shard_up")
+        .filter_map(|s| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .and_then(|(_, v)| v.parse().ok())
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.into_iter().map(|i| i.to_string()).collect()
+}
+
+/// The report's `"cluster"` block: router routing/failover counters
+/// plus one entry per shard (liveness, request share, hit rate, p99).
+fn cluster_block(snap: &PromSnapshot, ids: &[String]) -> String {
+    let v = |name: &str, labels: &[(&str, &str)]| snap.value(name, labels).unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("    \"shards\": {},\n", ids.len()));
+    out.push_str(&format!(
+        "    \"router_proxied\": {:.0},\n",
+        v("ltsp_router_proxied_total", &[])
+    ));
+    out.push_str(&format!(
+        "    \"router_failovers\": {:.0},\n",
+        v("ltsp_router_failovers_total", &[])
+    ));
+    out.push_str(&format!(
+        "    \"router_retries_exhausted\": {:.0},\n",
+        v("ltsp_router_retries_exhausted_total", &[])
+    ));
+    out.push_str("    \"per_shard\": {");
+    for (i, s) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let requests: f64 = ["ok", "rejected", "error", "overloaded", "draining"]
+            .iter()
+            .map(|st| v("ltsp_requests_total", &[("shard", s), ("status", st)]))
+            .sum();
+        let hits = v(
+            "ltsp_cache_hits_total",
+            &[("shard", s), ("cache", "result")],
+        );
+        let misses = v(
+            "ltsp_cache_misses_total",
+            &[("shard", s), ("cache", "result")],
+        );
+        let hit_rate = if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        };
+        let p99 = snap
+            .histogram_quantile("ltsp_phase_us", &[("phase", "handler"), ("shard", s)], 0.99)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "\"{s}\": {{\"up\": {}, \"requests\": {requests:.0}, \"routed\": {:.0}, \
+             \"failed\": {:.0}, \"respawns\": {:.0}, \"hit_rate\": {hit_rate:.4}, \
+             \"handler_p99_us\": {p99:.0}}}",
+            v("ltsp_shard_up", &[("shard", s)]),
+            v("ltsp_shard_routed_total", &[("shard", s)]),
+            v("ltsp_shard_failed_total", &[("shard", s)]),
+            v("ltsp_shard_respawns_total", &[("shard", s)]),
+        ));
+    }
+    out.push_str("}\n  }");
+    out
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -528,6 +611,14 @@ fn main() {
         }
     };
 
+    // Scrape once before rendering the report: against `ltspr` the
+    // snapshot carries `ltsp_shard_up` samples, which switches the
+    // report into cluster mode and feeds the `"cluster"` block below.
+    let cluster_snap: Option<PromSnapshot> = scrape_metrics(&o.addr)
+        .ok()
+        .and_then(|t| PromSnapshot::parse(&t).ok())
+        .filter(|s| !shard_ids(s).is_empty());
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"addr\": \"{}\",\n", json::escape(&o.addr)));
@@ -583,6 +674,10 @@ fn main() {
         }
         out.push_str("},\n");
     }
+    if let Some(snap) = &cluster_snap {
+        let ids = shard_ids(snap);
+        out.push_str(&format!("  \"cluster\": {},\n", cluster_block(snap, &ids)));
+    }
     out.push_str(&format!("  \"speedup_warm_p50\": {speedup:.2}\n"));
     out.push_str("}\n");
 
@@ -625,16 +720,36 @@ fn main() {
         if misses > 0 {
             expected.push("parse");
         }
+        // Router snapshots re-emit every shard sample with a `shard`
+        // label; sum across shards so the same invariants hold whether
+        // loadgen pointed at a daemon or at `ltspr`.
+        let ids = shard_ids(&snap);
         for phase in expected {
-            let n = snap
-                .histogram_count("ltsp_phase_us", &[("phase", phase)])
-                .unwrap_or(0.0);
+            let n: f64 = if ids.is_empty() {
+                snap.histogram_count("ltsp_phase_us", &[("phase", phase)])
+                    .unwrap_or(0.0)
+            } else {
+                ids.iter()
+                    .map(|s| {
+                        snap.histogram_count("ltsp_phase_us", &[("phase", phase), ("shard", s)])
+                            .unwrap_or(0.0)
+                    })
+                    .sum()
+            };
             if n <= 0.0 {
                 eprintln!("loadgen: phase histogram '{phase}' has no samples");
                 bad = true;
             }
         }
-        let counter = |name: &str| snap.value(name, &[]).unwrap_or(0.0) as u64;
+        let counter = |name: &str| -> u64 {
+            if ids.is_empty() {
+                snap.value(name, &[]).unwrap_or(0.0) as u64
+            } else {
+                ids.iter()
+                    .map(|s| snap.value(name, &[("shard", s)]).unwrap_or(0.0))
+                    .sum::<f64>() as u64
+            }
+        };
         let panics = counter("ltsp_request_panics_total");
         let conn_shed = counter("ltsp_connections_shed_total");
         if o.fault_mode {

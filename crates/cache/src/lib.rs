@@ -22,6 +22,9 @@
 //!   Hit/miss/eviction/insertion counters are kept on atomics and can be
 //!   surfaced through the telemetry metrics registry
 //!   ([`ShardedLru::export_metrics`]).
+//! - **a disk persistence tier** ([`persist`]): an append-only,
+//!   CRC-framed, crash-tolerant record log so a restarted process can
+//!   replay its cache and serve warm from request one.
 //!
 //! Values are returned as `Arc<V>` so a hit is a pointer clone, never a
 //! deep copy; because every cached computation in this workspace is a
@@ -34,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+pub mod persist;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,11 +47,11 @@ use ltsp_telemetry::{lock_unpoisoned, Telemetry};
 
 /// A stable 128-bit content fingerprint (FNV-1a).
 ///
-/// Stability matters only *within one build of one binary* — fingerprints
-/// are cache keys and config discriminators, never persisted artifacts —
-/// but FNV-1a is deterministic across runs, platforms and toolchains
-/// anyway, unlike `std::hash::DefaultHasher` whose output may change
-/// between releases.
+/// FNV-1a is deterministic across runs, platforms and toolchains, unlike
+/// `std::hash::DefaultHasher` whose output may change between releases.
+/// That cross-run stability is load-bearing: the [`persist`] log writes
+/// fingerprints to disk and a restarted process must rehash identical
+/// content to identical keys for warm-start replay to hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint(pub u128);
 

@@ -1,0 +1,343 @@
+//! Disk-backed persistence for content-addressed caches: an append-only
+//! record log with per-record CRC and truncated-tail tolerance.
+//!
+//! The serving layer's warm/cold gap is large (a warm hit skips the
+//! whole pipeline), and an in-memory cache dies with the process. This
+//! module gives a shard a durable second tier: every newly computed
+//! result is appended as one framed record, and a restarted process
+//! replays the log into its in-memory cache before accepting traffic —
+//! serving warm from request one.
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "LTSPLOG1"                         (8 bytes)
+//! record := len:u32le crc:u32le payload        (len = payload bytes)
+//! payload:= key:u128le status_len:u8 status(status_len bytes) body(rest)
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE, as in gzip) over the payload. Integers are
+//! little-endian and fixed-width, so the format is stable across
+//! platforms; [`Fingerprint`] itself is FNV-1a over canonicalized
+//! content and stable across runs and toolchains, which is what makes
+//! persisting it sound.
+//!
+//! ## Failure model
+//!
+//! The writer flushes each record but never fsyncs: the log is a cache,
+//! not a ledger. A crash (or an injected shard kill) can therefore leave
+//! a torn tail — a partial frame, a partial payload, or a flipped bit.
+//! [`CacheLog::open`] tolerates all of these by construction: it replays
+//! the longest clean prefix, drops everything from the first bad record
+//! on (counting what it dropped, loudly available in
+//! [`ReplayReport::dropped`]), and truncates the file back to the clean
+//! prefix so subsequent appends never land after garbage. A log that
+//! loses its header entirely is treated as corrupt and restarted empty.
+//! Worst case is always a cold cache, never a wrong answer — replayed
+//! bodies were computed by the same deterministic pipeline that would
+//! recompute them on a miss.
+//!
+//! One process owns one log file; concurrent appenders would interleave
+//! frames. The serving layer gives each shard its own file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ltsp_telemetry::lock_unpoisoned;
+
+use crate::Fingerprint;
+
+/// Magic header identifying a version-1 cache log.
+pub const MAGIC: &[u8; 8] = b"LTSPLOG1";
+
+/// Records larger than this are rejected as corrupt during replay (a
+/// frame length beyond it can only come from a torn or garbage frame —
+/// real cached bodies are orders of magnitude smaller).
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// One persisted cache entry: the content-addressed key plus the cached
+/// outcome (response status and rendered body fragment), exactly as the
+/// in-memory cache stores it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The content-addressed cache key.
+    pub key: Fingerprint,
+    /// The response status (`ok` / `rejected` / `error`).
+    pub status: String,
+    /// The rendered response body fragment.
+    pub body: String,
+}
+
+/// What a replay found: the clean-prefix records plus loss accounting.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Records recovered from the clean prefix, in append order.
+    pub records: Vec<LogRecord>,
+    /// Records (or partial frames) dropped from the first bad record on.
+    /// `0` means the log was clean end to end.
+    pub dropped: u64,
+    /// Bytes truncated off the tail to restore the clean prefix.
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, CRC-framed, crash-tolerant cache log. See the module
+/// docs for the format and failure model.
+pub struct CacheLog {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl std::fmt::Debug for CacheLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheLog")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, as used by gzip/zip) over `bytes`.
+/// Table-driven; the table is built on first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one record's payload (everything the CRC covers).
+fn encode_payload(key: Fingerprint, status: &str, body: &str) -> Vec<u8> {
+    let status = status.as_bytes();
+    debug_assert!(status.len() <= u8::MAX as usize, "status is a short tag");
+    let mut p = Vec::with_capacity(16 + 1 + status.len() + body.len());
+    p.extend_from_slice(&key.0.to_le_bytes());
+    p.push(status.len() as u8);
+    p.extend_from_slice(status);
+    p.extend_from_slice(body.as_bytes());
+    p
+}
+
+/// Decodes one payload; `None` when it is structurally invalid (too
+/// short, status overruns, non-UTF-8 text).
+fn decode_payload(p: &[u8]) -> Option<LogRecord> {
+    if p.len() < 17 {
+        return None;
+    }
+    let key = Fingerprint(u128::from_le_bytes(p[..16].try_into().ok()?));
+    let status_len = p[16] as usize;
+    let body_start = 17 + status_len;
+    if p.len() < body_start {
+        return None;
+    }
+    let status = std::str::from_utf8(&p[17..body_start]).ok()?.to_string();
+    let body = std::str::from_utf8(&p[body_start..]).ok()?.to_string();
+    Some(LogRecord { key, status, body })
+}
+
+/// Parses the in-memory bytes of a log file. Returns the replay report
+/// plus the byte length of the clean prefix (for truncation).
+fn replay_bytes(bytes: &[u8]) -> (ReplayReport, u64) {
+    let mut report = ReplayReport::default();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Headerless or foreign file: everything is garbage; the clean
+        // prefix is empty and the caller rewrites the header.
+        report.dropped = u64::from(!bytes.is_empty());
+        report.truncated_bytes = bytes.len() as u64;
+        return (report, 0);
+    }
+    let mut pos = MAGIC.len();
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break; // clean end
+        }
+        if rest.len() < 8 {
+            report.dropped += 1; // torn frame header
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || rest.len() < 8 + len as usize {
+            report.dropped += 1; // absurd length or torn payload
+            break;
+        }
+        let payload = &rest[8..8 + len as usize];
+        if crc32(payload) != crc {
+            report.dropped += 1; // bit rot / torn write inside the frame
+            break;
+        }
+        match decode_payload(payload) {
+            Some(rec) => report.records.push(rec),
+            None => {
+                report.dropped += 1; // CRC-clean but structurally bad
+                break;
+            }
+        }
+        pos += 8 + len as usize;
+    }
+    report.truncated_bytes = (bytes.len() - pos) as u64;
+    (report, pos as u64)
+}
+
+impl CacheLog {
+    /// Opens (or creates) the log at `path`, replaying every clean
+    /// record and truncating any bad tail so the file ends at the clean
+    /// prefix. The returned log is positioned for appends.
+    pub fn open(path: &Path) -> std::io::Result<(CacheLog, ReplayReport)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let fresh = bytes.is_empty();
+        let (report, clean_len) = replay_bytes(&bytes);
+        if clean_len == 0 {
+            // Fresh file, or a log whose header itself is gone: rewrite
+            // the header from scratch.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+        } else if report.truncated_bytes > 0 {
+            file.set_len(clean_len)?;
+            file.seek(SeekFrom::Start(clean_len))?;
+        } else {
+            file.seek(SeekFrom::End(0))?;
+        }
+        if !fresh && report.dropped > 0 {
+            eprintln!(
+                "ltsp-cache: {} replayed {} record(s), dropped {} bad record(s) \
+                 ({} byte(s) truncated)",
+                path.display(),
+                report.records.len(),
+                report.dropped,
+                report.truncated_bytes
+            );
+        }
+        Ok((
+            CacheLog {
+                path: path.to_path_buf(),
+                writer: Mutex::new(BufWriter::new(file)),
+            },
+            report,
+        ))
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (framed, CRC'd, flushed — not fsynced). Thread
+    /// safe; records from concurrent appenders never interleave.
+    pub fn append(&self, key: Fingerprint, status: &str, body: &str) -> std::io::Result<()> {
+        let payload = encode_payload(key, status, body);
+        debug_assert!(payload.len() as u64 <= u64::from(MAX_RECORD_BYTES));
+        let mut w = lock_unpoisoned(&self.writer);
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&crc32(&payload).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ltsp-persist-unit-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.log")
+    }
+
+    fn rec(i: u64) -> LogRecord {
+        LogRecord {
+            key: Fingerprint::of_str(&format!("key-{i}")),
+            status: "ok".to_string(),
+            body: format!(",\"op\":\"compile\",\"n\":{i}"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_append_then_replay() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (log, report) = CacheLog::open(&path).unwrap();
+        assert!(report.records.is_empty());
+        for i in 0..10 {
+            let r = rec(i);
+            log.append(r.key, &r.status, &r.body).unwrap();
+        }
+        drop(log);
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.records.len(), 10);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(*r, rec(i as u64), "byte-identical replay");
+        }
+    }
+
+    #[test]
+    fn headerless_garbage_restarts_empty() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a log").unwrap();
+        let (log, report) = CacheLog::open(&path).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.dropped, 1);
+        let r = rec(1);
+        log.append(r.key, &r.status, &r.body).unwrap();
+        drop(log);
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records, vec![rec(1)], "usable after restart");
+    }
+
+    #[test]
+    fn empty_status_and_body_roundtrip() {
+        let path = tmp("empty-fields");
+        let _ = std::fs::remove_file(&path);
+        let r = LogRecord {
+            key: Fingerprint(0),
+            status: String::new(),
+            body: String::new(),
+        };
+        let (log, _) = CacheLog::open(&path).unwrap();
+        log.append(r.key, &r.status, &r.body).unwrap();
+        drop(log);
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records, vec![r]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Crash-tolerance tests for the persistent cache log
+//! ([`ltsp_cache::persist`]): every torn-tail shape a killed shard can
+//! leave behind must load cleanly — drop the bad records, keep the good
+//! prefix byte-identically, truncate the file so appends resume sanely.
+
+use std::path::PathBuf;
+
+use ltsp_cache::persist::{crc32, CacheLog, LogRecord, MAGIC};
+use ltsp_cache::Fingerprint;
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltsp-persist-it-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("cache.log")
+}
+
+fn rec(i: u64) -> LogRecord {
+    LogRecord {
+        key: Fingerprint::of_str(&format!("loop-{i}")),
+        status: if i.is_multiple_of(3) {
+            "rejected"
+        } else {
+            "ok"
+        }
+        .to_string(),
+        body: format!(",\"op\":\"compile\",\"report\":\"schedule {i}\\n\""),
+    }
+}
+
+/// Writes `n` records through the real appender and returns the raw
+/// file bytes, so corruption tests tamper with genuine frames.
+fn written_log(path: &PathBuf, n: u64) -> Vec<u8> {
+    let _ = std::fs::remove_file(path);
+    let (log, _) = CacheLog::open(path).unwrap();
+    for i in 0..n {
+        let r = rec(i);
+        log.append(r.key, &r.status, &r.body).unwrap();
+    }
+    drop(log);
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn corrupt_tail_keeps_clean_prefix_and_truncates() {
+    let path = tmp("corrupt-tail");
+    let mut bytes = written_log(&path, 5);
+    let clean_len = bytes.len() as u64;
+    // A crashed writer left garbage after the last full record.
+    bytes.extend_from_slice(b"\xDE\xAD\xBE\xEF partial frame junk");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.records.len(), 5, "all clean records survive");
+    for (i, r) in report.records.iter().enumerate() {
+        assert_eq!(*r, rec(i as u64), "byte-identical prefix");
+    }
+    assert_eq!(report.dropped, 1);
+    assert!(report.truncated_bytes > 0);
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        clean_len,
+        "file truncated back to the clean prefix"
+    );
+    // Appends after recovery land after the clean prefix, not the junk.
+    let extra = rec(99);
+    log.append(extra.key, &extra.status, &extra.body).unwrap();
+    drop(log);
+    let (_log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.records.len(), 6);
+    assert_eq!(report.records[5], extra);
+}
+
+#[test]
+fn short_write_drops_only_the_torn_record() {
+    let path = tmp("short-write");
+    let bytes = written_log(&path, 3);
+    // Tear the last record mid-payload (a crash between flush and a
+    // full write — or a kill -9 racing the page cache).
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (_log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.records.len(), 2, "torn record dropped, prefix kept");
+    assert_eq!(report.records[0], rec(0));
+    assert_eq!(report.records[1], rec(1));
+    assert_eq!(report.dropped, 1);
+}
+
+#[test]
+fn torn_frame_header_is_tolerated() {
+    let path = tmp("torn-header");
+    let bytes = written_log(&path, 2);
+    // Leave only 3 bytes of the next frame's len/crc header.
+    let mut tail = bytes.clone();
+    tail.truncate(bytes.len());
+    tail.extend_from_slice(&[0x10, 0x00, 0x00]);
+    std::fs::write(&path, &tail).unwrap();
+
+    let (_log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.records.len(), 2);
+    assert_eq!(report.dropped, 1);
+}
+
+#[test]
+fn crc_mismatch_drops_from_the_flipped_record_on() {
+    let path = tmp("crc-flip");
+    let mut bytes = written_log(&path, 4);
+    // Flip one payload bit in the *second* record. Replay must keep
+    // record 1 and refuse everything from the flipped record on — a
+    // frame boundary after a bad CRC cannot be trusted.
+    let mut pos = MAGIC.len();
+    let first_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 8 + first_len; // start of record 2's frame
+    bytes[pos + 8 + 20] ^= 0x01; // inside record 2's payload
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (_log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.records.len(), 1, "only the pre-corruption prefix");
+    assert_eq!(report.records[0], rec(0));
+    assert_eq!(report.dropped, 1);
+    assert!(report.truncated_bytes > 0);
+}
+
+#[test]
+fn absurd_frame_length_is_rejected_not_allocated() {
+    let path = tmp("absurd-len");
+    let mut bytes = written_log(&path, 1);
+    // Append a frame claiming 4 GiB: must be dropped as corrupt, not
+    // trusted (and certainly not allocated).
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&crc32(b"").to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (_log, report) = CacheLog::open(&path).unwrap();
+    assert_eq!(report.records.len(), 1);
+    assert_eq!(report.dropped, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replay returns exactly what was appended — any statuses, any
+    /// bodies (unicode, quotes, control characters), any order.
+    #[test]
+    fn replay_is_byte_identical_to_what_was_appended(
+        entries in proptest::collection::vec(
+            (0u64..4, proptest::collection::vec(0u32..0x2500, 0..40)),
+            1..20,
+        ),
+    ) {
+        let statuses = ["", "ok", "rejected", "error"];
+        let records: Vec<LogRecord> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (st, cps))| LogRecord {
+                key: Fingerprint::of_str(&format!("k{i}")),
+                status: statuses[*st as usize].to_string(),
+                // Raw codepoints below 0x2500 are all valid chars
+                // (surrogates start at 0xD800): quotes, newlines,
+                // control bytes, CJK — everything a rendered body can
+                // legally carry.
+                body: cps.iter().map(|&c| char::from_u32(c).unwrap()).collect(),
+            })
+            .collect();
+        let path = tmp(&format!("prop-roundtrip-{:x}", crc32(format!("{records:?}").as_bytes())));
+        let _ = std::fs::remove_file(&path);
+        let (log, _) = CacheLog::open(&path).unwrap();
+        for r in &records {
+            log.append(r.key, &r.status, &r.body).unwrap();
+        }
+        drop(log);
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        prop_assert_eq!(report.dropped, 0);
+        prop_assert_eq!(report.records, records);
+    }
+
+    /// Chopping the file at ANY byte offset yields a clean prefix of
+    /// the original records — never a wrong or mangled record — and a
+    /// second open of the truncated log is clean (idempotent repair).
+    #[test]
+    fn any_truncation_point_yields_a_clean_prefix(
+        n in 1u64..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let path = tmp(&format!("prop-cut-{n}-{}", (cut_frac * 1e6) as u64));
+        let bytes = written_log(&path, n);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        let expected: Vec<LogRecord> = (0..n).map(rec).collect();
+        prop_assert!(report.records.len() <= expected.len());
+        prop_assert_eq!(
+            &report.records[..],
+            &expected[..report.records.len()],
+            "recovered records are a byte-identical prefix"
+        );
+        drop(_log);
+        let (_log2, report2) = CacheLog::open(&path).unwrap();
+        prop_assert_eq!(report2.dropped, 0, "repair is idempotent");
+        prop_assert_eq!(report2.records, report.records);
+    }
+}

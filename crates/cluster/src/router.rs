@@ -1,0 +1,813 @@
+//! `ltspr` — the shard router.
+//!
+//! A line-JSON proxy in front of N `ltspd` shards. Per client line:
+//!
+//! 1. Parse just enough to classify the op and derive the routing key
+//!    (the loop text's fingerprint for loop-carrying ops; the raw line's
+//!    otherwise, including unparseable lines — the owning shard renders
+//!    the identical protocol error the client would get directly).
+//! 2. Walk the ring's preference order ([`crate::Ring::preference`]),
+//!    live shards first. Forward the client's **raw line** and proxy the
+//!    shard's **raw response line** back byte-for-byte: responses are
+//!    pure functions of requests, so the router adds no bytes and the
+//!    determinism contract survives the hop.
+//! 3. Fail over on dead connections (connect/write/read errors, EOF,
+//!    response deadline) and on `draining`/`overloaded` statuses, up to
+//!    `max_attempts` distinct shards. A failed shard is marked dead for
+//!    `cooldown` and skipped until it expires (one connect timeout per
+//!    cooldown window, not per request). Exhausted attempts answer
+//!    `status:"error"` — never a silent drop, never a wedged client.
+//!
+//! `stats` and `metrics` are answered by the router itself — `metrics`
+//! scrapes every shard and re-exposes each sample with a `shard="N"`
+//! label plus the router's own routing/failover families. `shutdown`
+//! propagates: every shard is told to drain, the client gets the usual
+//! `draining` ack, then the router itself drains.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ltsp_cache::Fingerprint;
+use ltsp_server::proto::{push_str_field, push_u64_field};
+use ltsp_server::{parse_request, ReqOp, Response};
+use ltsp_telemetry::prom::{self, PromSnapshot};
+use ltsp_telemetry::{json, Event, Telemetry};
+
+use crate::ring::{Ring, DEFAULT_VNODES};
+
+/// Drain-flag / accept poll cadence (mirrors the daemon's).
+const POLL: Duration = Duration::from_millis(25);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Shard addresses in shard-index order (ring position = index).
+    pub shard_addrs: Vec<String>,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Distinct shards tried per request before answering `error`
+    /// (0 = every shard once).
+    pub max_attempts: usize,
+    /// Per-shard connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-request response deadline on a shard connection.
+    pub read_timeout: Duration,
+    /// How long a failed shard is skipped before being retried.
+    pub cooldown: Duration,
+    /// Drain gracefully on SIGTERM/SIGINT (process-global; binaries
+    /// turn it on).
+    pub handle_signals: bool,
+    /// Supervisor-shared per-shard respawn counters, exposed through
+    /// `metrics` when present.
+    pub respawns: Option<Arc<Vec<AtomicU64>>>,
+    /// Telemetry sink for lifecycle events.
+    pub telemetry: Telemetry,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7199".to_string(),
+            shard_addrs: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            max_attempts: 0,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(60),
+            cooldown: Duration::from_secs(1),
+            handle_signals: false,
+            respawns: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Per-shard live state and counters.
+#[derive(Debug)]
+struct ShardState {
+    addr: String,
+    /// Responses proxied from this shard.
+    routed: AtomicU64,
+    /// Failures observed against this shard (I/O, draining, overloaded).
+    failed: AtomicU64,
+    /// Millis-since-router-start until which the shard is skipped
+    /// (0 = considered live).
+    dead_until_ms: AtomicU64,
+}
+
+/// Shared router state.
+struct RouterState {
+    cfg: RouterConfig,
+    ring: Ring,
+    shards: Vec<ShardState>,
+    started: Instant,
+    draining: AtomicBool,
+    connections: AtomicU64,
+    /// Client lines handled (any outcome).
+    requests: AtomicU64,
+    /// Responses proxied from a shard.
+    proxied: AtomicU64,
+    /// Lines answered by the router itself (stats/metrics/shutdown/
+    /// draining/exhausted).
+    local: AtomicU64,
+    /// Times a request moved past a failed/draining/overloaded shard.
+    failovers: AtomicU64,
+    /// Requests answered `error` after every candidate failed.
+    exhausted: AtomicU64,
+}
+
+impl RouterState {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn mark_dead(&self, shard: usize) {
+        let until = self.now_ms() + self.cfg.cooldown.as_millis() as u64 + 1;
+        self.shards[shard]
+            .dead_until_ms
+            .store(until, Ordering::Relaxed);
+    }
+
+    fn mark_live(&self, shard: usize) {
+        self.shards[shard].dead_until_ms.store(0, Ordering::Relaxed);
+    }
+
+    fn is_dead(&self, shard: usize) -> bool {
+        let until = self.shards[shard].dead_until_ms.load(Ordering::Relaxed);
+        until != 0 && self.now_ms() < until
+    }
+
+    fn start_drain(&self, why: &str) {
+        if !self.draining.swap(true, Ordering::SeqCst) && self.cfg.telemetry.is_enabled() {
+            self.cfg.telemetry.emit(Event::ServerLifecycle {
+                phase: "drain",
+                detail: format!("router: {why}"),
+            });
+        }
+    }
+
+    /// The effective failover budget: distinct shards tried per request.
+    fn max_attempts(&self) -> usize {
+        let n = self.shards.len();
+        if self.cfg.max_attempts == 0 {
+            n
+        } else {
+            self.cfg.max_attempts.min(n).max(1)
+        }
+    }
+}
+
+/// A running router: bound address plus lifecycle control.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    join: thread::JoinHandle<()>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once the router has fully drained and stopped.
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
+    /// True once drain has started (client `shutdown`, signal, or
+    /// [`RouterHandle::shutdown`]).
+    pub fn draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Initiates drain of the router itself (shards are left running;
+    /// the supervisor owns their lifecycle) and waits for it to finish.
+    pub fn shutdown(self) {
+        self.state.start_drain("handle shutdown");
+        let _ = self.join.join();
+    }
+
+    /// Waits for the router to drain on its own (client `shutdown`
+    /// request or a signal).
+    pub fn wait(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// The routing key of one raw request line: the loop text's fingerprint
+/// when the line parses to a loop-carrying request, the raw line's
+/// otherwise. Pure, so tests can predict placements.
+pub fn routing_key(line: &str) -> Fingerprint {
+    match parse_request(line) {
+        Ok(req) if !req.loop_text.is_empty() => Fingerprint::of_str(&req.loop_text),
+        _ => Fingerprint::of_str(line.trim()),
+    }
+}
+
+/// Extracts the `status` field of a rendered response line without a
+/// full JSON parse. The envelope always opens `{"id":"...","status":"…"`
+/// and `id` is JSON-escaped, so the first `","status":"` occurrence
+/// belongs to the envelope (an embedded one inside `id` would carry
+/// escaped quotes and not match).
+fn response_status(line: &str) -> &str {
+    let Some(i) = line.find("\",\"status\":\"") else {
+        return "";
+    };
+    let rest = &line[i + 12..];
+    match rest.find('"') {
+        Some(j) => &rest[..j],
+        None => "",
+    }
+}
+
+/// One upstream shard connection owned by a client thread: raw stream
+/// plus read-ahead buffer for line framing.
+struct Upstream {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Upstream {
+    fn connect(addr: &str, connect_timeout: Duration) -> std::io::Result<Upstream> {
+        let sa = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("unresolvable shard addr {addr}")))?;
+        let stream = TcpStream::connect_timeout(&sa, connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(POLL))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        Ok(Upstream {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Reads one `\n`-terminated line (returned **with** its newline,
+    /// byte-exact) within `deadline`.
+    fn read_line(&mut self, deadline: Duration) -> std::io::Result<String> {
+        let t0 = Instant::now();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return String::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "non-UTF-8 response from shard",
+                    )
+                });
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shard closed mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if t0.elapsed() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "shard response deadline exceeded",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Binds and routes in a background thread; returns once the listener
+/// is accepting. Used by in-process tests and the cluster supervisor.
+///
+/// # Errors
+///
+/// Propagates the bind failure, and rejects an empty shard list.
+pub fn spawn_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+    if cfg.shard_addrs.is_empty() {
+        return Err(std::io::Error::other("router needs at least one shard"));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let ring = Ring::new(cfg.shard_addrs.len(), cfg.vnodes);
+    let shards = cfg
+        .shard_addrs
+        .iter()
+        .map(|a| ShardState {
+            addr: a.clone(),
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            dead_until_ms: AtomicU64::new(0),
+        })
+        .collect();
+    let state = Arc::new(RouterState {
+        ring,
+        shards,
+        started: Instant::now(),
+        draining: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        proxied: AtomicU64::new(0),
+        local: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        exhausted: AtomicU64::new(0),
+        cfg,
+    });
+    if state.cfg.handle_signals {
+        install_signal_drain(&state);
+    }
+    let st = Arc::clone(&state);
+    let join = thread::Builder::new()
+        .name("ltspr-accept".to_string())
+        .spawn(move || run(listener, st))
+        .expect("spawn ltspr accept thread");
+    Ok(RouterHandle { addr, state, join })
+}
+
+/// Installs a SIGTERM/SIGINT hook that drains this router. Drain
+/// propagates: the shards are told to shut down too, because a signaled
+/// `ltspc serve --cluster` owns the whole cluster's lifecycle.
+#[cfg(unix)]
+fn install_signal_drain(state: &Arc<RouterState>) {
+    use std::sync::OnceLock;
+    static TERM_FLAG: OnceLock<&'static AtomicBool> = OnceLock::new();
+    extern "C" fn on_term(_sig: i32) {
+        if let Some(flag) = TERM_FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let flag: &'static AtomicBool =
+        TERM_FLAG.get_or_init(|| Box::leak(Box::new(AtomicBool::new(false))));
+    let handler = on_term as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    let st = Arc::downgrade(state);
+    thread::Builder::new()
+        .name("ltspr-signal".to_string())
+        .spawn(move || loop {
+            thread::sleep(POLL);
+            let Some(state) = st.upgrade() else { return };
+            if flag.load(Ordering::SeqCst) {
+                broadcast_shutdown(&state);
+                state.start_drain("signal");
+                return;
+            }
+            if state.draining.load(Ordering::SeqCst) {
+                return;
+            }
+        })
+        .ok();
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_state: &Arc<RouterState>) {}
+
+fn run(listener: TcpListener, state: Arc<RouterState>) {
+    let tel = state.cfg.telemetry.clone();
+    if tel.is_enabled() {
+        tel.emit(Event::ServerLifecycle {
+            phase: "listen",
+            detail: format!(
+                "router {} over {} shard(s)",
+                listener
+                    .local_addr()
+                    .map_or_else(|_| state.cfg.addr.clone(), |a| a.to_string()),
+                state.shards.len()
+            ),
+        });
+    }
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on router listener");
+    let mut readers = Vec::new();
+    while !state.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(&state);
+                readers.push(
+                    thread::Builder::new()
+                        .name("ltspr-conn".to_string())
+                        .spawn(move || conn_loop(stream, &state))
+                        .expect("spawn ltspr conn thread"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+    drop(listener);
+    for r in readers {
+        let _ = r.join();
+    }
+    if tel.is_enabled() {
+        tel.emit(Event::ServerLifecycle {
+            phase: "stopped",
+            detail: "router".to_string(),
+        });
+    }
+}
+
+/// One client connection: read a line, answer it (proxy or local), write
+/// the response, in order. A stalled client stalls only its own thread.
+fn conn_loop(mut stream: TcpStream, state: &Arc<RouterState>) {
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    state.connections.fetch_add(1, Ordering::Relaxed);
+    let mut upstreams: HashMap<usize, Upstream> = HashMap::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'outer: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            let (reply, is_shutdown) = handle_line(state, &mut upstreams, line);
+            if stream.write_all(reply.as_bytes()).is_err() {
+                break 'outer;
+            }
+            if is_shutdown {
+                state.start_drain("shutdown request");
+                break 'outer;
+            }
+        }
+    }
+    state.connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Classifies one raw line and produces the full reply line (with
+/// trailing newline). The bool is true for a `shutdown` ack, after
+/// which the caller drains.
+fn handle_line(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Upstream>,
+    line: &str,
+) -> (String, bool) {
+    match parse_request(line) {
+        Ok(req) if state.draining.load(Ordering::SeqCst) => {
+            state.local.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::error(&req.id, "draining", "router is draining");
+            (render_line(&resp), false)
+        }
+        Ok(req) => match req.op {
+            ReqOp::Shutdown => {
+                state.local.fetch_add(1, Ordering::Relaxed);
+                broadcast_shutdown(state);
+                let ack = Response {
+                    id: req.id.clone(),
+                    status: "draining",
+                    cache: "-",
+                    body: ",\"op\":\"shutdown\"".to_string(),
+                    timings: None,
+                };
+                (render_line(&ack), true)
+            }
+            ReqOp::Stats => {
+                state.local.fetch_add(1, Ordering::Relaxed);
+                (render_line(&stats_response(state, &req.id)), false)
+            }
+            ReqOp::Metrics => {
+                state.local.fetch_add(1, Ordering::Relaxed);
+                (render_line(&metrics_response(state, &req.id)), false)
+            }
+            _ => {
+                let key = if req.loop_text.is_empty() {
+                    Fingerprint::of_str(line)
+                } else {
+                    Fingerprint::of_str(&req.loop_text)
+                };
+                (proxy(state, upstreams, line, &req.id, key), false)
+            }
+        },
+        Err(e) if state.draining.load(Ordering::SeqCst) => {
+            state.local.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::error(&e.id, "draining", "router is draining");
+            (render_line(&resp), false)
+        }
+        // Malformed lines are proxied too: the owning shard renders the
+        // exact protocol error a direct client would see.
+        Err(e) => (
+            proxy(state, upstreams, line, &e.id, Fingerprint::of_str(line)),
+            false,
+        ),
+    }
+}
+
+fn render_line(resp: &Response) -> String {
+    let mut line = resp.render();
+    line.push('\n');
+    line
+}
+
+/// Proxies one raw line along the key's preference order. Returns the
+/// reply line (with newline) — a shard's response byte-for-byte, or the
+/// router's `error` once every candidate failed.
+fn proxy(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Upstream>,
+    line: &str,
+    id: &str,
+    key: Fingerprint,
+) -> String {
+    let pref = state.ring.preference(key);
+    // Live shards first (in preference order), dead-marked ones as a
+    // last resort so a stale mark can't black-hole the whole key space.
+    let mut candidates: Vec<usize> = pref
+        .iter()
+        .copied()
+        .filter(|&s| !state.is_dead(s))
+        .collect();
+    candidates.extend(pref.iter().copied().filter(|&s| state.is_dead(s)));
+    candidates.truncate(state.max_attempts());
+    let total = candidates.len();
+    let mut last_failure = String::from("no shard candidates");
+    for (attempt, shard) in candidates.into_iter().enumerate() {
+        let outcome = try_shard(state, upstreams, shard, line);
+        match outcome {
+            Ok(reply) => {
+                let status = response_status(&reply);
+                if (status == "draining" || status == "overloaded") && attempt + 1 < total {
+                    state.shards[shard].failed.fetch_add(1, Ordering::Relaxed);
+                    state.failovers.fetch_add(1, Ordering::Relaxed);
+                    if status == "draining" {
+                        // A draining shard stays draining; stop offering
+                        // it requests and drop the connection (it will
+                        // close once drained anyway).
+                        state.mark_dead(shard);
+                        upstreams.remove(&shard);
+                    }
+                    last_failure = format!("shard {shard} {status}");
+                    continue;
+                }
+                state.mark_live(shard);
+                state.shards[shard].routed.fetch_add(1, Ordering::Relaxed);
+                state.proxied.fetch_add(1, Ordering::Relaxed);
+                return reply;
+            }
+            Err(e) => {
+                state.shards[shard].failed.fetch_add(1, Ordering::Relaxed);
+                state.mark_dead(shard);
+                upstreams.remove(&shard);
+                if attempt + 1 < total {
+                    state.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                last_failure = format!("shard {shard} ({}): {e}", state.shards[shard].addr);
+            }
+        }
+    }
+    state.exhausted.fetch_add(1, Ordering::Relaxed);
+    state.local.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::error(
+        id,
+        "error",
+        &format!("no shard available after {total} attempt(s); last: {last_failure}"),
+    );
+    render_line(&resp)
+}
+
+/// One attempt against one shard: connect (or reuse), send, read the
+/// response line within the deadline.
+fn try_shard(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Upstream>,
+    shard: usize,
+    line: &str,
+) -> std::io::Result<String> {
+    if let std::collections::hash_map::Entry::Vacant(e) = upstreams.entry(shard) {
+        e.insert(Upstream::connect(
+            &state.shards[shard].addr,
+            state.cfg.connect_timeout,
+        )?);
+    }
+    let up = upstreams.get_mut(&shard).expect("just inserted");
+    up.send_line(line)?;
+    up.read_line(state.cfg.read_timeout)
+}
+
+/// Best-effort `shutdown` to every shard (drain propagation). Dead
+/// shards are skipped silently; the supervisor reaps processes anyway.
+fn broadcast_shutdown(state: &RouterState) {
+    for s in &state.shards {
+        if let Ok(mut up) = Upstream::connect(&s.addr, state.cfg.connect_timeout) {
+            let _ = up.send_line("{\"op\":\"shutdown\",\"id\":\"ltspr-drain\"}");
+            let _ = up.read_line(Duration::from_secs(5));
+        }
+    }
+}
+
+/// The router's own `stats` body (the per-shard view lives in
+/// `metrics`; `stats` stays a flat cheap snapshot like the daemon's).
+fn stats_response(state: &RouterState, id: &str) -> Response {
+    let mut body = String::new();
+    push_str_field(&mut body, "op", "stats");
+    for (key, v) in [
+        ("router_requests", &state.requests),
+        ("router_proxied", &state.proxied),
+        ("router_local", &state.local),
+        ("router_failovers", &state.failovers),
+        ("router_retries_exhausted", &state.exhausted),
+        ("router_connections", &state.connections),
+    ] {
+        push_u64_field(&mut body, key, v.load(Ordering::Relaxed));
+    }
+    push_u64_field(&mut body, "router_shards", state.shards.len() as u64);
+    Response {
+        id: id.to_string(),
+        status: "ok",
+        cache: "-",
+        body,
+        timings: None,
+    }
+}
+
+/// Scrapes one shard's `{"op":"metrics"}` snapshot.
+fn scrape_shard(state: &RouterState, shard: usize) -> Option<PromSnapshot> {
+    let mut up = Upstream::connect(&state.shards[shard].addr, state.cfg.connect_timeout).ok()?;
+    up.send_line("{\"op\":\"metrics\",\"id\":\"ltspr-scrape\"}")
+        .ok()?;
+    let line = up.read_line(Duration::from_secs(5)).ok()?;
+    let v = json::parse(line.trim()).ok()?;
+    let text = v.get("metrics")?.as_str()?.to_string();
+    PromSnapshot::parse(&text).ok()
+}
+
+/// The aggregated cluster snapshot: router families first, then every
+/// shard's samples re-labeled with `shard="N"`.
+fn render_cluster_prometheus(state: &RouterState) -> String {
+    let mut out = String::new();
+    for (name, kind, v) in [
+        ("ltsp_router_requests_total", "counter", &state.requests),
+        ("ltsp_router_proxied_total", "counter", &state.proxied),
+        ("ltsp_router_local_total", "counter", &state.local),
+        ("ltsp_router_failovers_total", "counter", &state.failovers),
+        (
+            "ltsp_router_retries_exhausted_total",
+            "counter",
+            &state.exhausted,
+        ),
+        ("ltsp_router_connections", "gauge", &state.connections),
+    ] {
+        prom::push_type(&mut out, name, kind);
+        prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
+    }
+    let scrapes: Vec<Option<PromSnapshot>> = (0..state.shards.len())
+        .map(|i| scrape_shard(state, i))
+        .collect();
+    for (name, kind, get) in [
+        (
+            "ltsp_shard_routed_total",
+            "counter",
+            (|s: &ShardState| s.routed.load(Ordering::Relaxed)) as fn(&ShardState) -> u64,
+        ),
+        ("ltsp_shard_failed_total", "counter", |s: &ShardState| {
+            s.failed.load(Ordering::Relaxed)
+        }),
+    ] {
+        prom::push_type(&mut out, name, kind);
+        for (i, s) in state.shards.iter().enumerate() {
+            let idx = i.to_string();
+            prom::push_sample(&mut out, name, &[("shard", &idx)], get(s) as f64);
+        }
+    }
+    prom::push_type(&mut out, "ltsp_shard_up", "gauge");
+    for (i, scrape) in scrapes.iter().enumerate() {
+        let idx = i.to_string();
+        prom::push_sample(
+            &mut out,
+            "ltsp_shard_up",
+            &[("shard", &idx)],
+            f64::from(u8::from(scrape.is_some())),
+        );
+    }
+    if let Some(respawns) = &state.cfg.respawns {
+        prom::push_type(&mut out, "ltsp_shard_respawns_total", "counter");
+        for (i, r) in respawns.iter().enumerate() {
+            let idx = i.to_string();
+            prom::push_sample(
+                &mut out,
+                "ltsp_shard_respawns_total",
+                &[("shard", &idx)],
+                r.load(Ordering::Relaxed) as f64,
+            );
+        }
+    }
+    for (i, scrape) in scrapes.iter().enumerate() {
+        let Some(snap) = scrape else { continue };
+        let idx = i.to_string();
+        for s in &snap.samples {
+            let mut labels: Vec<(&str, &str)> = Vec::with_capacity(s.labels.len() + 1);
+            labels.push(("shard", &idx));
+            for (k, v) in &s.labels {
+                labels.push((k, v));
+            }
+            prom::push_sample(&mut out, &s.name, &labels, s.value);
+        }
+    }
+    out
+}
+
+fn metrics_response(state: &RouterState, id: &str) -> Response {
+    let mut body = String::new();
+    push_str_field(&mut body, "op", "metrics");
+    push_str_field(&mut body, "metrics", &render_cluster_prometheus(state));
+    Response {
+        id: id.to_string(),
+        status: "ok",
+        cache: "-",
+        body,
+        timings: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_status_extracts_envelope_status() {
+        assert_eq!(
+            response_status(r#"{"id":"a","status":"ok","cache":"hit"}"#),
+            "ok"
+        );
+        assert_eq!(
+            response_status(r#"{"id":"x","status":"draining","cache":"-"}"#),
+            "draining"
+        );
+        // An id trying to smuggle a status arrives escaped and must not
+        // fool the extractor.
+        let hostile = Response::error("evil\",\"status\":\"ok", "error", "nope").render();
+        assert_eq!(response_status(&hostile), "error");
+        assert_eq!(response_status("not json"), "");
+    }
+
+    #[test]
+    fn routing_key_canonicalizes_on_loop_text() {
+        let lp = "loop a {\\n}";
+        let a = format!(r#"{{"op":"compile","id":"1","loop":"{lp}"}}"#);
+        let b = format!(r#"{{"op":"verify","id":"2","loop":"{lp}"}}"#);
+        // Same loop, different op/id: same shard (cache locality).
+        assert_eq!(routing_key(&a), routing_key(&b));
+        // Loopless and unparseable lines key on the raw line.
+        assert_eq!(
+            routing_key(r#"{"op":"ping"}"#),
+            Fingerprint::of_str(r#"{"op":"ping"}"#)
+        );
+        assert_eq!(routing_key("junk"), Fingerprint::of_str("junk"));
+    }
+
+    #[test]
+    fn spawn_rejects_empty_shard_list() {
+        let Err(err) = spawn_router(RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..RouterConfig::default()
+        }) else {
+            panic!("empty shard list must be rejected");
+        };
+        assert!(err.to_string().contains("at least one shard"));
+    }
+}

@@ -5,7 +5,7 @@
 //!       [--outbound N] [--write-deadline-ms MS]
 //!       [--cache-bytes N] [--result-cache-bytes N]
 //!       [--oracle-budget NODES] [--oracle-deadline-ms MS]
-//!       [--flight-dir DIR] [--flight-len N]
+//!       [--flight-dir DIR] [--flight-len N] [--persist FILE]
 //!       [--trace-out FILE] [--metrics-out FILE] [-v]
 //! ```
 //!
@@ -21,6 +21,11 @@
 //! `--outbound` caps each connection's outbound response queue. The
 //! `LTSP_FAULT` environment variable (see `ltsp_server::fault`) turns
 //! on deterministic fault injection for chaos testing.
+//!
+//! `--persist FILE` puts an append-only disk tier (see
+//! `ltsp_cache::persist`) behind the result cache: every newly computed
+//! result is logged, and a restarted daemon replays the log before
+//! accepting connections, serving warm from the first request.
 //!
 //! `--flight-dir` enables the flight recorder's dump-to-disk path: the
 //! last `--flight-len` request lifecycles (default 256) are written as
@@ -41,7 +46,7 @@ fn usage() -> ! {
          \x20            [--outbound N] [--write-deadline-ms MS]\n\
          \x20            [--cache-bytes N] [--result-cache-bytes N]\n\
          \x20            [--oracle-budget NODES] [--oracle-deadline-ms MS]\n\
-         \x20            [--flight-dir DIR] [--flight-len N]\n\
+         \x20            [--flight-dir DIR] [--flight-len N] [--persist FILE]\n\
          \x20            [--trace-out FILE] [--metrics-out FILE] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -92,6 +97,9 @@ fn main() -> ExitCode {
                 engine.flight_dir = Some(args.next().unwrap_or_else(|| usage()).into())
             }
             "--flight-len" => engine.flight_len = num::<usize>(args.next()).max(1),
+            "--persist" => {
+                engine.persist_path = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "-v" | "--verbose" => verbose = true,

@@ -108,6 +108,10 @@ use crate::proto::{parse_request, ReqOp, Request, Response};
 /// the drain flag.
 const POLL: Duration = Duration::from_millis(25);
 
+/// Exit code of a process killed by the injected `shardkill` fault, so
+/// supervisors and chaos tests can tell an injected kill from a crash.
+pub const SHARD_KILL_EXIT_CODE: i32 = 113;
+
 /// Full daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -547,6 +551,17 @@ fn handle_contained(
     );
     let fault = &state.cfg.fault;
     let mut fault_fired = false;
+    if fault.is_active() && fault.fires(FaultSite::ShardKill, &req.id) {
+        // The cluster chaos drill: die mid-request, before any response
+        // bytes exist, exactly like a crashed shard. The router in front
+        // must observe the dead connection and fail this request over.
+        // Keyed on the request id, so tests can predict the kill point.
+        eprintln!(
+            "ltspd: injected shard kill at request {} (exiting {})",
+            req.id, SHARD_KILL_EXIT_CODE
+        );
+        std::process::exit(SHARD_KILL_EXIT_CODE);
+    }
     if fault.is_active() && fault.fires(FaultSite::Slow, &req.id) {
         fault_fired = true;
         state

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use ltsp_cache::persist::CacheLog;
 use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
 use ltsp_core::{compile_loop_cached_phased, new_compile_cache, CompileCache, CompileConfig};
 use ltsp_ir::{parse_loop, LoopIr, ParseError};
@@ -60,6 +61,11 @@ pub struct EngineConfig {
     pub flight_dir: Option<PathBuf>,
     /// Flight-recorder ring capacity (request lifecycles retained).
     pub flight_len: usize,
+    /// Persistent result-cache log (`None` = in-memory only). When set,
+    /// the engine replays the log into the result cache at construction
+    /// and appends every newly computed result, so a restarted process
+    /// serves warm from request one.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +77,7 @@ impl Default for EngineConfig {
             oracle_deadline_ms: Some(10_000),
             flight_dir: None,
             flight_len: 256,
+            persist_path: None,
         }
     }
 }
@@ -127,14 +134,32 @@ pub struct ServerGauges {
     pub dispatcher_deaths: AtomicU64,
 }
 
+/// Persistence-tier counters (all zero when no log is configured).
+#[derive(Debug, Default)]
+pub struct PersistCounters {
+    /// Records replayed into the result cache at startup.
+    pub replayed: AtomicU64,
+    /// Bad records dropped during startup replay (torn/corrupt tail).
+    pub dropped: AtomicU64,
+    /// Records appended since startup.
+    pub appended: AtomicU64,
+    /// Append failures (the response is still served; the entry is just
+    /// not durable).
+    pub append_errors: AtomicU64,
+}
+
 /// The shared, thread-safe request engine.
 pub struct Engine {
     machine: MachineModel,
     compile_cache: CompileCache,
     result_cache: ShardedLru<CachedResult>,
+    /// The disk tier behind `result_cache` (`None` = in-memory only).
+    persist: Option<CacheLog>,
     cfg: EngineConfig,
     /// Per-status response tallies.
     pub counters: ServeCounters,
+    /// Persistence-tier tallies (replay/append accounting).
+    pub persist_counters: PersistCounters,
     /// Operational gauges (fed by the daemon, read by `metrics`).
     pub gauges: ServerGauges,
     /// The flight recorder (fed per request, dumped on faults).
@@ -147,20 +172,87 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine for the Itanium 2 machine model.
+    /// Builds an engine for the Itanium 2 machine model. When
+    /// [`EngineConfig::persist_path`] is set, the log is replayed into
+    /// the result cache *before* the engine is handed to any caller, so
+    /// the very first request can hit warm. An unopenable log is loud
+    /// but non-fatal — the engine degrades to in-memory-only caching.
     pub fn new(cfg: EngineConfig) -> Engine {
+        let result_cache = ShardedLru::new(CacheConfig {
+            byte_budget: cfg.result_cache_bytes,
+            ..CacheConfig::default()
+        });
+        let persist_counters = PersistCounters::default();
+        let persist = cfg
+            .persist_path
+            .as_ref()
+            .and_then(|path| match CacheLog::open(path) {
+                Ok((log, report)) => {
+                    persist_counters
+                        .replayed
+                        .store(report.records.len() as u64, Ordering::Relaxed);
+                    persist_counters
+                        .dropped
+                        .store(report.dropped, Ordering::Relaxed);
+                    for rec in report.records {
+                        let bytes = rec.body.len() + 64;
+                        result_cache.insert(
+                            rec.key,
+                            CachedResult {
+                                status: intern_status(&rec.status),
+                                body: rec.body,
+                            },
+                            bytes,
+                        );
+                    }
+                    Some(log)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "ltspd: persist log {} unavailable: {e} (running without persistence)",
+                        path.display()
+                    );
+                    None
+                }
+            });
         Engine {
             machine: MachineModel::itanium2(),
             compile_cache: new_compile_cache(cfg.compile_cache_bytes),
-            result_cache: ShardedLru::new(CacheConfig {
-                byte_budget: cfg.result_cache_bytes,
-                ..CacheConfig::default()
-            }),
+            result_cache,
+            persist,
             flight: FlightRecorder::new(cfg.flight_len, cfg.flight_dir.clone()),
             cfg,
             counters: ServeCounters::default(),
+            persist_counters,
             gauges: ServerGauges::default(),
             phase_hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Appends a freshly computed result to the disk tier (no-op without
+    /// one). Failures are counted and logged once — durability is
+    /// best-effort, correctness never depends on it.
+    fn persist_append(&self, key: Fingerprint, status: &str, body: &str) {
+        let Some(log) = &self.persist else { return };
+        match log.append(key, status, body) {
+            Ok(()) => {
+                self.persist_counters
+                    .appended
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if self
+                    .persist_counters
+                    .append_errors
+                    .fetch_add(1, Ordering::Relaxed)
+                    == 0
+                {
+                    eprintln!(
+                        "ltspd: persist append to {} failed: {e} (cache stays in-memory)",
+                        log.path().display()
+                    );
+                }
+            }
         }
     }
 
@@ -288,6 +380,8 @@ impl Engine {
             // On a miss the probe time is dwarfed by (and attributed to)
             // the compile phases the closure just ran.
             phases.add_us(Phase::CacheLookup, t0.elapsed().as_micros() as u64);
+        } else {
+            self.persist_append(key, cached.status, &cached.body);
         }
         Response {
             id: req.id.clone(),
@@ -460,6 +554,12 @@ impl Engine {
                 })
             },
         );
+        if !body_hit {
+            // Persist under the canonical body key too: a formatting
+            // variant of a known loop replays to a parse-then-hit after
+            // restart, not a recompile.
+            self.persist_append(body_key, cached.status, &cached.body);
+        }
         Response {
             id: req.id.clone(),
             status: cached.status,
@@ -494,11 +594,15 @@ impl Engine {
             h.write_u64(req.budget);
             h.write_u64(self.effective_deadline_ms(req).map_or(u64::MAX, |d| d));
         }
+        let key = h.finish();
         let (cached, hit) = self.result_cache.get_or_insert_with(
-            h.finish(),
+            key,
             |r| r.body.len() + 32,
             || self.run_case(req, &lp, tel),
         );
+        if !hit {
+            self.persist_append(key, cached.status, &cached.body);
+        }
         Response {
             id: req.id.clone(),
             status: cached.status,
@@ -632,6 +736,17 @@ impl Engine {
             push_u64_field(&mut body, &format!("{prefix}_entries"), stats.entries);
             push_u64_field(&mut body, &format!("{prefix}_bytes"), stats.bytes);
         }
+        for (key, v) in [
+            ("persist_replayed", &self.persist_counters.replayed),
+            ("persist_dropped", &self.persist_counters.dropped),
+            ("persist_appended", &self.persist_counters.appended),
+            (
+                "persist_append_errors",
+                &self.persist_counters.append_errors,
+            ),
+        ] {
+            push_u64_field(&mut body, key, v.load(Ordering::Relaxed));
+        }
         Response {
             id: req.id.clone(),
             status: "ok",
@@ -722,6 +837,31 @@ impl Engine {
             prom::push_type(&mut out, name, "counter");
             prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
         }
+        for (name, kind, v) in [
+            (
+                "ltsp_persist_replayed_records",
+                "gauge",
+                &self.persist_counters.replayed,
+            ),
+            (
+                "ltsp_persist_dropped_records",
+                "gauge",
+                &self.persist_counters.dropped,
+            ),
+            (
+                "ltsp_persist_appended_total",
+                "counter",
+                &self.persist_counters.appended,
+            ),
+            (
+                "ltsp_persist_append_errors_total",
+                "counter",
+                &self.persist_counters.append_errors,
+            ),
+        ] {
+            prom::push_type(&mut out, name, kind);
+            prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
+        }
         prom::push_type(&mut out, "ltsp_flight_records", "gauge");
         prom::push_sample(
             &mut out,
@@ -742,6 +882,17 @@ impl Engine {
             prom::push_histogram(&mut out, "ltsp_phase_us", &[("phase", name)], h);
         }
         out
+    }
+}
+
+/// Maps a replayed status string back onto the engine's static status
+/// vocabulary. Unknown strings (possible only via a hand-edited log)
+/// degrade to `error` rather than inventing a status.
+fn intern_status(s: &str) -> &'static str {
+    match s {
+        "ok" => "ok",
+        "rejected" => "rejected",
+        _ => "error",
     }
 }
 

@@ -33,6 +33,11 @@
 //!   whose first request fires. This is the blast-radius drill for the
 //!   "dispatcher died" recovery path: drain trips and queued requests
 //!   are answered `error`, never silently dropped.
+//! - `shardkill:P` — the whole process exits (code 113) when a handled
+//!   request fires, *before* producing a response. This is the cluster
+//!   chaos drill: a router in front of the shard must observe the dead
+//!   connection and fail the in-flight request over to another shard —
+//!   deterministically, because the kill is keyed on the request id.
 //! - `seed:N` — the plan seed (default 0); re-keys every decision.
 
 use std::time::Duration;
@@ -54,6 +59,8 @@ pub enum FaultSite {
     ShortWrite,
     /// Dispatcher panic (tests the dispatcher-died drain path).
     Dispatch,
+    /// Whole-process exit mid-request (tests router failover).
+    ShardKill,
 }
 
 impl FaultSite {
@@ -65,6 +72,7 @@ impl FaultSite {
             FaultSite::Drop => "drop",
             FaultSite::ShortWrite => "short-write",
             FaultSite::Dispatch => "dispatch",
+            FaultSite::ShardKill => "shard-kill",
         }
     }
 }
@@ -87,6 +95,8 @@ pub struct FaultPlan {
     pub short_p: f64,
     /// Dispatcher panic probability in [0, 1].
     pub dispatch_p: f64,
+    /// Process-exit (shard kill) probability in [0, 1].
+    pub shardkill_p: f64,
 }
 
 impl FaultPlan {
@@ -97,6 +107,7 @@ impl FaultPlan {
             || self.drop_p > 0.0
             || self.short_p > 0.0
             || self.dispatch_p > 0.0
+            || self.shardkill_p > 0.0
     }
 
     /// Parses an `LTSP_FAULT` spec (see the module docs for the
@@ -125,6 +136,7 @@ impl FaultPlan {
                 "drop" => plan.drop_p = prob(value)?,
                 "short" => plan.short_p = prob(value)?,
                 "dispatch" => plan.dispatch_p = prob(value)?,
+                "shardkill" => plan.shardkill_p = prob(value)?,
                 "seed" => {
                     plan.seed = value.trim().parse().map_err(|_| {
                         format!("invalid LTSP_FAULT entry '{entry}': seed must be a u64")
@@ -150,7 +162,7 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "invalid LTSP_FAULT site '{other}': \
-                         expected panic|slow|drop|short|dispatch|seed"
+                         expected panic|slow|drop|short|dispatch|shardkill|seed"
                     ))
                 }
             }
@@ -182,6 +194,7 @@ impl FaultPlan {
             FaultSite::Drop => self.drop_p,
             FaultSite::ShortWrite => self.short_p,
             FaultSite::Dispatch => self.dispatch_p,
+            FaultSite::ShardKill => self.shardkill_p,
         };
         if p <= 0.0 {
             return false;
@@ -246,6 +259,24 @@ mod tests {
             assert!(e.contains("invalid LTSP_FAULT"), "{bad}: {e}");
             assert!(!e.contains('\n'), "one line: {e:?}");
         }
+    }
+
+    #[test]
+    fn shardkill_site_parses_and_fires_deterministically() {
+        let p = FaultPlan::parse("shardkill:0.5,seed:9").unwrap();
+        assert_eq!(p.shardkill_p, 0.5);
+        assert!(p.is_active());
+        let kills: Vec<bool> = (0..64)
+            .map(|i| p.fires(FaultSite::ShardKill, &format!("req-{i}")))
+            .collect();
+        let again: Vec<bool> = (0..64)
+            .map(|i| p.fires(FaultSite::ShardKill, &format!("req-{i}")))
+            .collect();
+        assert_eq!(kills, again, "same plan, same kills");
+        assert!(kills.iter().any(|&b| b) && kills.iter().any(|&b| !b));
+        let always = FaultPlan::parse("shardkill:1.0").unwrap();
+        assert!(always.fires(FaultSite::ShardKill, "anything"));
+        assert!(!FaultPlan::default().fires(FaultSite::ShardKill, "anything"));
     }
 
     #[test]

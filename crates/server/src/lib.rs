@@ -24,8 +24,8 @@ pub mod flight;
 pub mod proto;
 mod report;
 
-pub use daemon::{serve, spawn, ServerConfig, ServerHandle};
-pub use engine::{Engine, EngineConfig, ServerGauges};
+pub use daemon::{serve, spawn, ServerConfig, ServerHandle, SHARD_KILL_EXIT_CODE};
+pub use engine::{Engine, EngineConfig, PersistCounters, ServerGauges};
 pub use fault::{FaultPlan, FaultSite};
 pub use flight::{normalize_flight_dump, read_dumps, FlightRecord, FlightRecorder};
 pub use proto::{parse_request, ProtoError, ReqOp, Request, Response};

@@ -10,7 +10,8 @@
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
 //! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
 //! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
-//! ltspc serve [--addr HOST:PORT] [--jobs N] ...  # run the ltspd daemon
+//! ltspc serve [--addr HOST:PORT] [--jobs N] [--persist FILE] ...  # ltspd daemon
+//! ltspc serve --cluster N [--persist-dir DIR] ...  # router + N shard processes
 //! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]
 //!       [--timeout SECS] [--retries N] [--timings] [--shutdown]
 //! ltspc remote <addr> --op metrics [--check-phases p1,p2,...]
@@ -27,7 +28,14 @@
 //! is the first failing file's.
 //!
 //! `serve` runs the compilation daemon in-process (same flags as
-//! `ltspd`); `remote` ships loop files to a running daemon over the
+//! `ltspd`); `--persist FILE` adds the append-only warm-start cache log
+//! (`ltsp_cache::persist`). `serve --cluster N` instead supervises a
+//! whole cluster: N `ltspc serve` shard processes on consecutive ports
+//! plus the consistent-hash router (`ltsp_cluster`) on `--addr`, with
+//! `--persist-dir DIR` giving every shard its own warm-start log.
+//! Crashed shards are respawned (warm, from their log) and a client
+//! `shutdown` or SIGTERM drains the whole tree. `remote` ships loop
+//! files to a running daemon over the
 //! line-delimited JSON protocol and prints each response's report —
 //! byte-identical to what the local compile path prints, which CI
 //! checks. `--shutdown` drains the server after the last file.
@@ -46,11 +54,17 @@
 //!
 //! `remote` never hangs on a stalled or wedged server: `--timeout SECS`
 //! (default 30, `0` disables) bounds the connect, every request write,
-//! and every response read. An `overloaded` response is retried up to
-//! `--retries N` times (default 4) with capped exponential backoff
-//! before giving up with exit 6; a `draining` response exits 6
-//! immediately — the server is deliberately going away, and a retry
-//! against the same address cannot succeed.
+//! and every response read. `--retries N` (default 4) bounds two retry
+//! classes sharing one capped exponential backoff schedule (100ms ·
+//! 2^attempt, at most 2s): an `overloaded` response is re-sent after a
+//! breather, and a *dead connection* (connect refused, reset, broken
+//! pipe, server EOF — a crashed or restarting server) is retried by
+//! reconnecting and re-sending, which is safe because responses are
+//! pure functions of requests. Exhausted retries exit 6 (overloaded) or
+//! 3 (I/O). A `draining` response exits 6 immediately — the server is
+//! deliberately going away, and a retry against the same address cannot
+//! succeed. Deadline expiries are never retried: the server may still
+//! be working, and `--timeout` owns that policy.
 //!
 //! Exit codes are distinct per failure class so scripts can dispatch:
 //! `0` success (schedule certified / oracle verdict exact), `1` validator
@@ -123,7 +137,8 @@ fn usage() -> ! {
          \x20             [--chrome-trace FILE] [-v|--verbose]\n\
          \x20      ltspc verify <file.loop | -> ... [--jobs N]\n\
          \x20      ltspc oracle <file.loop | -> ... [--budget NODES] [--jobs N]\n\
-         \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N] [-v]\n\
+         \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N]\n\
+         \x20            [--cluster N] [--persist FILE] [--persist-dir DIR] [-v]\n\
          \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
          \x20            [--policy P] [--trip N] [--budget NODES] [--deadline-ms MS]\n\
          \x20            [--timeout SECS] [--retries N] [--timings] [--shutdown]\n\
@@ -359,7 +374,8 @@ fn parse_args() -> Options {
     o
 }
 
-/// `ltspc serve`: run the `ltspd` daemon in-process until drained.
+/// `ltspc serve`: run the `ltspd` daemon in-process until drained —
+/// or, with `--cluster N`, supervise a router plus N shard processes.
 fn run_serve(argv: &[String]) -> ExitCode {
     let mut cfg = ltsp::server::ServerConfig {
         jobs: ltsp::par::default_parallelism(),
@@ -367,6 +383,9 @@ fn run_serve(argv: &[String]) -> ExitCode {
         ..ltsp::server::ServerConfig::default()
     };
     let mut verbose = false;
+    let mut cluster: Option<usize> = None;
+    let mut persist: Option<String> = None;
+    let mut persist_dir: Option<String> = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -392,9 +411,84 @@ fn run_serve(argv: &[String]) -> ExitCode {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--cluster" => {
+                cluster = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--persist" => persist = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--persist-dir" => persist_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "-v" | "--verbose" => verbose = true,
             _ => usage(),
         }
+    }
+
+    if let Some(shards) = cluster {
+        if persist.is_some() {
+            eprintln!("ltspc: --persist is per-shard; use --persist-dir with --cluster");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("ltspc: cannot locate own executable for shard spawn: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        // Shards inherit the serving knobs; the supervisor appends each
+        // shard's --addr (router port + 1 + i) and --persist log path.
+        let mut worker_args = vec![
+            "serve".to_string(),
+            "--jobs".to_string(),
+            cfg.jobs.to_string(),
+            "--queue".to_string(),
+            cfg.queue_high_water.to_string(),
+            "--batch".to_string(),
+            cfg.batch_max.to_string(),
+        ];
+        if verbose {
+            worker_args.push("--verbose".to_string());
+        }
+        let ccfg = ltsp::cluster::ClusterConfig {
+            router: ltsp::cluster::RouterConfig {
+                addr: cfg.addr.clone(),
+                handle_signals: true,
+                telemetry: if verbose {
+                    Telemetry::enabled_with(true)
+                } else {
+                    Telemetry::disabled()
+                },
+                ..ltsp::cluster::RouterConfig::default()
+            },
+            shards,
+            worker_exe: exe,
+            worker_args,
+            persist_dir: persist_dir.map(Into::into),
+            ..ltsp::cluster::ClusterConfig::default()
+        };
+        return match ltsp::cluster::run_cluster(ccfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ltspc: serve --cluster: {e}");
+                ExitCode::from(EXIT_IO)
+            }
+        };
+    }
+    if persist_dir.is_some() {
+        eprintln!("ltspc: --persist-dir needs --cluster N; use --persist FILE for one process");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    cfg.engine.persist_path = persist.map(Into::into);
+    cfg.fault = ltsp::server::FaultPlan::from_env().unwrap_or_else(|e| {
+        eprintln!("ltspc: {e}");
+        std::process::exit(i32::from(EXIT_USAGE));
+    });
+    if cfg.fault.is_active() {
+        eprintln!("ltspc: LTSP_FAULT active — injecting deterministic faults");
     }
     cfg.telemetry = if verbose {
         Telemetry::enabled_with(true)
@@ -437,6 +531,43 @@ fn connect_with_timeout(
     }))
 }
 
+/// Backoff before retry number `attempt` (0-based): 100ms · 2^attempt,
+/// capped at 2s. Shared by the overloaded-retry and reconnect paths so
+/// both honor the same documented schedule.
+fn backoff_delay(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis((100u64 << attempt.min(5)).min(2000))
+}
+
+/// A transport error worth a reconnect-and-resend: the connection died
+/// (crashed, restarting, or shed us) rather than stalled. Stalls
+/// (`WouldBlock`/`TimedOut`) are deliberately excluded — the server may
+/// still be working on the request, and `--timeout` owns that policy.
+fn is_reconnectable(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind as K;
+    matches!(
+        kind,
+        K::ConnectionRefused
+            | K::ConnectionReset
+            | K::ConnectionAborted
+            | K::BrokenPipe
+            | K::NotConnected
+            | K::UnexpectedEof
+    )
+}
+
+/// Opens the remote connection with every deadline applied.
+fn open_conn(
+    addr: &str,
+    timeout: Option<std::time::Duration>,
+) -> std::io::Result<(std::net::TcpStream, std::io::BufReader<std::net::TcpStream>)> {
+    let stream = connect_with_timeout(addr, timeout)?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let writer = stream.try_clone()?;
+    Ok((writer, std::io::BufReader::new(stream)))
+}
+
 /// Tells a deadline expiry ("the server is wedged or slow — see
 /// `--timeout`") apart from a genuinely lost connection.
 fn report_net_error(doing: &str, what: &str, addr: &str, e: &std::io::Error, timeout_secs: u64) {
@@ -453,7 +584,7 @@ fn report_net_error(doing: &str, what: &str, addr: &str, e: &std::io::Error, tim
 /// `ltspc remote`: ship loop files to a running daemon, print each
 /// response's report, map statuses back onto the local exit codes.
 fn run_remote(argv: &[String]) -> ExitCode {
-    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::io::{BufRead as _, Write as _};
 
     let mut addr: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
@@ -543,24 +674,29 @@ fn run_remote(argv: &[String]) -> ExitCode {
 
     // --timeout 0 disables every deadline (debugging escape hatch).
     let timeout = (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs));
-    let stream = match connect_with_timeout(&addr, timeout) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("ltspc: cannot connect to {addr}: {e}");
-            return ExitCode::from(EXIT_IO);
+    // A refused initial connect gets the same retry budget as an
+    // overloaded response: a restarting (or respawning) server is a
+    // transient, not a verdict.
+    let mut connect_attempt: u32 = 0;
+    let (mut writer, mut reader) = loop {
+        match open_conn(&addr, timeout) {
+            Ok(c) => break c,
+            Err(e) if is_reconnectable(e.kind()) && connect_attempt < retries => {
+                let wait = backoff_delay(connect_attempt);
+                connect_attempt += 1;
+                eprintln!(
+                    "ltspc: cannot connect to {addr} ({e}), retrying in {}ms \
+                     (attempt {connect_attempt}/{retries})",
+                    wait.as_millis()
+                );
+                std::thread::sleep(wait);
+            }
+            Err(e) => {
+                eprintln!("ltspc: cannot connect to {addr}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
         }
     };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(timeout);
-    let _ = stream.set_write_timeout(timeout);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("ltspc: {e}");
-            return ExitCode::from(EXIT_IO);
-        }
-    };
-    let mut reader = BufReader::new(stream);
     let esc = ltsp::telemetry::json::escape;
     let mut code = 0u8;
     fn set_code(c: u8, code: &mut u8) {
@@ -660,26 +796,44 @@ fn run_remote(argv: &[String]) -> ExitCode {
         let mut attempt: u32 = 0;
         let (v, status) = loop {
             let mut line = String::new();
-            if let Err(e) = writer
+            let io_err: Option<std::io::Error> = match writer
                 .write_all(req.as_bytes())
                 .and_then(|()| writer.flush())
+                .and_then(|()| reader.read_line(&mut line))
             {
-                report_net_error("sending", file, &addr, &e, timeout_secs);
+                Ok(0) => Some(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )),
+                Ok(_) => None,
+                Err(e) => Some(e),
+            };
+            if let Some(e) = io_err {
+                // A dead connection (refused/reset/EOF — the server
+                // crashed or is restarting) is retried by reconnecting
+                // and re-sending: requests are idempotent (responses
+                // are pure functions of requests), so a resend at worst
+                // recomputes. Stalls are not retried — see --timeout.
+                if is_reconnectable(e.kind()) && attempt < retries {
+                    let wait = backoff_delay(attempt);
+                    attempt += 1;
+                    eprintln!(
+                        "ltspc: connection to {addr} lost at {file} ({e}), \
+                         reconnecting in {}ms (attempt {attempt}/{retries})",
+                        wait.as_millis()
+                    );
+                    std::thread::sleep(wait);
+                    if let Ok((w, r)) = open_conn(&addr, timeout) {
+                        writer = w;
+                        reader = r;
+                    }
+                    // A failed reconnect keeps the dead pair: the next
+                    // send fails again and consumes the next attempt.
+                    continue;
+                }
+                report_net_error("exchanging", file, &addr, &e, timeout_secs);
                 set_code(EXIT_IO, &mut code);
                 break 'files;
-            }
-            match reader.read_line(&mut line) {
-                Ok(0) => {
-                    eprintln!("ltspc: connection to {addr} lost at {file}");
-                    set_code(EXIT_IO, &mut code);
-                    break 'files;
-                }
-                Ok(_) => {}
-                Err(e) => {
-                    report_net_error("awaiting response for", file, &addr, &e, timeout_secs);
-                    set_code(EXIT_IO, &mut code);
-                    break 'files;
-                }
             }
             let v = match ltsp::telemetry::json::parse(&line) {
                 Ok(v) => v,
@@ -698,7 +852,7 @@ fn run_remote(argv: &[String]) -> ExitCode {
             // worth re-sending after a breather. Capped exponential
             // backoff: 100ms · 2^attempt, at most 2s per wait.
             if status == "overloaded" && attempt < retries {
-                let wait = std::time::Duration::from_millis((100u64 << attempt.min(5)).min(2000));
+                let wait = backoff_delay(attempt);
                 attempt += 1;
                 eprintln!(
                     "ltspc: server overloaded, retrying {file} in {}ms \
@@ -871,6 +1025,7 @@ fn run_top(argv: &[String]) -> ExitCode {
 
     let tty = std::io::stdout().is_terminal();
     let mut prev_total: Option<f64> = None;
+    let mut prev_shard: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     let mut prev_when = std::time::Instant::now();
     let mut tick: u64 = 0;
     loop {
@@ -882,13 +1037,43 @@ fn run_top(argv: &[String]) -> ExitCode {
             }
         };
         let now = std::time::Instant::now();
+        let dt = now.duration_since(prev_when).as_secs_f64();
         let statuses = ["ok", "rejected", "error", "overloaded", "draining"];
-        let total: f64 = statuses
+        // A router's aggregated snapshot carries `ltsp_shard_up` rows;
+        // their presence switches the dashboard to cluster mode.
+        let mut shard_ids: Vec<u64> = snap
+            .samples
             .iter()
-            .filter_map(|s| snap.value("ltsp_requests_total", &[("status", s)]))
-            .sum();
+            .filter(|s| s.name == "ltsp_shard_up")
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == "shard")
+                    .and_then(|(_, v)| v.parse().ok())
+            })
+            .collect();
+        shard_ids.sort_unstable();
+        let shard_value = |sid: u64, name: &str, extra: &[(&str, &str)]| -> f64 {
+            let s = sid.to_string();
+            let mut labels: Vec<(&str, &str)> = vec![("shard", &s)];
+            labels.extend_from_slice(extra);
+            snap.value(name, &labels).unwrap_or(0.0)
+        };
+        let shard_total = |sid: u64| -> f64 {
+            statuses
+                .iter()
+                .map(|st| shard_value(sid, "ltsp_requests_total", &[("status", st)]))
+                .sum()
+        };
+        let total: f64 = if shard_ids.is_empty() {
+            statuses
+                .iter()
+                .filter_map(|s| snap.value("ltsp_requests_total", &[("status", s)]))
+                .sum()
+        } else {
+            shard_ids.iter().map(|&sid| shard_total(sid)).sum()
+        };
         let rps = prev_total.map(|p| {
-            let dt = now.duration_since(prev_when).as_secs_f64();
             if dt > 0.0 {
                 (total - p).max(0.0) / dt
             } else {
@@ -900,6 +1085,66 @@ fn run_top(argv: &[String]) -> ExitCode {
 
         if tty {
             print!("\x1b[2J\x1b[H");
+        }
+        if !shard_ids.is_empty() {
+            println!(
+                "ltspr {addr} — {total:.0} requests over {} shard(s)",
+                shard_ids.len()
+            );
+            match rps {
+                Some(r) => println!("  rate        {r:8.1} req/s"),
+                None => println!("  rate        (first sample)"),
+            }
+            println!(
+                "  router: {:.0} proxied, {:.0} failovers, {:.0} exhausted, {:.0} connections",
+                snap.value("ltsp_router_proxied_total", &[]).unwrap_or(0.0),
+                snap.value("ltsp_router_failovers_total", &[])
+                    .unwrap_or(0.0),
+                snap.value("ltsp_router_retries_exhausted_total", &[])
+                    .unwrap_or(0.0),
+                snap.value("ltsp_router_connections", &[]).unwrap_or(0.0),
+            );
+            println!(
+                "  shard status      rps    hit%   queue  handler_p99us   routed  failed respawns"
+            );
+            for &sid in &shard_ids {
+                let up = shard_value(sid, "ltsp_shard_up", &[]) > 0.0;
+                let t = shard_total(sid);
+                let srps = match prev_shard.get(&sid) {
+                    Some(&p) if dt > 0.0 => format!("{:8.1}", (t - p).max(0.0) / dt),
+                    _ => "       -".to_string(),
+                };
+                prev_shard.insert(sid, t);
+                let hits = shard_value(sid, "ltsp_cache_hits_total", &[("cache", "result")]);
+                let misses = shard_value(sid, "ltsp_cache_misses_total", &[("cache", "result")]);
+                let hit_pct = if hits + misses > 0.0 {
+                    format!("{:6.1}", 100.0 * hits / (hits + misses))
+                } else {
+                    "     -".to_string()
+                };
+                let queue = shard_value(sid, "ltsp_queue_depth", &[]);
+                let s = sid.to_string();
+                let p99 = snap
+                    .histogram_quantile(
+                        "ltsp_phase_us",
+                        &[("phase", "handler"), ("shard", &s)],
+                        0.99,
+                    )
+                    .unwrap_or(0.0);
+                println!(
+                    "  {sid:<5} {:<8} {srps} {hit_pct} {queue:7.0} {p99:14.0} {:8.0} {:7.0} {:8.0}",
+                    if up { "up" } else { "down" },
+                    shard_value(sid, "ltsp_shard_routed_total", &[]),
+                    shard_value(sid, "ltsp_shard_failed_total", &[]),
+                    shard_value(sid, "ltsp_shard_respawns_total", &[]),
+                );
+            }
+            tick += 1;
+            if count > 0 && tick >= count {
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            continue;
         }
         println!("ltspd {addr} — {total:.0} requests");
         match rps {
@@ -1131,5 +1376,37 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_pinned() {
+        // The documented schedule: 100ms · 2^attempt, capped at 2s.
+        let ms: Vec<u64> = (0..8)
+            .map(|a| backoff_delay(a).as_millis() as u64)
+            .collect();
+        assert_eq!(ms, vec![100, 200, 400, 800, 1600, 2000, 2000, 2000]);
+    }
+
+    #[test]
+    fn reconnectable_errors_are_dead_connections_not_stalls() {
+        use std::io::ErrorKind as K;
+        for k in [
+            K::ConnectionRefused,
+            K::ConnectionReset,
+            K::ConnectionAborted,
+            K::BrokenPipe,
+            K::NotConnected,
+            K::UnexpectedEof,
+        ] {
+            assert!(is_reconnectable(k), "{k:?} must reconnect");
+        }
+        for k in [K::WouldBlock, K::TimedOut, K::PermissionDenied, K::Other] {
+            assert!(!is_reconnectable(k), "{k:?} must not reconnect");
+        }
     }
 }

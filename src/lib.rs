@@ -26,6 +26,9 @@
 //!   byte-budget LRU behind the compile/serve caches
 //! - [`server`] — `ltspd`, the compilation-as-a-service daemon
 //!   (line-delimited JSON protocol, batching, backpressure, drain)
+//! - [`cluster`] — sharded serving: consistent-hash router (`ltspr`),
+//!   bounded failover, persistent warm-start cache tier, supervised
+//!   cluster lifecycle behind `ltspc serve --cluster N`
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 //! ```
 
 pub use ltsp_cache as cache;
+pub use ltsp_cluster as cluster;
 pub use ltsp_core as core;
 pub use ltsp_ddg as ddg;
 pub use ltsp_hlo as hlo;

@@ -1,0 +1,431 @@
+//! End-to-end tests of the sharded serving layer (`ltsp_cluster`) over
+//! real TCP: routing determinism, byte-identity through the router,
+//! failover under dead/draining/killed shards, drain propagation,
+//! aggregated metrics, and the persistent warm-start cache tier.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use ltsp::cluster::ring::DEFAULT_VNODES;
+use ltsp::cluster::{routing_key, spawn_router, Ring, RouterConfig, RouterHandle};
+use ltsp::server::{spawn, ServerConfig, ServerHandle};
+use ltsp::telemetry::json;
+use ltsp::telemetry::prom::PromSnapshot;
+use ltsp::workloads::{random_loop, saxpy};
+
+fn start_shard() -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind shard")
+}
+
+fn start_cluster(n: usize) -> (RouterHandle, Vec<ServerHandle>) {
+    let shards: Vec<ServerHandle> = (0..n).map(|_| start_shard()).collect();
+    let router = spawn_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        cooldown: Duration::from_millis(200),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    (router, shards)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect_addr(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "connection closed mid-conversation");
+        line
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn compile_request(id: &str, loop_text: &str) -> String {
+    format!(
+        "{{\"op\":\"compile\",\"id\":\"{id}\",\"loop\":\"{}\"}}",
+        json::escape(loop_text)
+    )
+}
+
+fn status_of(line: &str) -> String {
+    json::parse(line.trim())
+        .expect("valid response json")
+        .get("status")
+        .and_then(|s| s.as_str())
+        .expect("status field")
+        .to_string()
+}
+
+/// Routed responses are byte-for-byte what the owning shard produced —
+/// and a warm hit through the router equals a warm hit taken directly
+/// from the shard.
+#[test]
+fn router_responses_are_byte_identical_to_direct() {
+    let (router, shards) = start_cluster(3);
+    let line = compile_request("bi", &saxpy("bi").to_string());
+    let owner = Ring::new(3, DEFAULT_VNODES).owner(routing_key(&line));
+
+    let mut via_router = Client::connect_addr(&router.addr().to_string());
+    let cold = via_router.round_trip(&line);
+    let warm = via_router.round_trip(&line);
+    assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+    assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+    assert_eq!(
+        cold.replacen("\"cache\":\"miss\"", "\"cache\":\"hit\"", 1),
+        warm,
+        "hit and miss differ beyond the cache tag through the router"
+    );
+
+    // The same request sent straight to the owning shard must produce
+    // the identical bytes the router proxied.
+    let mut direct = Client::connect_addr(&shards[owner].addr().to_string());
+    let direct_warm = direct.round_trip(&line);
+    assert_eq!(direct_warm, warm, "router added or changed bytes");
+
+    // Protocol errors are proxied too: a malformed line gets the exact
+    // error the shard renders, not a router-invented one.
+    let bad = "this is not json";
+    let via = via_router.round_trip(bad);
+    let owner_bad = Ring::new(3, DEFAULT_VNODES).owner(routing_key(bad));
+    let mut direct_bad = Client::connect_addr(&shards[owner_bad].addr().to_string());
+    assert_eq!(via, direct_bad.round_trip(bad));
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// The same loop always routes to the same shard (cache locality): N
+/// distinct loops through the router leave exactly N result-cache
+/// misses across all shards — repeats are all hits, never re-sharded.
+#[test]
+fn routing_is_sticky_per_loop() {
+    let (router, shards) = start_cluster(3);
+    let mut c = Client::connect_addr(&router.addr().to_string());
+    let loops: Vec<String> = (0..12).map(|i| random_loop(i).to_string()).collect();
+    for round in 0..3 {
+        for (i, text) in loops.iter().enumerate() {
+            let resp = c.round_trip(&compile_request(&format!("s{round}-{i}"), text));
+            let want_hit = round > 0;
+            assert_eq!(
+                resp.contains("\"cache\":\"hit\""),
+                want_hit,
+                "round {round} loop {i}: {resp}"
+            );
+        }
+    }
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// Killing a shard's process mid-run must not wedge or drop requests:
+/// every request is answered (re-routed to a live shard or an explicit
+/// `error`), and the router records failovers.
+#[test]
+fn failover_survives_a_dead_shard() {
+    let (router, mut shards) = start_cluster(3);
+    let mut c = Client::connect_addr(&router.addr().to_string());
+
+    // Abruptly take shard 0 down (drains and closes its listener).
+    shards.remove(0).shutdown();
+
+    let n = 24;
+    let mut answered = 0;
+    let mut failed_over_ok = 0;
+    for i in 0..n {
+        let resp = c.round_trip(&compile_request(
+            &format!("f{i}"),
+            &random_loop(100 + i).to_string(),
+        ));
+        let status = status_of(&resp);
+        assert!(
+            ["ok", "rejected", "error"].contains(&status.as_str()),
+            "unexpected status {status}: {resp}"
+        );
+        answered += 1;
+        if status != "error" {
+            failed_over_ok += 1;
+        }
+    }
+    assert_eq!(answered, n, "no request silently dropped");
+    // With 2 of 3 shards alive, the bulk must still be served.
+    assert!(
+        failed_over_ok >= n - 1,
+        "only {failed_over_ok}/{n} served with 2 live shards"
+    );
+
+    let stats = c.round_trip("{\"op\":\"stats\",\"id\":\"st\"}");
+    let v = json::parse(stats.trim()).unwrap();
+    let failovers = v
+        .get("router_failovers")
+        .and_then(|x| x.as_u64())
+        .unwrap_or(0);
+    assert!(failovers > 0, "dead shard produced no failovers: {stats}");
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// With every shard unreachable, requests get an explicit `error`
+/// response — bounded retry, never a hang, never silence.
+#[test]
+fn exhausted_failover_answers_error() {
+    // Grab ports that nothing listens on.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        })
+        .collect();
+    let router = spawn_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shard_addrs: dead,
+        connect_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut c = Client::connect_addr(&router.addr().to_string());
+    let t0 = Instant::now();
+    let resp = c.round_trip(&compile_request("dead", &saxpy("d").to_string()));
+    assert_eq!(status_of(&resp), "error", "{resp}");
+    assert!(resp.contains("no shard available"), "{resp}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "exhaustion took {:?} — retry is not bounded",
+        t0.elapsed()
+    );
+    router.shutdown();
+}
+
+/// A client `shutdown` to the router drains the whole cluster: the ack
+/// matches the daemon's shape, every shard drains, the router stops.
+#[test]
+fn shutdown_propagates_through_the_router() {
+    let (router, shards) = start_cluster(2);
+    let mut c = Client::connect_addr(&router.addr().to_string());
+    let ack = c.round_trip("{\"op\":\"shutdown\",\"id\":\"sd\"}");
+    assert!(ack.contains("\"status\":\"draining\""), "{ack}");
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    for s in shards {
+        s.wait(); // drains because the router broadcast shutdown
+    }
+    router.wait();
+}
+
+/// The router's `metrics` op aggregates every shard's snapshot with
+/// `shard="N"` labels plus its own routing counters, and the result is
+/// a well-formed Prometheus exposition.
+#[test]
+fn metrics_aggregate_per_shard() {
+    let (router, shards) = start_cluster(3);
+    let mut c = Client::connect_addr(&router.addr().to_string());
+    for i in 0..6 {
+        let resp = c.round_trip(&compile_request(
+            &format!("m{i}"),
+            &random_loop(200 + i).to_string(),
+        ));
+        assert_eq!(status_of(&resp), "ok", "{resp}");
+    }
+    let line = c.round_trip("{\"op\":\"metrics\",\"id\":\"mx\"}");
+    let v = json::parse(line.trim()).unwrap();
+    let text = v.get("metrics").and_then(|m| m.as_str()).unwrap();
+    let snap = PromSnapshot::parse(text).expect("well-formed aggregated exposition");
+
+    assert_eq!(
+        snap.value("ltsp_router_proxied_total", &[]),
+        Some(6.0),
+        "proxied counter"
+    );
+    let mut shard_requests = 0.0;
+    for i in 0..3 {
+        let idx = i.to_string();
+        assert_eq!(
+            snap.value("ltsp_shard_up", &[("shard", &idx)]),
+            Some(1.0),
+            "shard {i} up"
+        );
+        for st in ["ok", "rejected", "error", "overloaded", "draining"] {
+            shard_requests += snap
+                .value("ltsp_requests_total", &[("shard", &idx), ("status", st)])
+                .unwrap_or(0.0);
+        }
+    }
+    assert_eq!(shard_requests, 6.0, "per-shard request totals add up");
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// The persistent tier's warm-start contract at the wire level: a
+/// restarted shard replaying its log serves a **byte-identical** hit to
+/// the pre-restart in-memory hit, from its very first request.
+#[test]
+fn warm_restart_hits_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("ltsp-warm-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("shard.log");
+    let _ = std::fs::remove_file(&log);
+
+    let persist_cfg = || {
+        let mut cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            ..ServerConfig::default()
+        };
+        cfg.engine.persist_path = Some(log.clone());
+        cfg
+    };
+
+    let lines: Vec<String> = (0..5)
+        .map(|i| compile_request(&format!("w{i}"), &random_loop(300 + i).to_string()))
+        .collect();
+
+    let first = spawn(persist_cfg()).expect("bind shard");
+    let mut c = Client::connect_addr(&first.addr().to_string());
+    let mut warm_before = Vec::new();
+    for line in &lines {
+        let cold = c.round_trip(line);
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        warm_before.push(c.round_trip(line)); // in-memory hit
+    }
+    first.shutdown();
+
+    let second = spawn(persist_cfg()).expect("rebind shard");
+    let mut c = Client::connect_addr(&second.addr().to_string());
+    for (line, before) in lines.iter().zip(&warm_before) {
+        let after = c.round_trip(line);
+        assert!(
+            after.contains("\"cache\":\"hit\""),
+            "not warm from request one: {after}"
+        );
+        assert_eq!(
+            &after, before,
+            "warm-from-disk hit differs from in-memory hit"
+        );
+    }
+    second.shutdown();
+}
+
+/// Chaos: a real worker process killed mid-load by the `shardkill`
+/// fault site (exit 113). The router must fail over — every request
+/// answered, zero wedged connections, nonzero failovers — and the
+/// killed process must have exited with the fault's code.
+#[test]
+fn shardkill_fault_process_failover() {
+    let exe = env!("CARGO_BIN_EXE_ltspc");
+    let pick_port = || {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let (addr_kill, addr_ok) = (pick_port(), pick_port());
+
+    // Shard 0 kills itself on the first handled request; shard 1 is
+    // healthy. Ports were just free; the bind race window is tiny.
+    let mut doomed = std::process::Command::new(exe)
+        .args(["serve", "--addr", &addr_kill, "--jobs", "1"])
+        .env("LTSP_FAULT", "shardkill:1.0,seed:7")
+        .stdin(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn doomed shard");
+    let mut healthy = std::process::Command::new(exe)
+        .args(["serve", "--addr", &addr_ok, "--jobs", "1"])
+        .stdin(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn healthy shard");
+
+    let wait_listening = |addr: &str| {
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_secs(20) {
+            if TcpStream::connect(addr).is_ok() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("shard on {addr} never started listening");
+    };
+    wait_listening(&addr_kill);
+    wait_listening(&addr_ok);
+
+    let router = spawn_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shard_addrs: vec![addr_kill.clone(), addr_ok.clone()],
+        connect_timeout: Duration::from_secs(1),
+        cooldown: Duration::from_secs(60), // once dead, stay dead for the test
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+
+    let mut c = Client::connect_addr(&router.addr().to_string());
+    let n = 16;
+    for i in 0..n {
+        let resp = c.round_trip(&compile_request(
+            &format!("k{i}"),
+            &random_loop(400 + i).to_string(),
+        ));
+        let status = status_of(&resp);
+        assert!(
+            ["ok", "rejected", "error"].contains(&status.as_str()),
+            "request {i} wedged or dropped: {resp}"
+        );
+    }
+
+    let stats = c.round_trip("{\"op\":\"stats\",\"id\":\"cs\"}");
+    let v = json::parse(stats.trim()).unwrap();
+    assert!(
+        v.get("router_failovers")
+            .and_then(|x| x.as_u64())
+            .unwrap_or(0)
+            > 0,
+        "shard kill produced no failovers: {stats}"
+    );
+
+    let killed = doomed.wait().expect("reap doomed shard");
+    assert_eq!(
+        killed.code(),
+        Some(ltsp::server::SHARD_KILL_EXIT_CODE),
+        "doomed shard exited with the wrong code"
+    );
+
+    // Drain the healthy worker and the router.
+    let mut drain = Client::connect_addr(&addr_ok);
+    let ack = drain.round_trip("{\"op\":\"shutdown\",\"id\":\"cleanup\"}");
+    assert!(ack.contains("\"status\":\"draining\""), "{ack}");
+    assert!(healthy.wait().expect("reap healthy shard").success());
+    router.shutdown();
+}
