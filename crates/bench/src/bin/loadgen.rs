@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]
-//!         [--corpus DIR] [--burst K] [--seed N] [--out FILE]
+//!         [--backend heuristic|exact|tiered] [--corpus DIR] [--burst K]
+//!         [--seed N] [--out FILE]
 //!         [--timings] [--metrics-out FILE] [--fault-mode] [--shutdown]
 //! ```
 //!
@@ -21,6 +22,17 @@
 //! gives p50/p95/p99 latency overall and split by cache hit/miss,
 //! throughput, cache hit rate, and per-status counts. `--shutdown`
 //! drains the server at the end.
+//!
+//! `--backend` stamps every *compile* request with a scheduling backend
+//! (verify/oracle requests are backend-less). With `tiered`, cold
+//! compiles answer heuristically and schedule an asynchronous exact
+//! refinement that upgrades the cache entry in place; responses served
+//! from an upgraded entry carry `cache:"upgraded"` and count as warm
+//! hits here. After the main run, loadgen re-polls the corpus (bounded
+//! rounds) until at least one upgraded entry is observed — refinement
+//! landing is part of the tiered contract — and reports a `"tiered"`
+//! block with the upgraded-hit count; zero upgraded entries after the
+//! polling budget fails the run.
 //!
 //! `--timings` sets the opt-in per-request flag: every response carries
 //! its server-side per-phase breakdown, which loadgen accumulates into
@@ -64,6 +76,7 @@ struct Options {
     conns: usize,
     requests: usize,
     mix: (u64, u64, u64),
+    backend: Option<String>,
     corpus: String,
     burst: usize,
     synthetic: usize,
@@ -78,6 +91,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]\n\
+         \x20              [--backend heuristic|exact|tiered]\n\
          \x20              [--corpus DIR] [--synthetic N] [--burst K] [--seed N]\n\
          \x20              [--out FILE] [--timings] [--metrics-out FILE]\n\
          \x20              [--fault-mode] [--shutdown]"
@@ -91,6 +105,7 @@ fn parse_args() -> Options {
         conns: 4,
         requests: 64,
         mix: (6, 3, 1),
+        backend: None,
         corpus: "loops".to_string(),
         burst: 0,
         synthetic: 0,
@@ -116,6 +131,12 @@ fn parse_args() -> Options {
                     usage()
                 }
                 o.mix = (parts[0], parts[1], parts[2]);
+            }
+            "--backend" => {
+                o.backend = match args.next().as_deref() {
+                    Some(b @ ("heuristic" | "exact" | "tiered")) => Some(b.to_string()),
+                    _ => usage(),
+                }
             }
             "--corpus" => o.corpus = args.next().unwrap_or_else(|| usage()),
             "--burst" => o.burst = num(args.next()) as usize,
@@ -240,13 +261,12 @@ fn load_corpus(dir: &str) -> Vec<(String, String)> {
 /// Builds the `i`-th request line for one connection's PRNG stream.
 fn build_request(
     rng: &mut SplitMix64,
-    mix: (u64, u64, u64),
+    o: &Options,
     corpus: &[(String, String)],
     conn: usize,
     i: usize,
-    timings: bool,
 ) -> String {
-    let (c, v, z) = mix;
+    let (c, v, z) = o.mix;
     let pick = rng.next_u64() % (c + v + z);
     let op = if pick < c {
         "compile"
@@ -256,10 +276,16 @@ fn build_request(
         "oracle"
     };
     let (name, text) = &corpus[(rng.next_u64() % corpus.len() as u64) as usize];
-    let flags = if timings { ",\"timings\":true" } else { "" };
+    let flags = if o.timings { ",\"timings\":true" } else { "" };
+    // The scheduling backend is a compile-time concept; verify/oracle
+    // requests stay backend-less whatever --backend says.
+    let backend = match (&o.backend, op) {
+        (Some(b), "compile") => format!(",\"backend\":\"{b}\""),
+        _ => String::new(),
+    };
     // deadline_ms:0 keeps oracle work node-budget-bound (deterministic).
     format!(
-        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\",\"deadline_ms\":0{flags}}}\n"
+        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\"{backend},\"deadline_ms\":0{flags}}}\n"
     )
 }
 
@@ -357,8 +383,7 @@ fn run_conn(
     // here — recorded as 0 and excluded from percentiles).
     if o.burst > 0 {
         for i in 0..o.burst {
-            writer
-                .write_all(build_request(&mut rng, o.mix, corpus, conn, i, o.timings).as_bytes())?;
+            writer.write_all(build_request(&mut rng, o, corpus, conn, i).as_bytes())?;
         }
         writer.flush()?;
         for got in 0..o.burst {
@@ -382,7 +407,7 @@ fn run_conn(
 
     // Closed loop: one request in flight at a time.
     for i in 0..o.requests {
-        let req = build_request(&mut rng, o.mix, corpus, conn, o.burst + i, o.timings);
+        let req = build_request(&mut rng, o, corpus, conn, o.burst + i);
         let t0 = Instant::now();
         let sent = writer
             .write_all(req.as_bytes())
@@ -406,6 +431,49 @@ fn run_conn(
         }
     }
     Ok((samples, stats, phases))
+}
+
+/// Re-sends tiered compile requests for every corpus entry until at
+/// least one response carries `cache:"upgraded"`, up to `max_rounds`
+/// sweeps with a 10ms breather between them. Returns the number of
+/// upgraded responses observed in the final sweep and the rounds used.
+fn poll_for_upgrades(
+    o: &Options,
+    corpus: &[(String, String)],
+    max_rounds: usize,
+) -> std::io::Result<(usize, usize)> {
+    let stream = TcpStream::connect(&o.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for round in 1..=max_rounds {
+        let mut seen = 0usize;
+        for (name, text) in corpus {
+            let req = format!(
+                "{{\"op\":\"compile\",\"id\":\"upgrade-poll-{round}-{name}\",\"loop\":\"{text}\",\
+                 \"backend\":\"tiered\",\"deadline_ms\":0}}\n"
+            );
+            writer.write_all(req.as_bytes())?;
+            writer.flush()?;
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed during upgrade poll",
+                ));
+            }
+            if line.contains("\"cache\":\"upgraded\"") {
+                seen += 1;
+            }
+        }
+        if seen > 0 {
+            return Ok((seen, round));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    Ok((0, max_rounds))
 }
 
 /// One metrics-op round trip: returns the Prometheus text snapshot.
@@ -581,7 +649,10 @@ fn main() {
     let count = |status: &str| samples.iter().filter(|s| s.status == status).count();
     let (ok, rejected, error) = (count("ok"), count("rejected"), count("error"));
     let (overloaded, draining) = (count("overloaded"), count("draining"));
-    let hits = samples.iter().filter(|s| s.cache == "hit").count();
+    // An "upgraded" tag is a warm hit whose entry the refinement worker
+    // replaced in place with exact-backend bytes — warm for accounting.
+    let upgraded = samples.iter().filter(|s| s.cache == "upgraded").count();
+    let hits = samples.iter().filter(|s| s.cache == "hit").count() + upgraded;
     let misses = samples.iter().filter(|s| s.cache == "miss").count();
     let hit_rate = if hits + misses > 0 {
         hits as f64 / (hits + misses) as f64
@@ -598,7 +669,7 @@ fn main() {
     };
     let mut all = lat(&|_| true);
     let mut cold = lat(&|s| s.cache == "miss");
-    let mut warm = lat(&|s| s.cache == "hit");
+    let mut warm = lat(&|s| s.cache == "hit" || s.cache == "upgraded");
     let speedup = {
         let (mut c, mut w) = (cold.clone(), warm.clone());
         c.sort_unstable();
@@ -610,6 +681,30 @@ fn main() {
             0.0
         }
     };
+
+    // Tiered runs must observe the upgrade path end to end: re-poll the
+    // corpus (bounded rounds, fresh connection) until at least one
+    // response is served from an upgraded entry. Refinement is
+    // asynchronous, so the main run may finish before any exact body
+    // lands — but landing at all is the tiered contract, and a poll
+    // budget exhausted with zero upgrades fails the run loudly.
+    let tiered_poll: Option<(usize, usize)> = if o.backend.as_deref() == Some("tiered") {
+        match poll_for_upgrades(&o, &corpus, 400) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("loadgen: upgrade poll failed: {e}");
+                std::process::exit(3);
+            }
+        }
+    } else {
+        None
+    };
+    if let Some((seen, rounds)) = tiered_poll {
+        if seen == 0 {
+            eprintln!("loadgen: no upgraded cache entries after {rounds} poll rounds");
+            std::process::exit(1);
+        }
+    }
 
     // Scrape once before rendering the report: against `ltspr` the
     // snapshot carries `ltsp_shard_up` samples, which switches the
@@ -649,7 +744,17 @@ fn main() {
     }
     out.push_str(&format!("  \"cache_hits\": {hits},\n"));
     out.push_str(&format!("  \"cache_misses\": {misses},\n"));
+    out.push_str(&format!("  \"cache_upgraded\": {upgraded},\n"));
     out.push_str(&format!("  \"cache_hit_rate\": {hit_rate:.4},\n"));
+    if let Some(b) = &o.backend {
+        out.push_str(&format!("  \"backend\": \"{b}\",\n"));
+    }
+    if let Some((seen, rounds)) = tiered_poll {
+        out.push_str(&format!(
+            "  \"tiered\": {{\"upgraded_observed\": {seen}, \"poll_rounds\": {rounds}, \
+             \"upgraded_in_run\": {upgraded}}},\n"
+        ));
+    }
     out.push_str(&format!("  \"latency_us\": {},\n", pct_block(&mut all)));
     out.push_str(&format!(
         "  \"cold_latency_us\": {},\n",

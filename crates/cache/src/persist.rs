@@ -83,6 +83,39 @@ pub struct ReplayReport {
     pub truncated_bytes: u64,
 }
 
+impl ReplayReport {
+    /// The replay collapsed to last-writer-wins: duplicate keys keep only
+    /// the final record's bytes, in first-appearance order.
+    ///
+    /// The log is append-only, so an in-place cache upgrade (the tiered
+    /// backend replacing a heuristic body with the exact one) is a
+    /// *second* append under the same key. Replay must surface the
+    /// upgraded bytes, never resurrect the superseded ones — a consumer
+    /// inserting `records` in append order gets that implicitly, but
+    /// this view makes the contract explicit and spares the cache the
+    /// double insert (and the byte-accounting churn that goes with it).
+    pub fn last_writer_wins(&self) -> Vec<&LogRecord> {
+        let mut index: std::collections::HashMap<Fingerprint, usize> =
+            std::collections::HashMap::new();
+        let mut out: Vec<&LogRecord> = Vec::with_capacity(self.records.len());
+        for rec in &self.records {
+            match index.entry(rec.key) {
+                std::collections::hash_map::Entry::Occupied(e) => out[*e.get()] = rec,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.len());
+                    out.push(rec);
+                }
+            }
+        }
+        out
+    }
+
+    /// Records superseded by a later append under the same key.
+    pub fn superseded(&self) -> u64 {
+        (self.records.len() - self.last_writer_wins().len()) as u64
+    }
+}
+
 /// An append-only, CRC-framed, crash-tolerant cache log. See the module
 /// docs for the format and failure model.
 pub struct CacheLog {
@@ -323,6 +356,35 @@ mod tests {
         drop(log);
         let (_log, report) = CacheLog::open(&path).unwrap();
         assert_eq!(report.records, vec![rec(1)], "usable after restart");
+    }
+
+    #[test]
+    fn last_writer_wins_keeps_final_bytes_in_first_appearance_order() {
+        let path = tmp("lww");
+        let _ = std::fs::remove_file(&path);
+        let (log, _) = CacheLog::open(&path).unwrap();
+        let k = |s: &str| Fingerprint::of_str(s);
+        // a v1, b v1, a v2 (upgrade), c v1, b v2 (upgrade).
+        for (key, body) in [
+            ("a", "a-v1"),
+            ("b", "b-v1"),
+            ("a", "a-v2"),
+            ("c", "c-v1"),
+            ("b", "b-v2"),
+        ] {
+            log.append(k(key), "ok", body).unwrap();
+        }
+        drop(log);
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        assert_eq!(report.records.len(), 5, "replay keeps the raw history");
+        let lww = report.last_writer_wins();
+        let bodies: Vec<&str> = lww.iter().map(|r| r.body.as_str()).collect();
+        assert_eq!(
+            bodies,
+            vec!["a-v2", "b-v2", "c-v1"],
+            "final bytes win, first-appearance order"
+        );
+        assert_eq!(report.superseded(), 2);
     }
 
     #[test]

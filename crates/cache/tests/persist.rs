@@ -175,6 +175,51 @@ proptest! {
         prop_assert_eq!(report.records, records);
     }
 
+    /// Replaying a log with duplicate keys yields the *final* record's
+    /// bytes for every key (last-writer-wins) — the invariant the tiered
+    /// backend's in-place cache upgrades lean on: an upgrade is a second
+    /// append under the same key, and a warm restart must serve the
+    /// upgraded bytes, never resurrect the superseded ones.
+    #[test]
+    fn duplicate_key_replay_yields_the_final_records_bytes(
+        writes in proptest::collection::vec((0u64..6, 0u64..1000), 1..40),
+    ) {
+        let path = tmp(&format!(
+            "prop-lww-{:x}",
+            crc32(format!("{writes:?}").as_bytes())
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (log, _) = CacheLog::open(&path).unwrap();
+        let mut expected: std::collections::HashMap<u64, (String, String)> =
+            std::collections::HashMap::new();
+        for (k, v) in &writes {
+            let status = if v % 7 == 0 { "rejected" } else { "ok" };
+            let body = format!(",\"ii\":{v},\"backend\":\"k{k}\"");
+            log.append(Fingerprint::of_str(&format!("dup-{k}")), status, &body)
+                .unwrap();
+            expected.insert(*k, (status.to_string(), body));
+        }
+        drop(log);
+
+        let (_log, report) = CacheLog::open(&path).unwrap();
+        prop_assert_eq!(report.dropped, 0);
+        prop_assert_eq!(report.records.len(), writes.len());
+        let lww = report.last_writer_wins();
+        prop_assert_eq!(lww.len(), expected.len(), "one survivor per key");
+        prop_assert_eq!(
+            report.superseded(),
+            (writes.len() - expected.len()) as u64
+        );
+        for rec in lww {
+            let k = (0u64..6)
+                .find(|k| Fingerprint::of_str(&format!("dup-{k}")) == rec.key)
+                .expect("survivor key comes from the pool");
+            let (status, body) = &expected[&k];
+            prop_assert_eq!(&rec.status, status, "final status wins");
+            prop_assert_eq!(&rec.body, body, "final bytes win");
+        }
+    }
+
     /// Chopping the file at ANY byte offset yields a clean prefix of
     /// the original records — never a wrong or mangled record — and a
     /// second open of the truncated log is clean (idempotent repair).

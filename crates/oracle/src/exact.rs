@@ -31,7 +31,7 @@
 //! to [`IiVerdict::BoundedUnknown`].
 
 use ltsp_ddg::Ddg;
-use ltsp_ir::{LoopIr, UnitClass};
+use ltsp_ir::{LoopIr, RegClass, UnitClass};
 use ltsp_machine::MachineModel;
 use ltsp_pipeliner::ModuloSchedule;
 
@@ -234,6 +234,9 @@ struct Search<'a> {
     /// Per-row `[m, i, f, b, a]` occupancy.
     rows: Vec<[u32; 5]>,
     slots: [u32; 4], // machine M, I, F, B
+    /// Rotating-register caps `[GR, FR, PR]` when the search must emit a
+    /// register-allocatable witness; `None` for the register-free proof.
+    reg_caps: Option<[u32; 3]>,
     residue: Vec<u32>,
     assigned: Vec<usize>,
     /// One longest-path matrix per search depth (copy-down on descent).
@@ -269,6 +272,103 @@ pub fn search_at_bounded(
     deadline: Option<std::time::Instant>,
     nodes_out: &mut u64,
 ) -> Feasibility {
+    search_at_impl(
+        lp,
+        machine,
+        ddg,
+        ii,
+        node_budget,
+        deadline,
+        nodes_out,
+        false,
+    )
+}
+
+/// [`search_at_bounded`] with rotating-register feasibility enforced
+/// inside the search: every candidate leaf's minimal-level realization is
+/// checked against the machine's rotating files (the same accounting the
+/// validator and `allocate_rotating` use), and register-starved leaves
+/// are rejected so the search keeps walking siblings.
+///
+/// This is the emission-grade search the exact scheduling backend runs: a
+/// `Feasible` witness is guaranteed to register-allocate. The flip side
+/// is that `Infeasible` is **weaker** here than in [`search_at_bounded`]:
+/// minimal-level realization does not minimize register demand (raising a
+/// definition within its slack shrinks its lifetime), so exhausting this
+/// search proves only that no *minimal-level* schedule fits the register
+/// files, not that the II is register-infeasible outright. Callers treat
+/// a non-`Feasible` answer as "no emittable schedule found here", never
+/// as a proof — II optimality proofs stay with the register-free search.
+pub fn search_at_registered(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    ddg: &Ddg,
+    ii: u32,
+    node_budget: u64,
+    deadline: Option<std::time::Instant>,
+    nodes_out: &mut u64,
+) -> Feasibility {
+    // Sound residue-independent precheck: a defined value read through a
+    // flow edge of latency L needs at least floor(L/II)+1 rotating
+    // registers at this II (the dependence inequality forces the lifetime
+    // to at least L), and every stage predicate costs a rotating PR. If
+    // even those floors overflow a register file, no schedule at this II
+    // can allocate — registered or not.
+    if !register_floor_fits(lp, machine, ddg, ii) {
+        return Feasibility::Infeasible;
+    }
+    search_at_impl(lp, machine, ddg, ii, node_budget, deadline, nodes_out, true)
+}
+
+/// Per-II lower bound on rotating-register demand vs. the machine's
+/// supply. For each definition, the lifetime is at least the largest
+/// flow-edge latency `L` into a reader whose operand distance is at
+/// least the edge's omega (then `t_read + II·ω_read − t_def ≥ L`), so the
+/// value occupies at least `floor(L/II) + 1` rotating registers; plus at
+/// least one stage predicate.
+fn register_floor_fits(lp: &LoopIr, machine: &MachineModel, ddg: &Ddg, ii: u32) -> bool {
+    let ii64 = i64::from(ii);
+    let mut demand = [0u32; 3]; // GR, FR, PR
+    for inst in lp.insts() {
+        let Some(def_reg) = inst.dst() else { continue };
+        let mut span = 0i64;
+        for e in ddg.edges() {
+            if e.from != inst.id() {
+                continue;
+            }
+            for s in lp.inst(e.to).reads() {
+                if s.reg == def_reg && s.omega >= e.omega {
+                    span = span.max(i64::from(e.latency) + ii64 * i64::from(s.omega - e.omega));
+                }
+            }
+        }
+        demand[reg_class_slot(def_reg.class())] += (span / ii64) as u32 + 1;
+    }
+    demand[reg_class_slot(RegClass::Pr)] += 1; // at least one stage predicate
+    RegClass::ALL
+        .iter()
+        .all(|&class| demand[reg_class_slot(class)] <= machine.registers().rotating(class))
+}
+
+fn reg_class_slot(class: RegClass) -> usize {
+    match class {
+        RegClass::Gr => 0,
+        RegClass::Fr => 1,
+        RegClass::Pr => 2,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_at_impl(
+    lp: &LoopIr,
+    machine: &MachineModel,
+    ddg: &Ddg,
+    ii: u32,
+    node_budget: u64,
+    deadline: Option<std::time::Instant>,
+    nodes_out: &mut u64,
+    check_registers: bool,
+) -> Feasibility {
     let n = lp.insts().len();
     if !cycles_feasible(ddg, ii, n) {
         return Feasibility::Infeasible;
@@ -297,6 +397,13 @@ pub fn search_at_bounded(
         order,
         rows: vec![[0u32; 5]; ii as usize],
         slots: [res.m, res.i, res.f, res.b],
+        reg_caps: check_registers.then(|| {
+            [
+                machine.registers().rotating(RegClass::Gr),
+                machine.registers().rotating(RegClass::Fr),
+                machine.registers().rotating(RegClass::Pr),
+            ]
+        }),
         residue: vec![0; n],
         assigned: Vec::with_capacity(n),
         dist: vec![vec![NEG_INF; n * n]; n + 1],
@@ -328,7 +435,16 @@ impl Search<'_> {
     fn dfs(&mut self, depth: usize) -> Option<Vec<i64>> {
         let n = self.order.len();
         if depth == n {
-            return Some(self.realize());
+            let times = self.realize();
+            // Register-checked mode: a leaf whose minimal-level
+            // realization overflows a rotating file is rejected, and the
+            // parent keeps walking sibling residues. `None` here means
+            // "no emittable schedule in this subtree", not infeasibility
+            // of the II (see `search_at_registered`).
+            if !self.registers_fit(&times) {
+                return None;
+            }
+            return Some(times);
         }
         let op = self.order[depth];
         // Rotation symmetry: the first assignment's residue is free.
@@ -458,6 +574,37 @@ impl Search<'_> {
         let ok = self.assigned.iter().all(|&x| d[x * n + x] <= 0);
         self.dist[depth + 1] = d;
         ok
+    }
+
+    /// True when a realized schedule's rotating-register demand fits the
+    /// caps (always true in register-free mode). Same accounting as the
+    /// allocator and the validator: a value defined at `t` and last read
+    /// (through an omega-distance operand) at `t_last` needs
+    /// `floor((t_last − t)/II) + 1` consecutive rotating registers; stage
+    /// predicates claim one rotating PR per stage.
+    fn registers_fit(&self, times: &[i64]) -> bool {
+        let Some(caps) = self.reg_caps else {
+            return true;
+        };
+        let ii = i64::from(self.ii);
+        let mut used = [0u32; 3]; // GR, FR, PR
+        let mut stages = 1u32;
+        for inst in self.lp.insts() {
+            stages = stages.max((times[inst.id().index()] / ii) as u32 + 1);
+            let Some(def_reg) = inst.dst() else { continue };
+            let t_def = times[inst.id().index()];
+            let mut t_last = t_def;
+            for reader in self.lp.insts() {
+                for s in reader.reads() {
+                    if s.reg == def_reg {
+                        t_last = t_last.max(times[reader.id().index()] + ii * i64::from(s.omega));
+                    }
+                }
+            }
+            used[reg_class_slot(def_reg.class())] += ((t_last - t_def) / ii) as u32 + 1;
+        }
+        used[reg_class_slot(RegClass::Pr)] += stages;
+        used[0] <= caps[0] && used[1] <= caps[1] && used[2] <= caps[2]
     }
 
     /// Turns a consistent full residue assignment into issue times:
@@ -649,6 +796,74 @@ mod tests {
         assert!(matches!(
             prove_min_ii(&lp, &m, &ddg, lb + 2, &opts),
             IiVerdict::Exact { .. }
+        ));
+    }
+
+    #[test]
+    fn registered_witnesses_always_allocate() {
+        // The register-checked search's witnesses must pass both the
+        // validator (register check included) and the production
+        // allocator, across a spread of machine-generated loops.
+        use ltsp_pipeliner::allocate_rotating;
+        let m = MachineModel::itanium2();
+        for seed in 0..40u64 {
+            let lp = ltsp_workloads::random_loop(seed);
+            if lp.insts().len() > 16 {
+                continue;
+            }
+            let ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+            let lb = lower_bound(&lp, &m, &ddg);
+            let mut nodes = 0;
+            for ii in lb..lb + 3 {
+                if let Feasibility::Feasible(s) =
+                    search_at_registered(&lp, &m, &ddg, ii, 50_000, None, &mut nodes)
+                {
+                    validate_schedule(&lp, &ddg, &s, &m)
+                        .unwrap_or_else(|v| panic!("seed {seed} ii {ii}: {v:?}"));
+                    allocate_rotating(&lp, &s, &m)
+                        .unwrap_or_else(|e| panic!("seed {seed} ii {ii}: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registered_search_rejects_register_starved_realizations() {
+        // On a machine with 2 rotating GRs the running example's minimal
+        // II-1 realization (4 rotating GRs) must not be emitted; the
+        // register-free search still proves II 1 feasible.
+        use ltsp_machine::RegisterFiles;
+        let m = MachineModel::itanium2();
+        let tight = MachineModel::new(
+            *m.issue(),
+            *m.latencies(),
+            *m.caches(),
+            RegisterFiles {
+                rotating_gr: 2,
+                ..*m.registers()
+            },
+        );
+        let lp = running_example();
+        let ddg = Ddg::build_with_load_floor(&lp, &tight, 0);
+        let mut nodes = 0;
+        assert!(matches!(
+            search_at(&lp, &tight, &ddg, 1, 100_000, &mut nodes),
+            Feasibility::Feasible(_)
+        ));
+        match search_at_registered(&lp, &tight, &ddg, 1, 100_000, None, &mut nodes) {
+            Feasibility::Feasible(s) => {
+                // If a register-fitting realization exists the search may
+                // find it — but then it must actually fit.
+                validate_schedule(&lp, &ddg, &s, &tight).expect("emitted witness fits");
+            }
+            Feasibility::Infeasible | Feasibility::Unknown => {}
+        }
+        // On the real machine the registered search emits at II 1.
+        let full_ddg = Ddg::build_with_load_floor(&lp, &m, 0);
+        assert!(matches!(
+            search_at_registered(&lp, &m, &full_ddg, 1, 100_000, None, &mut nodes),
+            Feasibility::Feasible(_)
         ));
     }
 

@@ -20,13 +20,23 @@
 //! The [`differential_case`]/[`differential_fuzz`] harness glues the two
 //! to the production pipeline: every accepted schedule is certified, and
 //! every certified II is measured against the proven minimum.
+//!
+//! On top of the proof machinery sits the **exact scheduling backend**
+//! ([`exact_schedule`]): the same branch-and-bound run in emission mode
+//! (rotating-register feasibility checked inside the search), producing
+//! real kernels at the proven-minimal II — every emitted schedule
+//! re-certified by the validator and register-allocated before it leaves
+//! this crate.
 
+mod backend;
 mod differential;
 mod exact;
 mod validator;
 
+pub use backend::{exact_case, exact_schedule, ExactCase, ExactSchedule};
 pub use differential::{differential_case, differential_fuzz, CaseReport, FuzzSummary};
 pub use exact::{
-    lower_bound, prove_min_ii, search_at, search_at_bounded, Feasibility, IiVerdict, OracleOptions,
+    lower_bound, prove_min_ii, search_at, search_at_bounded, search_at_registered, Feasibility,
+    IiVerdict, OracleOptions,
 };
 pub use validator::{validate_schedule, Certificate, Violation};

@@ -507,6 +507,9 @@ fn run(listener: TcpListener, state: Arc<State>) {
         let _ = r.join();
     }
     let _ = dispatcher.join();
+    // Drain the refinement queue too: upgrades already scheduled still
+    // land (and persist) before the process exits.
+    state.engine.refine_shutdown();
     state.engine.export_metrics(&tel);
     if tel.is_enabled() {
         tel.emit(Event::ServerLifecycle {

@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ltsp_cache::persist::CacheLog;
@@ -29,20 +29,25 @@ use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
 use ltsp_core::{compile_loop_cached_phased, new_compile_cache, CompileCache, CompileConfig};
 use ltsp_ir::{parse_loop, LoopIr, ParseError};
 use ltsp_machine::MachineModel;
-use ltsp_oracle::{differential_case, IiVerdict, OracleOptions};
+use ltsp_oracle::{differential_case, exact_case, IiVerdict, OracleOptions};
 use ltsp_telemetry::phase::{Phase, PhaseTimer};
 use ltsp_telemetry::{lock_unpoisoned, prom, Event, Histogram, Telemetry};
 
 use crate::flight::{FlightRecord, FlightRecorder};
-use crate::proto::{push_bool_field, push_str_field, push_u64_field, ReqOp, Request, Response};
-use crate::report::render_compile_report;
+use crate::proto::{
+    push_bool_field, push_str_field, push_u64_field, Backend, ReqOp, Request, Response,
+};
+use crate::report::{render_compile_report, render_exact_report};
 
-/// A cached verify/oracle outcome: the response status plus the body
-/// fragment (everything after the envelope).
+/// A cached request outcome: the response status plus the body fragment
+/// (everything after the envelope), and whether the entry was upgraded
+/// in place by the tiered backend's exact refinement (hits on upgraded
+/// entries report `cache:"upgraded"`).
 #[derive(Debug, Clone)]
 struct CachedResult {
     status: &'static str,
     body: String,
+    upgraded: bool,
 }
 
 /// Engine tuning knobs (the daemon forwards these from its CLI).
@@ -137,10 +142,14 @@ pub struct ServerGauges {
 /// Persistence-tier counters (all zero when no log is configured).
 #[derive(Debug, Default)]
 pub struct PersistCounters {
-    /// Records replayed into the result cache at startup.
+    /// Records replayed into the result cache at startup (after
+    /// last-writer-wins collapse).
     pub replayed: AtomicU64,
     /// Bad records dropped during startup replay (torn/corrupt tail).
     pub dropped: AtomicU64,
+    /// Clean records superseded by a later append under the same key
+    /// (in-place cache upgrades leave exactly one of these each).
+    pub superseded: AtomicU64,
     /// Records appended since startup.
     pub appended: AtomicU64,
     /// Append failures (the response is still served; the entry is just
@@ -148,18 +157,56 @@ pub struct PersistCounters {
     pub append_errors: AtomicU64,
 }
 
+/// Tiered-backend refinement counters: async exact-schedule upgrades of
+/// cache entries (exposed via `stats` and the Prometheus snapshot).
+#[derive(Debug, Default)]
+pub struct UpgradeCounters {
+    /// Refinement jobs queued (one per cold tiered compile).
+    pub scheduled: AtomicU64,
+    /// Upgrades applied in place (raw-request and tiered body entries
+    /// swapped to the exact backend's bytes, persisted again).
+    pub applied: AtomicU64,
+    /// Applied upgrades whose exact schedule strictly improved the
+    /// heuristic II.
+    pub refined: AtomicU64,
+    /// Refinement jobs that failed (parse, emission, or a rejected exact
+    /// case) — the heuristic entry stays, correctness is unaffected.
+    pub failed: AtomicU64,
+}
+
+/// Everything the async refinement worker shares with the engine: the
+/// caches and counters it upgrades, behind `Arc` so the worker outlives
+/// any particular borrow of the engine.
+struct RefineShared {
+    machine: MachineModel,
+    result_cache: Arc<ShardedLru<CachedResult>>,
+    persist: Option<Arc<CacheLog>>,
+    persist_counters: Arc<PersistCounters>,
+    upgrades: Arc<UpgradeCounters>,
+}
+
+/// One queued refinement: the cold tiered request to refine, its raw
+/// request key, and the deadline resolved at admission time.
+struct RefineJob {
+    raw_key: Fingerprint,
+    deadline_ms: Option<u64>,
+    req: Request,
+}
+
 /// The shared, thread-safe request engine.
 pub struct Engine {
     machine: MachineModel,
     compile_cache: CompileCache,
-    result_cache: ShardedLru<CachedResult>,
+    result_cache: Arc<ShardedLru<CachedResult>>,
     /// The disk tier behind `result_cache` (`None` = in-memory only).
-    persist: Option<CacheLog>,
+    persist: Option<Arc<CacheLog>>,
     cfg: EngineConfig,
     /// Per-status response tallies.
     pub counters: ServeCounters,
     /// Persistence-tier tallies (replay/append accounting).
-    pub persist_counters: PersistCounters,
+    pub persist_counters: Arc<PersistCounters>,
+    /// Tiered-backend upgrade tallies (refinement scheduling/outcomes).
+    pub upgrades: Arc<UpgradeCounters>,
     /// Operational gauges (fed by the daemon, read by `metrics`).
     pub gauges: ServerGauges,
     /// The flight recorder (fed per request, dumped on faults).
@@ -169,6 +216,12 @@ pub struct Engine {
     /// run to run, and the drain-time telemetry export participates in
     /// determinism comparisons.
     phase_hists: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// Queue into the refinement worker (`None` after shutdown).
+    refine_tx: Mutex<Option<mpsc::Sender<RefineJob>>>,
+    /// The refinement worker's join handle (`None` after shutdown).
+    refine_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Outstanding refinement jobs, for [`Engine::refine_wait_idle`].
+    refine_pending: Arc<(Mutex<u64>, Condvar)>,
 }
 
 impl Engine {
@@ -178,34 +231,42 @@ impl Engine {
     /// the very first request can hit warm. An unopenable log is loud
     /// but non-fatal — the engine degrades to in-memory-only caching.
     pub fn new(cfg: EngineConfig) -> Engine {
-        let result_cache = ShardedLru::new(CacheConfig {
+        let result_cache = Arc::new(ShardedLru::new(CacheConfig {
             byte_budget: cfg.result_cache_bytes,
             ..CacheConfig::default()
-        });
-        let persist_counters = PersistCounters::default();
+        }));
+        let persist_counters = Arc::new(PersistCounters::default());
         let persist = cfg
             .persist_path
             .as_ref()
             .and_then(|path| match CacheLog::open(path) {
                 Ok((log, report)) => {
+                    // Last-writer-wins: an in-place upgrade is a second
+                    // append under the same key, and a warm restart must
+                    // serve the upgraded bytes, never the superseded ones.
+                    let live = report.last_writer_wins();
                     persist_counters
                         .replayed
-                        .store(report.records.len() as u64, Ordering::Relaxed);
+                        .store(live.len() as u64, Ordering::Relaxed);
+                    persist_counters
+                        .superseded
+                        .store(report.superseded(), Ordering::Relaxed);
                     persist_counters
                         .dropped
                         .store(report.dropped, Ordering::Relaxed);
-                    for rec in report.records {
+                    for rec in live {
                         let bytes = rec.body.len() + 64;
                         result_cache.insert(
                             rec.key,
                             CachedResult {
                                 status: intern_status(&rec.status),
-                                body: rec.body,
+                                body: rec.body.clone(),
+                                upgraded: false,
                             },
                             bytes,
                         );
                     }
-                    Some(log)
+                    Some(Arc::new(log))
                 }
                 Err(e) => {
                     eprintln!(
@@ -215,8 +276,38 @@ impl Engine {
                     None
                 }
             });
+        let machine = MachineModel::itanium2();
+        let upgrades = Arc::new(UpgradeCounters::default());
+        let refine_pending = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let shared = RefineShared {
+            machine: machine.clone(),
+            result_cache: Arc::clone(&result_cache),
+            persist: persist.clone(),
+            persist_counters: Arc::clone(&persist_counters),
+            upgrades: Arc::clone(&upgrades),
+        };
+        let pending = Arc::clone(&refine_pending);
+        let (tx, rx) = mpsc::channel::<RefineJob>();
+        let handle = std::thread::Builder::new()
+            .name("ltspd-refine".to_string())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // A panicking refinement must not strand waiters or
+                    // kill the worker: contain it, count it, move on.
+                    let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        refine_one(&shared, &job)
+                    }));
+                    if contained.is_err() {
+                        shared.upgrades.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (lock, cv) = &*pending;
+                    *lock_unpoisoned(lock) -= 1;
+                    cv.notify_all();
+                }
+            })
+            .expect("spawn refinement worker");
         Engine {
-            machine: MachineModel::itanium2(),
+            machine,
             compile_cache: new_compile_cache(cfg.compile_cache_bytes),
             result_cache,
             persist,
@@ -224,8 +315,12 @@ impl Engine {
             cfg,
             counters: ServeCounters::default(),
             persist_counters,
+            upgrades,
             gauges: ServerGauges::default(),
             phase_hists: Mutex::new(BTreeMap::new()),
+            refine_tx: Mutex::new(Some(tx)),
+            refine_handle: Mutex::new(Some(handle)),
+            refine_pending,
         }
     }
 
@@ -233,26 +328,32 @@ impl Engine {
     /// one). Failures are counted and logged once — durability is
     /// best-effort, correctness never depends on it.
     fn persist_append(&self, key: Fingerprint, status: &str, body: &str) {
-        let Some(log) = &self.persist else { return };
-        match log.append(key, status, body) {
-            Ok(()) => {
-                self.persist_counters
-                    .appended
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Err(e) => {
-                if self
-                    .persist_counters
-                    .append_errors
-                    .fetch_add(1, Ordering::Relaxed)
-                    == 0
-                {
-                    eprintln!(
-                        "ltspd: persist append to {} failed: {e} (cache stays in-memory)",
-                        log.path().display()
-                    );
-                }
-            }
+        append_record(
+            self.persist.as_deref(),
+            &self.persist_counters,
+            key,
+            status,
+            body,
+        );
+    }
+
+    /// Blocks until every scheduled refinement has completed (tests and
+    /// drain use this to make upgrade effects observable deterministically).
+    pub fn refine_wait_idle(&self) {
+        let (lock, cv) = &*self.refine_pending;
+        let mut n = lock_unpoisoned(lock);
+        while *n > 0 {
+            n = cv.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops the refinement worker: queued jobs drain, then the thread
+    /// exits and is joined. Idempotent; called on drop and by the
+    /// daemon's drain path.
+    pub fn refine_shutdown(&self) {
+        drop(lock_unpoisoned(&self.refine_tx).take());
+        if let Some(h) = lock_unpoisoned(&self.refine_handle).take() {
+            let _ = h.join();
         }
     }
 
@@ -343,6 +444,7 @@ impl Engine {
         let mut h = FingerprintHasher::new();
         h.write_str("request-v1");
         h.write_str(req.op.tag());
+        h.write_str(req.backend.tag());
         h.write_str(&req.loop_text);
         h.write_str(&req.policy.to_string());
         h.write_f64(req.trip);
@@ -373,6 +475,7 @@ impl Engine {
                 CachedResult {
                     status: resp.status,
                     body: resp.body,
+                    upgraded: false,
                 }
             },
         );
@@ -382,13 +485,49 @@ impl Engine {
             phases.add_us(Phase::CacheLookup, t0.elapsed().as_micros() as u64);
         } else {
             self.persist_append(key, cached.status, &cached.body);
+            // A cold tiered compile answered with the heuristic schedule:
+            // queue the exact refinement, which upgrades this entry (and
+            // the tiered body entry) in place when it lands.
+            if req.op == ReqOp::Compile && req.backend == Backend::Tiered && cached.status == "ok" {
+                self.schedule_refine(req, key);
+            }
         }
         Response {
             id: req.id.clone(),
             status: cached.status,
-            cache: if hit { "hit" } else { inner_tag.get() },
+            cache: if hit {
+                if cached.upgraded {
+                    "upgraded"
+                } else {
+                    "hit"
+                }
+            } else {
+                inner_tag.get()
+            },
             body: cached.body.clone(),
             timings: None,
+        }
+    }
+
+    /// Queues one refinement job for a cold tiered compile. Failure to
+    /// queue (worker already shut down) is counted, never surfaced: the
+    /// heuristic answer stands.
+    fn schedule_refine(&self, req: &Request, raw_key: Fingerprint) {
+        self.upgrades.scheduled.fetch_add(1, Ordering::Relaxed);
+        let (lock, cv) = &*self.refine_pending;
+        *lock_unpoisoned(lock) += 1;
+        let job = RefineJob {
+            raw_key,
+            deadline_ms: self.effective_deadline_ms(req),
+            req: req.clone(),
+        };
+        let sent = lock_unpoisoned(&self.refine_tx)
+            .as_ref()
+            .is_some_and(|tx| tx.send(job).is_ok());
+        if !sent {
+            self.upgrades.failed.fetch_add(1, Ordering::Relaxed);
+            *lock_unpoisoned(lock) -= 1;
+            cv.notify_all();
         }
     }
 
@@ -487,7 +626,51 @@ impl Engine {
         }
     }
 
+    /// Dispatches a compile on the request's backend: heuristic (the
+    /// production pipeliner), exact (sync branch-and-bound emission), or
+    /// tiered (heuristic now, exact refinement async).
     fn compile(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        match req.backend {
+            Backend::Heuristic => self.compile_heuristic(req, tel, phases),
+            Backend::Exact => self.compile_exact(req, phases),
+            Backend::Tiered => self.compile_tiered(req, tel, phases),
+        }
+    }
+
+    /// Renders the heuristic compile body (shared by the heuristic and
+    /// tiered paths; the tiered path appends its backend fields).
+    fn render_heuristic_body(&self, req: &Request, compiled: &ltsp_core::CompiledLoop) -> String {
+        let mut body = String::new();
+        push_str_field(&mut body, "op", "compile");
+        push_str_field(&mut body, "loop", compiled.lp.name());
+        push_bool_field(&mut body, "pipelined", compiled.pipelined);
+        push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
+        push_u64_field(
+            &mut body,
+            "stages",
+            u64::from(compiled.kernel.stage_count()),
+        );
+        if let Some(stats) = compiled.stats {
+            push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
+            push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
+        }
+        if let Some(regs) = compiled.regs {
+            use std::fmt::Write as _;
+            let _ = write!(
+                body,
+                ",\"regs\":[{},{},{}]",
+                regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+            );
+        }
+        push_str_field(
+            &mut body,
+            "report",
+            &render_compile_report(compiled, req.policy, req.trip),
+        );
+        body
+    }
+
+    fn compile_heuristic(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
         let lp = match self.parse(req, phases) {
             Ok(lp) => lp,
             Err(resp) => return resp,
@@ -522,35 +705,10 @@ impl Engine {
                     Some(phases),
                 );
                 artifact_hit.set(hit);
-                phases.time(Phase::Render, || {
-                    let mut body = String::new();
-                    push_str_field(&mut body, "op", "compile");
-                    push_str_field(&mut body, "loop", compiled.lp.name());
-                    push_bool_field(&mut body, "pipelined", compiled.pipelined);
-                    push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
-                    push_u64_field(
-                        &mut body,
-                        "stages",
-                        u64::from(compiled.kernel.stage_count()),
-                    );
-                    if let Some(stats) = compiled.stats {
-                        push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
-                        push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
-                    }
-                    if let Some(regs) = compiled.regs {
-                        use std::fmt::Write as _;
-                        let _ = write!(
-                            body,
-                            ",\"regs\":[{},{},{}]",
-                            regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
-                        );
-                    }
-                    push_str_field(
-                        &mut body,
-                        "report",
-                        &render_compile_report(&compiled, req.policy, req.trip),
-                    );
-                    CachedResult { status: "ok", body }
+                phases.time(Phase::Render, || CachedResult {
+                    status: "ok",
+                    body: self.render_heuristic_body(req, &compiled),
+                    upgraded: false,
                 })
             },
         );
@@ -564,6 +722,97 @@ impl Engine {
             id: req.id.clone(),
             status: cached.status,
             cache: if body_hit || artifact_hit.get() {
+                "hit"
+            } else {
+                "miss"
+            },
+            body: cached.body.clone(),
+            timings: None,
+        }
+    }
+
+    /// The sync exact path: branch-and-bound emission at the proven
+    /// minimal II, validator-certified, rendered once and cached under
+    /// the exact body key (shared with the tiered refinement worker).
+    fn compile_exact(&self, req: &Request, phases: &PhaseTimer) -> Response {
+        let lp = match self.parse(req, phases) {
+            Ok(lp) => lp,
+            Err(resp) => return resp,
+        };
+        let deadline_ms = self.effective_deadline_ms(req);
+        let body_key = exact_body_key(&self.machine, &lp, req.budget, deadline_ms);
+        let (cached, hit) = self.result_cache.get_or_insert_with(
+            body_key,
+            |r| r.body.len() + 32,
+            || compute_exact_body(&self.machine, &lp, req.budget, deadline_ms),
+        );
+        if !hit {
+            self.persist_append(body_key, cached.status, &cached.body);
+        }
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if hit { "hit" } else { "miss" },
+            body: cached.body.clone(),
+            timings: None,
+        }
+    }
+
+    /// The tiered initial answer: the heuristic compile, rendered under
+    /// the tiered body key (which the refinement worker later upgrades
+    /// in place). Tagged so clients can tell which tier they got.
+    fn compile_tiered(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        let lp = match self.parse(req, phases) {
+            Ok(lp) => lp,
+            Err(resp) => return resp,
+        };
+        let cfg = CompileConfig::new(req.policy)
+            .with_threshold(req.threshold)
+            .with_prefetch(req.prefetch)
+            .with_balanced_recurrences(req.balanced)
+            .with_data_speculation(req.speculate);
+        let deadline_ms = self.effective_deadline_ms(req);
+        let body_key = tiered_body_key(&self.machine, &lp, &cfg, req.trip, req.budget, deadline_ms);
+        let artifact_hit = std::cell::Cell::new(false);
+        let (cached, body_hit) = self.result_cache.get_or_insert_with(
+            body_key,
+            |r| r.body.len() + 32,
+            || {
+                let (compiled, hit) = compile_loop_cached_phased(
+                    &self.compile_cache,
+                    &lp,
+                    &self.machine,
+                    &cfg,
+                    req.trip,
+                    tel,
+                    Some(phases),
+                );
+                artifact_hit.set(hit);
+                phases.time(Phase::Render, || {
+                    let mut body = self.render_heuristic_body(req, &compiled);
+                    push_str_field(&mut body, "backend", "tiered");
+                    push_bool_field(&mut body, "refined", false);
+                    CachedResult {
+                        status: "ok",
+                        body,
+                        upgraded: false,
+                    }
+                })
+            },
+        );
+        if !body_hit {
+            self.persist_append(body_key, cached.status, &cached.body);
+        }
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if body_hit {
+                if cached.upgraded {
+                    "upgraded"
+                } else {
+                    "hit"
+                }
+            } else if artifact_hit.get() {
                 "hit"
             } else {
                 "miss"
@@ -617,6 +866,11 @@ impl Engine {
             Some(0) => None, // explicit 0 = no deadline
             Some(ms) => Some(ms),
             None if req.op == ReqOp::Oracle => self.cfg.oracle_deadline_ms,
+            // Exact emission (sync or as tiered refinement) is bounded
+            // by the same default deadline as the oracle proof.
+            None if req.op == ReqOp::Compile && req.backend != Backend::Heuristic => {
+                self.cfg.oracle_deadline_ms
+            }
             None => None,
         }
     }
@@ -703,7 +957,11 @@ impl Engine {
             }
         }
         push_str_field(&mut body, "report", &report);
-        CachedResult { status, body }
+        CachedResult {
+            status,
+            body,
+            upgraded: false,
+        }
     }
 
     fn stats_response(&self, req: &Request) -> Response {
@@ -739,11 +997,20 @@ impl Engine {
         for (key, v) in [
             ("persist_replayed", &self.persist_counters.replayed),
             ("persist_dropped", &self.persist_counters.dropped),
+            ("persist_superseded", &self.persist_counters.superseded),
             ("persist_appended", &self.persist_counters.appended),
             (
                 "persist_append_errors",
                 &self.persist_counters.append_errors,
             ),
+        ] {
+            push_u64_field(&mut body, key, v.load(Ordering::Relaxed));
+        }
+        for (key, v) in [
+            ("upgrades_scheduled", &self.upgrades.scheduled),
+            ("upgrades_applied", &self.upgrades.applied),
+            ("upgrades_refined", &self.upgrades.refined),
+            ("upgrades_failed", &self.upgrades.failed),
         ] {
             push_u64_field(&mut body, key, v.load(Ordering::Relaxed));
         }
@@ -849,6 +1116,11 @@ impl Engine {
                 &self.persist_counters.dropped,
             ),
             (
+                "ltsp_persist_superseded_records",
+                "gauge",
+                &self.persist_counters.superseded,
+            ),
+            (
                 "ltsp_persist_appended_total",
                 "counter",
                 &self.persist_counters.appended,
@@ -861,6 +1133,20 @@ impl Engine {
         ] {
             prom::push_type(&mut out, name, kind);
             prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
+        }
+        prom::push_type(&mut out, "ltsp_upgrades_total", "counter");
+        for (event, v) in [
+            ("scheduled", &self.upgrades.scheduled),
+            ("applied", &self.upgrades.applied),
+            ("refined", &self.upgrades.refined),
+            ("failed", &self.upgrades.failed),
+        ] {
+            prom::push_sample(
+                &mut out,
+                "ltsp_upgrades_total",
+                &[("event", event)],
+                v.load(Ordering::Relaxed) as f64,
+            );
         }
         prom::push_type(&mut out, "ltsp_flight_records", "gauge");
         prom::push_sample(
@@ -882,6 +1168,225 @@ impl Engine {
             prom::push_histogram(&mut out, "ltsp_phase_us", &[("phase", name)], h);
         }
         out
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.refine_shutdown();
+    }
+}
+
+/// Appends one record to the disk tier (shared by the engine and the
+/// refinement worker). Failures are counted and logged once.
+fn append_record(
+    log: Option<&CacheLog>,
+    counters: &PersistCounters,
+    key: Fingerprint,
+    status: &str,
+    body: &str,
+) {
+    let Some(log) = log else { return };
+    match log.append(key, status, body) {
+        Ok(()) => {
+            counters.appended.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            if counters.append_errors.fetch_add(1, Ordering::Relaxed) == 0 {
+                eprintln!(
+                    "ltspd: persist append to {} failed: {e} (cache stays in-memory)",
+                    log.path().display()
+                );
+            }
+        }
+    }
+}
+
+/// The canonical cache key of an exact-backend compile body: loop +
+/// machine + search budget + deadline. Shared by sync `--backend exact`
+/// requests and the tiered refinement worker, so either path warms the
+/// other.
+fn exact_body_key(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    budget: u64,
+    deadline_ms: Option<u64>,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("compile-body-exact-v1");
+    h.write_str(&lp.to_string());
+    h.write_fingerprint(Fingerprint::of_str(&format!("{machine:?}")));
+    h.write_u64(budget);
+    h.write_u64(deadline_ms.map_or(u64::MAX, |d| d));
+    h.finish()
+}
+
+/// The canonical cache key of a tiered compile body. Separate from the
+/// heuristic `compile-body-v1` keyspace on purpose: in-place upgrades
+/// swap *this* entry's bytes, and must never corrupt a plain heuristic
+/// compile's cached body.
+fn tiered_body_key(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    cfg: &CompileConfig,
+    trip: f64,
+    budget: u64,
+    deadline_ms: Option<u64>,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("compile-body-tiered-v1");
+    h.write_fingerprint(ltsp_core::compile_key(lp, machine, cfg, trip));
+    h.write_u64(budget);
+    h.write_u64(deadline_ms.map_or(u64::MAX, |d| d));
+    h.finish()
+}
+
+/// Runs the exact backend on `lp` and renders the compile body it
+/// produces: the emitted schedule's facts plus the refinement telemetry
+/// (`heuristic_ii`, `proven_optimal`, `refined`, `nodes`). A rejected
+/// case (validator violations — a real bug somewhere) renders the
+/// violations like the oracle op does.
+fn compute_exact_body(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    budget: u64,
+    deadline_ms: Option<u64>,
+) -> CachedResult {
+    use std::fmt::Write as _;
+    let opts = OracleOptions {
+        node_budget: budget,
+        time_budget: deadline_ms.map(Duration::from_millis),
+        ..OracleOptions::default()
+    };
+    match exact_case(lp, machine, &opts) {
+        Ok(case) => {
+            let mut body = String::new();
+            push_str_field(&mut body, "op", "compile");
+            push_str_field(&mut body, "loop", &case.name);
+            // A refined schedule is a genuine modulo schedule even when
+            // the heuristic had fallen back to the acyclic path.
+            push_bool_field(
+                &mut body,
+                "pipelined",
+                case.pipelined || case.result.refined,
+            );
+            push_u64_field(&mut body, "ii", u64::from(case.result.schedule.ii()));
+            push_u64_field(
+                &mut body,
+                "stages",
+                u64::from(case.result.schedule.stage_count()),
+            );
+            push_str_field(&mut body, "backend", "exact");
+            push_u64_field(&mut body, "heuristic_ii", u64::from(case.heuristic_ii));
+            push_bool_field(&mut body, "proven_optimal", case.result.proven_optimal);
+            push_bool_field(&mut body, "refined", case.result.refined);
+            push_u64_field(&mut body, "nodes", case.result.nodes);
+            let regs = &case.result.regs;
+            let _ = write!(
+                body,
+                ",\"regs\":[{},{},{}]",
+                regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+            );
+            push_str_field(&mut body, "report", &render_exact_report(lp, &case));
+            CachedResult {
+                status: "ok",
+                body,
+                upgraded: false,
+            }
+        }
+        Err(violations) => {
+            let mut body = String::new();
+            push_str_field(&mut body, "op", "compile");
+            push_str_field(&mut body, "loop", lp.name());
+            push_str_field(&mut body, "backend", "exact");
+            body.push_str(",\"violations\":[");
+            for (i, v) in violations.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let line = format!("{}: violation [{}]: {v}", lp.name(), v.kind());
+                let _ = write!(body, "\"{}\"", ltsp_telemetry::json::escape(&line));
+            }
+            body.push(']');
+            CachedResult {
+                status: "rejected",
+                body,
+                upgraded: false,
+            }
+        }
+    }
+}
+
+/// Processes one tiered refinement: compute (or reuse) the exact body,
+/// then swap the raw-request and tiered body-key entries to it in place
+/// — each insert replaces a whole `Arc`'d value, so readers observe
+/// heuristic bytes or exact bytes, never a torn mix — and append both
+/// under their keys so a warm restart replays the upgraded bytes
+/// (last-writer-wins).
+fn refine_one(sh: &RefineShared, job: &RefineJob) {
+    let req = &job.req;
+    let Ok(lp) = parse_loop(&req.loop_text) else {
+        // Unreachable in practice: the initial compile parsed this text.
+        sh.upgrades.failed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let exact_key = exact_body_key(&sh.machine, &lp, req.budget, job.deadline_ms);
+    let (exact, exact_hit) = sh.result_cache.get_or_insert_with(
+        exact_key,
+        |r| r.body.len() + 32,
+        || compute_exact_body(&sh.machine, &lp, req.budget, job.deadline_ms),
+    );
+    if !exact_hit {
+        append_record(
+            sh.persist.as_deref(),
+            &sh.persist_counters,
+            exact_key,
+            exact.status,
+            &exact.body,
+        );
+    }
+    if exact.status != "ok" {
+        sh.upgrades.failed.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let cfg = CompileConfig::new(req.policy)
+        .with_threshold(req.threshold)
+        .with_prefetch(req.prefetch)
+        .with_balanced_recurrences(req.balanced)
+        .with_data_speculation(req.speculate);
+    let tiered_key = tiered_body_key(
+        &sh.machine,
+        &lp,
+        &cfg,
+        req.trip,
+        req.budget,
+        job.deadline_ms,
+    );
+    let up = CachedResult {
+        status: exact.status,
+        body: exact.body.clone(),
+        upgraded: true,
+    };
+    sh.result_cache.insert(
+        job.raw_key,
+        up.clone(),
+        up.body.len() + req.loop_text.len() + 64,
+    );
+    let bytes = up.body.len() + 32;
+    sh.result_cache.insert(tiered_key, up, bytes);
+    // Second appends under both keys: the in-place upgrade, durably.
+    for key in [job.raw_key, tiered_key] {
+        append_record(
+            sh.persist.as_deref(),
+            &sh.persist_counters,
+            key,
+            exact.status,
+            &exact.body,
+        );
+    }
+    sh.upgrades.applied.fetch_add(1, Ordering::Relaxed);
+    if exact.body.contains("\"refined\":true") {
+        sh.upgrades.refined.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -922,6 +1427,13 @@ mod tests {
 
     fn loop_json(name: &str) -> String {
         json::escape(&ltsp_workloads::saxpy(name).to_string())
+    }
+
+    fn bool_of(v: &json::JsonValue, key: &str) -> bool {
+        match v.get(key) {
+            Some(json::JsonValue::Bool(b)) => *b,
+            other => panic!("{key}: expected a bool, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1090,6 +1602,137 @@ mod tests {
         // A cold verify misses twice: once on the raw-request key, once
         // on the canonical verify key.
         assert_eq!(v.get("result_cache_misses").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn exact_backend_compiles_with_optimality_telemetry() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"x1","loop":"{}","backend":"exact"}}"#,
+            loop_json("s")
+        );
+        let cold = e.handle(&req(&line), &tel);
+        assert_eq!(cold.status, "ok", "{}", cold.render());
+        assert_eq!(cold.cache, "miss");
+        let v = json::parse(&cold.render()).unwrap();
+        assert_eq!(v.get("backend").unwrap().as_str(), Some("exact"));
+        assert!(bool_of(&v, "proven_optimal"));
+        let ii = v.get("ii").unwrap().as_u64().unwrap();
+        let heur = v.get("heuristic_ii").unwrap().as_u64().unwrap();
+        assert!(ii <= heur, "exact II never above the heuristic's");
+        assert!(v
+            .get("report")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("backend=exact"));
+        let warm = e.handle(&req(&line), &tel);
+        assert_eq!(warm.cache, "hit");
+        assert_eq!(cold.body, warm.body);
+    }
+
+    #[test]
+    fn backend_splits_the_request_key() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let heur = format!(r#"{{"op":"compile","loop":"{}"}}"#, loop_json("s"));
+        let exact = format!(
+            r#"{{"op":"compile","loop":"{}","backend":"exact"}}"#,
+            loop_json("s")
+        );
+        assert_eq!(e.handle(&req(&heur), &tel).cache, "miss");
+        assert_eq!(
+            e.handle(&req(&exact), &tel).cache,
+            "miss",
+            "backend changes the key"
+        );
+        assert_eq!(e.handle(&req(&heur), &tel).cache, "hit");
+    }
+
+    #[test]
+    fn tiered_compile_answers_heuristically_then_upgrades_in_place() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"t1","loop":"{}","backend":"tiered"}}"#,
+            loop_json("s")
+        );
+        let cold = e.handle(&req(&line), &tel);
+        assert_eq!(cold.status, "ok", "{}", cold.render());
+        assert_eq!(cold.cache, "miss");
+        let v = json::parse(&cold.render()).unwrap();
+        assert_eq!(
+            v.get("backend").unwrap().as_str(),
+            Some("tiered"),
+            "initial answer is the heuristic tier"
+        );
+        assert!(!bool_of(&v, "refined"));
+
+        e.refine_wait_idle();
+        assert_eq!(e.upgrades.scheduled.load(Ordering::Relaxed), 1);
+        assert_eq!(e.upgrades.applied.load(Ordering::Relaxed), 1);
+        assert_eq!(e.upgrades.failed.load(Ordering::Relaxed), 0);
+
+        let warm = e.handle(&req(&line), &tel);
+        assert_eq!(warm.cache, "upgraded", "hit on an upgraded entry");
+        assert_ne!(warm.body, cold.body, "bytes were upgraded in place");
+        let v = json::parse(&warm.render()).unwrap();
+        assert_eq!(v.get("backend").unwrap().as_str(), Some("exact"));
+        assert!(bool_of(&v, "proven_optimal"));
+
+        // The upgraded bytes ARE the exact backend's bytes: a sync exact
+        // request for the same loop returns the identical body.
+        let exact_line = format!(
+            r#"{{"op":"compile","id":"t2","loop":"{}","backend":"exact"}}"#,
+            loop_json("s")
+        );
+        let exact = e.handle(&req(&exact_line), &tel);
+        assert_eq!(exact.body, warm.body, "upgrade == exact, byte for byte");
+    }
+
+    #[test]
+    fn tiered_upgrade_survives_warm_restart_with_zero_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("ltsp-engine-tiered-restart-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+        let cfg = || EngineConfig {
+            persist_path: Some(path.clone()),
+            ..EngineConfig::default()
+        };
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"t1","loop":"{}","backend":"tiered"}}"#,
+            loop_json("s")
+        );
+        let upgraded_body = {
+            let e = Engine::new(cfg());
+            e.handle(&req(&line), &tel);
+            e.refine_wait_idle();
+            let warm = e.handle(&req(&line), &tel);
+            assert_eq!(warm.cache, "upgraded");
+            warm.body
+        };
+        // Warm restart: replay must collapse the duplicate-key appends
+        // to the upgraded bytes (last-writer-wins) and serve them as
+        // hits — no recompiles, no resurrections of the heuristic body.
+        let e = Engine::new(cfg());
+        assert!(
+            e.persist_counters.superseded.load(Ordering::Relaxed) >= 2,
+            "raw and tiered keys were each appended twice"
+        );
+        let replayed = e.handle(&req(&line), &tel);
+        assert_eq!(replayed.cache, "hit", "replayed entries serve as hits");
+        assert_eq!(replayed.body, upgraded_body, "upgraded bytes replay");
+        let stats = e.handle(&req(r#"{"op":"stats"}"#), &tel);
+        let v = json::parse(&stats.render()).unwrap();
+        assert_eq!(
+            v.get("result_cache_misses").unwrap().as_u64(),
+            Some(0),
+            "zero misses after a post-upgrade warm restart"
+        );
     }
 
     #[test]

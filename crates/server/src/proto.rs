@@ -29,7 +29,17 @@
 //!   budget-limited oracle verdict) | `error` (malformed request or loop)
 //!   | `overloaded` (admission queue past its high-water mark) |
 //!   `draining` (received after a shutdown was accepted).
-//! - `cache` ∈ `hit` | `miss` | `-` (request classes that never cache).
+//! - `cache` ∈ `hit` | `miss` | `upgraded` (a hit whose entry was
+//!   upgraded in place by the tiered backend's exact refinement) | `-`
+//!   (request classes that never cache).
+//!
+//! Compile requests may select a scheduling backend with
+//! `"backend":"heuristic"|"exact"|"tiered"` (default `heuristic`):
+//! `exact` runs the oracle's branch-and-bound emission synchronously
+//! (deadline-bounded, falling back to the heuristic schedule when the
+//! proof does not resolve), and `tiered` answers immediately with the
+//! heuristic schedule while exact refinement runs asynchronously and
+//! upgrades the cache entry — including its persisted bytes — in place.
 //!
 //! Responses carry no timestamps or worker attribution: a response is a
 //! pure function of the request (plus, for `cache`, the request history
@@ -84,6 +94,34 @@ impl ReqOp {
     }
 }
 
+/// Which scheduling backend a compile request runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The production heuristic pipeliner (iterative modulo scheduling).
+    #[default]
+    Heuristic,
+    /// The oracle's branch-and-bound emission, run synchronously: the
+    /// response carries a validator-certified schedule at the proven
+    /// minimal II when the search resolves in budget, else the heuristic
+    /// schedule (flagged as unrefined).
+    Exact,
+    /// Heuristic answer now, exact refinement async: the cache entry
+    /// (and its persisted bytes) are upgraded in place when the exact
+    /// backend finds a strictly better schedule.
+    Tiered,
+}
+
+impl Backend {
+    /// The wire tag, also used in cache keys and telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Backend::Heuristic => "heuristic",
+            Backend::Exact => "exact",
+            Backend::Tiered => "tiered",
+        }
+    }
+}
+
 /// One parsed request. Fields irrelevant to the op keep their defaults
 /// (and still participate in the content-derived `id`, harmlessly).
 #[derive(Debug, Clone)]
@@ -106,6 +144,8 @@ pub struct Request {
     pub balanced: bool,
     /// Data speculation (compile only; default false).
     pub speculate: bool,
+    /// Scheduling backend (compile only; default heuristic).
+    pub backend: Backend,
     /// Oracle node budget (oracle only; default 200 000).
     pub budget: u64,
     /// Oracle wall-clock budget in ms (oracle only; `None` = server
@@ -128,6 +168,7 @@ impl Default for Request {
             prefetch: true,
             balanced: false,
             speculate: false,
+            backend: Backend::Heuristic,
             budget: 200_000,
             deadline_ms: None,
             timings: false,
@@ -225,6 +266,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             };
         }
     }
+    if let Some(b) = v.get("backend") {
+        req.backend = match b.as_str() {
+            Some("heuristic") => Backend::Heuristic,
+            Some("exact") => Backend::Exact,
+            Some("tiered") => Backend::Tiered,
+            _ => return Err(fail("backend must be heuristic|exact|tiered".to_string())),
+        };
+    }
     if let Some(b) = v.get("budget") {
         req.budget = b
             .as_u64()
@@ -248,7 +297,7 @@ pub struct Response {
     pub id: String,
     /// `ok` | `rejected` | `error` | `overloaded` | `draining`.
     pub status: &'static str,
-    /// `hit` | `miss` | `-`.
+    /// `hit` | `miss` | `upgraded` | `-`.
     pub cache: &'static str,
     /// JSON fragment appended after the envelope fields; either empty or
     /// starting with `,` (e.g. `,"op":"ping"`).
@@ -403,6 +452,24 @@ mod tests {
         );
         // The envelope change is strictly additive.
         assert!(timed.starts_with(plain.trim_end_matches('}')));
+    }
+
+    #[test]
+    fn backend_parses_and_defaults_to_heuristic() {
+        let r = parse_request(r#"{"op":"compile","loop":"loop x {\n}"}"#).unwrap();
+        assert_eq!(r.backend, Backend::Heuristic, "default backend");
+        for (tag, want) in [
+            ("heuristic", Backend::Heuristic),
+            ("exact", Backend::Exact),
+            ("tiered", Backend::Tiered),
+        ] {
+            let line = format!(r#"{{"op":"compile","loop":"l","backend":"{tag}"}}"#);
+            let r = parse_request(&line).unwrap();
+            assert_eq!(r.backend, want);
+            assert_eq!(r.backend.tag(), tag);
+        }
+        let e = parse_request(r#"{"op":"compile","loop":"l","backend":"quantum"}"#).unwrap_err();
+        assert!(e.message.contains("backend must be"));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use std::fmt::Write as _;
 
 use ltsp_core::{CompiledLoop, LatencyPolicy};
+use ltsp_ir::LoopIr;
+use ltsp_oracle::ExactCase;
 
 /// Renders the compile report: the policy/HLO header line, the schedule
 /// summary, the register line, a blank separator and the kernel dump.
@@ -59,6 +61,43 @@ pub fn render_compile_report(compiled: &CompiledLoop, policy: LatencyPolicy, tri
     out
 }
 
+/// Renders the exact backend's compile report: the optimality header,
+/// the schedule/register summary, a blank separator and the kernel dump
+/// — same shape as [`render_compile_report`], so `ltspc` and the daemon
+/// print exact results through one function too.
+pub fn render_exact_report(lp: &LoopIr, case: &ExactCase) -> String {
+    let mut out = String::new();
+    let r = &case.result;
+    let _ = writeln!(
+        out,
+        "{}: backend=exact heuristic-II={} emitted-II={}{}{}",
+        case.name,
+        case.heuristic_ii,
+        r.schedule.ii(),
+        if r.proven_optimal {
+            " (proven optimal)"
+        } else {
+            " (optimality unresolved in budget)"
+        },
+        if r.refined { " [refined]" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "exact: II={} stages={} search-nodes={}",
+        r.schedule.ii(),
+        r.schedule.stage_count(),
+        r.nodes
+    );
+    let _ = writeln!(
+        out,
+        "registers: GR {} FR {} PR {} (rotating)",
+        r.regs.rotating_gr, r.regs.rotating_fr, r.regs.rotating_pr
+    );
+    out.push('\n');
+    out.push_str(&r.schedule.dump(lp));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +119,18 @@ mod tests {
         assert!(r.contains("pipelined: II="));
         assert!(r.contains("\n\n"), "blank line before the kernel dump");
         assert!(r.ends_with('\n'));
+    }
+
+    #[test]
+    fn exact_report_has_header_summary_and_kernel() {
+        let lp = ltsp_workloads::saxpy("s");
+        let m = MachineModel::itanium2();
+        let case =
+            ltsp_oracle::exact_case(&lp, &m, &ltsp_oracle::OracleOptions::default()).unwrap();
+        let r = render_exact_report(&lp, &case);
+        assert!(r.starts_with("s: backend=exact heuristic-II="), "{r}");
+        assert!(r.contains("proven optimal"), "{r}");
+        assert!(r.contains("registers: GR "), "{r}");
+        assert!(r.contains("\n\n"), "blank line before the kernel dump");
     }
 }

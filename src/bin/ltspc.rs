@@ -4,15 +4,16 @@
 //! simulated execution.
 //!
 //! ```text
-//! ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo]
+//! ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--backend heuristic|exact|tiered]
 //!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
-//!       [--asm] [--simulate ITERS]
+//!       [--budget NODES] [--asm] [--simulate ITERS]
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
 //! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
 //! ltspc oracle <file.loop | -> ... [--budget N] [--jobs N]  # prove minimal IIs
 //! ltspc serve [--addr HOST:PORT] [--jobs N] [--persist FILE] ...  # ltspd daemon
 //! ltspc serve --cluster N [--persist-dir DIR] ...  # router + N shard processes
 //! ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]
+//!       [--backend heuristic|exact|tiered]
 //!       [--timeout SECS] [--retries N] [--timings] [--shutdown]
 //! ltspc remote <addr> --op metrics [--check-phases p1,p2,...]
 //! ltspc remote <addr> --op stats
@@ -26,6 +27,20 @@
 //! worker threads (default: the machine's available parallelism); output
 //! is printed in input order whatever the worker count, and the exit code
 //! is the first failing file's.
+//!
+//! `--backend` picks the scheduling backend for a compile. `heuristic`
+//! (the default) is the production modulo scheduler; `exact` runs the
+//! oracle's residue-level branch-and-bound as a full backend — slot
+//! assignment and rotating-register feasibility checked inside the
+//! search, the emitted kernel re-certified by the independent validator,
+//! and the report stating whether the II is *proven* minimal. Locally,
+//! `tiered` is served by the same exact path (the heuristic-now /
+//! exact-later split only means something with a daemon in front, where
+//! the upgrade lands asynchronously in the cache); `ltspc` notes the
+//! aliasing on stderr. `remote --backend ...` forwards the choice on the
+//! wire — `tiered` there answers heuristically and upgrades the cache
+//! entry in place once refinement lands (resend to observe
+//! `cache:"upgraded"`).
 //!
 //! `serve` runs the compilation daemon in-process (same flags as
 //! `ltspd`); `--persist FILE` adds the append-only warm-start cache log
@@ -107,6 +122,8 @@ use ltsp::telemetry::Telemetry;
 struct Options {
     input: String,
     policy: LatencyPolicy,
+    backend: ltsp::server::Backend,
+    budget: u64,
     trip: f64,
     threshold: u32,
     prefetch: bool,
@@ -131,6 +148,7 @@ const EXIT_BUSY: u8 = 6;
 fn usage() -> ! {
     eprintln!(
         "usage: ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--trip N]\n\
+         \x20             [--backend heuristic|exact|tiered] [--budget NODES]\n\
          \x20             [--threshold N] [--no-prefetch] [--balanced] [--speculate]\n\
          \x20             [--asm] [--simulate ITERS]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE]\n\
@@ -140,7 +158,8 @@ fn usage() -> ! {
          \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N]\n\
          \x20            [--cluster N] [--persist FILE] [--persist-dir DIR] [-v]\n\
          \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
-         \x20            [--policy P] [--trip N] [--budget NODES] [--deadline-ms MS]\n\
+         \x20            [--backend heuristic|exact|tiered] [--policy P] [--trip N]\n\
+         \x20            [--budget NODES] [--deadline-ms MS]\n\
          \x20            [--timeout SECS] [--retries N] [--timings] [--shutdown]\n\
          \x20      ltspc remote <addr> --op metrics [--check-phases p1,p2,...]\n\
          \x20      ltspc remote <addr> --op stats\n\
@@ -314,6 +333,8 @@ fn parse_args() -> Options {
     let mut o = Options {
         input: String::new(),
         policy: LatencyPolicy::HloHints,
+        backend: ltsp::server::Backend::Heuristic,
+        budget: OracleOptions::default().node_budget,
         trip: 100.0,
         threshold: 32,
         prefetch: true,
@@ -337,6 +358,20 @@ fn parse_args() -> Options {
                     Some("hlo") => LatencyPolicy::HloHints,
                     _ => usage(),
                 }
+            }
+            "--backend" => {
+                o.backend = match args.next().as_deref() {
+                    Some("heuristic") => ltsp::server::Backend::Heuristic,
+                    Some("exact") => ltsp::server::Backend::Exact,
+                    Some("tiered") => ltsp::server::Backend::Tiered,
+                    _ => usage(),
+                }
+            }
+            "--budget" => {
+                o.budget = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--trip" => {
                 o.trip = args
@@ -589,6 +624,7 @@ fn run_remote(argv: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut op = "compile".to_string();
+    let mut backend: Option<String> = None;
     let mut policy = "hlo".to_string();
     let mut trip: f64 = 100.0;
     let mut budget: Option<u64> = None;
@@ -622,6 +658,12 @@ fn run_remote(argv: &[String]) -> ExitCode {
             "--policy" => {
                 policy = match it.next().map(String::as_str) {
                     Some(p @ ("baseline" | "l3" | "fpl2" | "hlo")) => p.to_string(),
+                    _ => usage(),
+                }
+            }
+            "--backend" => {
+                backend = match it.next().map(String::as_str) {
+                    Some(b @ ("heuristic" | "exact" | "tiered")) => Some(b.to_string()),
                     _ => usage(),
                 }
             }
@@ -782,6 +824,9 @@ fn run_remote(argv: &[String]) -> ExitCode {
             policy,
             trip
         );
+        if let Some(b) = &backend {
+            req.push_str(&format!(",\"backend\":\"{b}\""));
+        }
         if let Some(b) = budget {
             req.push_str(&format!(",\"budget\":{b}"));
         }
@@ -1207,6 +1252,25 @@ fn run_top(argv: &[String]) -> ExitCode {
                 .unwrap_or(0.0);
             println!("  {phase:<14} {p50:9.0}  {p99:9.0}  {n:9.0}");
         }
+        // Tiered serving: refinement-upgrade counters, shown once any
+        // upgrade has been scheduled (quiet on heuristic-only servers).
+        let upgrades: Vec<String> = ["scheduled", "applied", "refined", "failed"]
+            .iter()
+            .filter_map(|event| {
+                let v = snap
+                    .value("ltsp_upgrades_total", &[("event", event)])
+                    .unwrap_or(0.0);
+                (v > 0.0).then(|| format!("{event}={v:.0}"))
+            })
+            .chain(
+                snap.value("ltsp_persist_superseded_records", &[])
+                    .filter(|&v| v > 0.0)
+                    .map(|v| format!("superseded={v:.0}")),
+            )
+            .collect();
+        if !upgrades.is_empty() {
+            println!("  upgrades: {}", upgrades.join(" "));
+        }
         let chaos: Vec<String> = [
             ("shed_conns", "ltsp_connections_shed_total"),
             ("shed_resps", "ltsp_responses_shed_total"),
@@ -1285,6 +1349,33 @@ fn main() -> ExitCode {
     };
 
     let machine = MachineModel::itanium2();
+    if o.backend != ltsp::server::Backend::Heuristic {
+        // Locally there is no cache to upgrade in place, so `tiered`
+        // degenerates to its refinement tier: the exact backend.
+        if o.backend == ltsp::server::Backend::Tiered {
+            eprintln!("ltspc: --backend tiered is served by the exact backend locally");
+        }
+        if o.asm || o.simulate.is_some() {
+            eprintln!("ltspc: --asm/--simulate apply to the heuristic backend only");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let opts = OracleOptions {
+            node_budget: o.budget,
+            ..OracleOptions::default()
+        };
+        return match ltsp::oracle::exact_case(&lp, &machine, &opts) {
+            Ok(case) => {
+                print!("{}", ltsp::server::render_exact_report(&lp, &case));
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("{}: violation [{}]: {v}", lp.name(), v.kind());
+                }
+                ExitCode::from(EXIT_REJECTED)
+            }
+        };
+    }
     let cfg = CompileConfig::new(o.policy)
         .with_threshold(o.threshold)
         .with_prefetch(o.prefetch)
