@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]
-//!         [--backend heuristic|exact|tiered] [--corpus DIR] [--burst K]
-//!         [--seed N] [--out FILE]
+//!         [--backend heuristic|exact|tiered] [--mode static|adaptive]
+//!         [--corpus DIR] [--burst K] [--seed N] [--out FILE]
 //!         [--timings] [--metrics-out FILE] [--fault-mode] [--shutdown]
 //! ```
 //!
@@ -33,6 +33,17 @@
 //! landing is part of the tiered contract — and reports a `"tiered"`
 //! block with the upgraded-hit count; zero upgraded entries after the
 //! polling budget fails the run.
+//!
+//! `--mode adaptive` stamps every compile request with the adaptive
+//! compilation mode instead: cold compiles answer with the fast static
+//! schedule and enqueue an asynchronous feedback-directed refinement
+//! (simulate → refine hints → re-pipeline to a certified fixpoint) that
+//! upgrades the cache entry in place with the converged bytes. As with
+//! tiered, `cache:"upgraded"` responses count as warm hits, a bounded
+//! post-run poll waits for at least one adaptive upgrade to land, and
+//! zero upgrades after the budget fails the run; the report carries a
+//! matching `"adaptive"` block. Adaptive refines the heuristic backend
+//! only, so `--mode adaptive` rejects `--backend exact|tiered`.
 //!
 //! `--timings` sets the opt-in per-request flag: every response carries
 //! its server-side per-phase breakdown, which loadgen accumulates into
@@ -77,6 +88,7 @@ struct Options {
     requests: usize,
     mix: (u64, u64, u64),
     backend: Option<String>,
+    mode: Option<String>,
     corpus: String,
     burst: usize,
     synthetic: usize,
@@ -91,7 +103,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--conns N] [--requests N] [--mix C:V:O]\n\
-         \x20              [--backend heuristic|exact|tiered]\n\
+         \x20              [--backend heuristic|exact|tiered] [--mode static|adaptive]\n\
          \x20              [--corpus DIR] [--synthetic N] [--burst K] [--seed N]\n\
          \x20              [--out FILE] [--timings] [--metrics-out FILE]\n\
          \x20              [--fault-mode] [--shutdown]"
@@ -106,6 +118,7 @@ fn parse_args() -> Options {
         requests: 64,
         mix: (6, 3, 1),
         backend: None,
+        mode: None,
         corpus: "loops".to_string(),
         burst: 0,
         synthetic: 0,
@@ -138,6 +151,12 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--mode" => {
+                o.mode = match args.next().as_deref() {
+                    Some(m @ ("static" | "adaptive")) => Some(m.to_string()),
+                    _ => usage(),
+                }
+            }
             "--corpus" => o.corpus = args.next().unwrap_or_else(|| usage()),
             "--burst" => o.burst = num(args.next()) as usize,
             "--synthetic" => o.synthetic = num(args.next()) as usize,
@@ -162,6 +181,12 @@ fn parse_args() -> Options {
             "--shutdown" => o.shutdown = true,
             _ => usage(),
         }
+    }
+    if o.mode.as_deref() == Some("adaptive")
+        && !matches!(o.backend.as_deref(), None | Some("heuristic"))
+    {
+        eprintln!("loadgen: --mode adaptive refines the heuristic backend only");
+        std::process::exit(2);
     }
     o
 }
@@ -277,15 +302,20 @@ fn build_request(
     };
     let (name, text) = &corpus[(rng.next_u64() % corpus.len() as u64) as usize];
     let flags = if o.timings { ",\"timings\":true" } else { "" };
-    // The scheduling backend is a compile-time concept; verify/oracle
-    // requests stay backend-less whatever --backend says.
+    // The scheduling backend and compilation mode are compile-time
+    // concepts; verify/oracle requests stay unstamped whatever
+    // --backend/--mode say.
     let backend = match (&o.backend, op) {
         (Some(b), "compile") => format!(",\"backend\":\"{b}\""),
         _ => String::new(),
     };
+    let mode = match (&o.mode, op) {
+        (Some(m), "compile") => format!(",\"mode\":\"{m}\""),
+        _ => String::new(),
+    };
     // deadline_ms:0 keeps oracle work node-budget-bound (deterministic).
     format!(
-        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\"{backend},\"deadline_ms\":0{flags}}}\n"
+        "{{\"op\":\"{op}\",\"id\":\"{conn}-{i}-{name}\",\"loop\":\"{text}\"{backend}{mode},\"deadline_ms\":0{flags}}}\n"
     )
 }
 
@@ -433,13 +463,15 @@ fn run_conn(
     Ok((samples, stats, phases))
 }
 
-/// Re-sends tiered compile requests for every corpus entry until at
-/// least one response carries `cache:"upgraded"`, up to `max_rounds`
-/// sweeps with a 10ms breather between them. Returns the number of
-/// upgraded responses observed in the final sweep and the rounds used.
+/// Re-sends compile requests (stamped with `stamp` — the tiered backend
+/// or the adaptive mode) for every corpus entry until at least one
+/// response carries `cache:"upgraded"`, up to `max_rounds` sweeps with a
+/// 10ms breather between them. Returns the number of upgraded responses
+/// observed in the final sweep and the rounds used.
 fn poll_for_upgrades(
     o: &Options,
     corpus: &[(String, String)],
+    stamp: &str,
     max_rounds: usize,
 ) -> std::io::Result<(usize, usize)> {
     let stream = TcpStream::connect(&o.addr)?;
@@ -453,7 +485,7 @@ fn poll_for_upgrades(
         for (name, text) in corpus {
             let req = format!(
                 "{{\"op\":\"compile\",\"id\":\"upgrade-poll-{round}-{name}\",\"loop\":\"{text}\",\
-                 \"backend\":\"tiered\",\"deadline_ms\":0}}\n"
+                 {stamp},\"deadline_ms\":0}}\n"
             );
             writer.write_all(req.as_bytes())?;
             writer.flush()?;
@@ -688,21 +720,28 @@ fn main() {
     // asynchronous, so the main run may finish before any exact body
     // lands — but landing at all is the tiered contract, and a poll
     // budget exhausted with zero upgrades fails the run loudly.
-    let tiered_poll: Option<(usize, usize)> = if o.backend.as_deref() == Some("tiered") {
-        match poll_for_upgrades(&o, &corpus, 400) {
-            Ok(r) => Some(r),
+    let run_poll = |stamp: &str| -> (usize, usize) {
+        match poll_for_upgrades(&o, &corpus, stamp, 400) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("loadgen: upgrade poll failed: {e}");
                 std::process::exit(3);
             }
         }
-    } else {
-        None
     };
-    if let Some((seen, rounds)) = tiered_poll {
-        if seen == 0 {
-            eprintln!("loadgen: no upgraded cache entries after {rounds} poll rounds");
-            std::process::exit(1);
+    let tiered_poll: Option<(usize, usize)> =
+        (o.backend.as_deref() == Some("tiered")).then(|| run_poll("\"backend\":\"tiered\""));
+    // Adaptive runs have the same contract: the feedback-directed
+    // refinement is asynchronous, but landing at all is part of the
+    // mode, so a poll budget exhausted with zero upgrades fails the run.
+    let adaptive_poll: Option<(usize, usize)> =
+        (o.mode.as_deref() == Some("adaptive")).then(|| run_poll("\"mode\":\"adaptive\""));
+    for (what, poll) in [("tiered", tiered_poll), ("adaptive", adaptive_poll)] {
+        if let Some((seen, rounds)) = poll {
+            if seen == 0 {
+                eprintln!("loadgen: no upgraded {what} cache entries after {rounds} poll rounds");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -749,9 +788,18 @@ fn main() {
     if let Some(b) = &o.backend {
         out.push_str(&format!("  \"backend\": \"{b}\",\n"));
     }
+    if let Some(m) = &o.mode {
+        out.push_str(&format!("  \"mode\": \"{m}\",\n"));
+    }
     if let Some((seen, rounds)) = tiered_poll {
         out.push_str(&format!(
             "  \"tiered\": {{\"upgraded_observed\": {seen}, \"poll_rounds\": {rounds}, \
+             \"upgraded_in_run\": {upgraded}}},\n"
+        ));
+    }
+    if let Some((seen, rounds)) = adaptive_poll {
+        out.push_str(&format!(
+            "  \"adaptive\": {{\"upgraded_observed\": {seen}, \"poll_rounds\": {rounds}, \
              \"upgraded_in_run\": {upgraded}}},\n"
         ));
     }

@@ -3,10 +3,13 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations|oracle]
+//! reproduce [all|fig5|fig7|fig8|fig9|fig10|mcf|regstats|compiletime|noprefetch|versioning|sampling|balanced|ablations|oracle|adaptive]
 //!           [--scale X] [--jobs N] [--csv] [--trace-out FILE] [--metrics-out FILE]
 //!           [--bench-out FILE] [--no-bench] [-v]
 //! ```
+//!
+//! `--adaptive` is an alias for the `adaptive` experiment (the E-adaptive
+//! feedback-directed-hints table).
 //!
 //! The `--bench-out` record also carries a `"phases"` block: the kernel
 //! library is compiled once per policy with a phase timer attached, and
@@ -28,8 +31,8 @@
 //! timing included).
 
 use ltsp_bench::{
-    balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10, fig5, fig7,
-    fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
+    adaptive_gap, balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10,
+    fig5, fig7, fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
     mve_code_size_ablation, no_prefetch_headroom, oracle_gap, ozq_capacity_ablation, regstats,
     versioning_experiment,
 };
@@ -181,6 +184,7 @@ fn main() {
             "--bench-out" => bench_out = it.next().cloned(),
             "--no-bench" => bench_out = None,
             "-v" | "--verbose" => verbose = true,
+            "--adaptive" => which = "adaptive".to_string(),
             other => which = other.to_string(),
         }
     }
@@ -290,6 +294,12 @@ fn main() {
         timed(&mut timings, "oracle", &mut || {
             let _s = tel.span("experiment:oracle");
             emit(&oracle_gap(&machine, &tel, jobs).render());
+        });
+    }
+    if run_all || which == "adaptive" {
+        timed(&mut timings, "adaptive", &mut || {
+            let _s = tel.span("experiment:adaptive");
+            emit(&adaptive_gap(&machine, &tel, jobs).render());
         });
     }
     if run_all || which == "ablations" {

@@ -21,7 +21,9 @@
 //! | [`ozq_capacity_ablation`] | Sec. 4.5 claim — more queuing, more benefit |
 //! | [`boost_magnitude_ablation`] | Sec. 2.2 guidance — 20-30 cycle sweet spot |
 //! | [`oracle_gap`] | E-oracle — heuristic II vs exact-oracle minimal II |
+//! | [`adaptive_gap`] | E-adaptive — feedback-directed hints vs static policies |
 
+mod adaptive_gap;
 mod experiments;
 mod extensions;
 mod fig5;
@@ -30,6 +32,7 @@ pub mod microbench;
 mod oracle_gap;
 mod stats;
 
+pub use adaptive_gap::{adaptive_gap, AdaptiveGapResult, AdaptiveRow};
 pub use experiments::{
     fig10, fig7, fig8, fig9, no_prefetch_headroom, AccountingResult, GainExperiment,
 };

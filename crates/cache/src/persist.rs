@@ -44,6 +44,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use ltsp_telemetry::lock_unpoisoned;
@@ -121,6 +122,11 @@ impl ReplayReport {
 pub struct CacheLog {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    /// On-disk size of the log (header + every framed record), tracked
+    /// so operators can watch an append-only file grow without stat(2):
+    /// initialized to the clean-prefix length at open, bumped by the
+    /// frame size on every append.
+    log_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for CacheLog {
@@ -272,6 +278,9 @@ impl CacheLog {
             CacheLog {
                 path: path.to_path_buf(),
                 writer: Mutex::new(BufWriter::new(file)),
+                // A rewritten (fresh/headerless) log starts at the bare
+                // header; otherwise the file was truncated to clean_len.
+                log_bytes: AtomicU64::new(clean_len.max(MAGIC.len() as u64)),
             },
             report,
         ))
@@ -280,6 +289,12 @@ impl CacheLog {
     /// The file this log appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The log's current on-disk size in bytes (header plus every
+    /// record appended or replayed, after bad-tail truncation).
+    pub fn log_bytes(&self) -> u64 {
+        self.log_bytes.load(Ordering::Relaxed)
     }
 
     /// Appends one record (framed, CRC'd, flushed — not fsynced). Thread
@@ -291,7 +306,10 @@ impl CacheLog {
         w.write_all(&(payload.len() as u32).to_le_bytes())?;
         w.write_all(&crc32(&payload).to_le_bytes())?;
         w.write_all(&payload)?;
-        w.flush()
+        w.flush()?;
+        self.log_bytes
+            .fetch_add(8 + payload.len() as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -385,6 +403,27 @@ mod tests {
             "final bytes win, first-appearance order"
         );
         assert_eq!(report.superseded(), 2);
+    }
+
+    #[test]
+    fn log_bytes_track_the_on_disk_size_across_reopen() {
+        let path = tmp("log-bytes");
+        let _ = std::fs::remove_file(&path);
+        let (log, _) = CacheLog::open(&path).unwrap();
+        assert_eq!(log.log_bytes(), MAGIC.len() as u64, "fresh log = header");
+        for i in 0..5 {
+            let r = rec(i);
+            log.append(r.key, &r.status, &r.body).unwrap();
+            assert_eq!(
+                log.log_bytes(),
+                std::fs::metadata(&path).unwrap().len(),
+                "gauge matches the file after append {i}"
+            );
+        }
+        let final_bytes = log.log_bytes();
+        drop(log);
+        let (log, _) = CacheLog::open(&path).unwrap();
+        assert_eq!(log.log_bytes(), final_bytes, "reopen replays the size");
     }
 
     #[test]

@@ -141,6 +141,25 @@ mod tests {
             base.clone().with_prefetch(false).fingerprint(),
             base.clone().with_balanced_recurrences(true).fingerprint(),
             base.clone().with_data_speculation(true).fingerprint(),
+            // The adaptive loop's observed-hint overlay is a compile
+            // input like any other: a config carrying one must never
+            // alias the static config's key.
+            base.clone()
+                .with_observed_overlay(ltsp_hlo::ObservedOverlay::new(vec![Some(
+                    ltsp_hlo::ObservedVerdict {
+                        hint: ltsp_hlo::ObservedHint::Level(ltsp_ir::LatencyHint::L3),
+                        drop_prefetch: false,
+                    },
+                )]))
+                .fingerprint(),
+            base.clone()
+                .with_observed_overlay(ltsp_hlo::ObservedOverlay::new(vec![Some(
+                    ltsp_hlo::ObservedVerdict {
+                        hint: ltsp_hlo::ObservedHint::Level(ltsp_ir::LatencyHint::L3),
+                        drop_prefetch: true,
+                    },
+                )]))
+                .fingerprint(),
         ];
         for i in 0..fps.len() {
             for j in i + 1..fps.len() {

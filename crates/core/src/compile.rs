@@ -77,6 +77,20 @@ fn hint_for_load(
         Opcode::Load(dc) => dc,
         _ => return None,
     };
+    // Observed-overlay verdicts (the adaptive refinement loop) override
+    // the static policy for covered references and bypass the trip
+    // threshold: a measurement is stronger evidence than the static
+    // profitability guard (same rationale as MissSampled below).
+    if let Some(overlay) = &cfg.observed_overlay {
+        if let Some(m) = lp.inst(inst).mem() {
+            if let Some(obs) = overlay.get(m) {
+                return match obs.hint {
+                    ltsp_hlo::ObservedHint::Fast => None,
+                    ltsp_hlo::ObservedHint::Level(h) => Some(h),
+                };
+            }
+        }
+    }
     match cfg.policy {
         LatencyPolicy::Baseline => None,
         LatencyPolicy::AllLoadsL3 => above_threshold.then_some(LatencyHint::L3),
@@ -279,8 +293,22 @@ pub fn compile_loop_with_profile_phased(
     let mut lp = lp.clone();
     let hlo = {
         let _span = tel.span(format!("hlo:{}", lp.name()));
+        // The observed overlay rides into the prefetcher here (so it can
+        // drop observed-redundant prefetches) rather than living in
+        // `cfg.hlo` directly — the cache fingerprint then tracks it
+        // exactly once, via `CompileConfig::observed_overlay`.
+        let hlo_cfg;
+        let hlo_cfg = if let Some(ov) = &cfg.observed_overlay {
+            hlo_cfg = ltsp_hlo::HloConfig {
+                observed: Some(ov.clone()),
+                ..cfg.hlo.clone()
+            };
+            &hlo_cfg
+        } else {
+            &cfg.hlo
+        };
         time_opt(phases, Phase::Hlo, || {
-            run_hlo_traced(&mut lp, machine, Some(trip_estimate), &cfg.hlo, tel)
+            run_hlo_traced(&mut lp, machine, Some(trip_estimate), hlo_cfg, tel)
         })
     };
 

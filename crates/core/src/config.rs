@@ -63,6 +63,12 @@ pub struct CompileConfig {
     /// Per-memref sampled latency hints for [`LatencyPolicy::MissSampled`]
     /// (from [`crate::sample_miss_hints`]); ignored by other policies.
     pub miss_profile: Option<Vec<Option<ltsp_ir::LatencyHint>>>,
+    /// Observed-hint overlay from the adaptive refinement loop
+    /// (crates/adaptive): per-memref measured verdicts merged over the
+    /// static policy per [`ltsp_hlo::ObservedOverlay::merge`]. Covered
+    /// references bypass the trip-count threshold, like a miss profile;
+    /// uncovered references fall back to the static policy unchanged.
+    pub observed_overlay: Option<ltsp_hlo::ObservedOverlay>,
 }
 
 impl CompileConfig {
@@ -78,6 +84,7 @@ impl CompileConfig {
             hlo: HloConfig::default(),
             pipeline: PipelineOptions::default(),
             miss_profile: None,
+            observed_overlay: None,
         }
     }
 
@@ -85,6 +92,13 @@ impl CompileConfig {
     /// [`LatencyPolicy::MissSampled`]).
     pub fn with_miss_profile(mut self, profile: Vec<Option<ltsp_ir::LatencyHint>>) -> Self {
         self.miss_profile = Some(profile);
+        self
+    }
+
+    /// Attaches an observed-hint overlay from the adaptive refinement
+    /// loop; covered references override the static policy.
+    pub fn with_observed_overlay(mut self, overlay: ltsp_hlo::ObservedOverlay) -> Self {
+        self.observed_overlay = Some(overlay);
         self
     }
 

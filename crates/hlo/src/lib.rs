@@ -19,6 +19,8 @@
 //! Hint levels follow the paper: L2 for integer loads, L3 for FP loads —
 //! one level below the highest cache level each can hit.
 
+mod overlay;
 mod prefetch;
 
+pub use overlay::{HintSource, ObservedHint, ObservedOverlay, ObservedVerdict};
 pub use prefetch::{run_hlo, run_hlo_traced, HintReason, HloConfig, HloReport, RefDecision};

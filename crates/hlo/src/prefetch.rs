@@ -6,8 +6,10 @@ use ltsp_ir::{
 };
 use ltsp_machine::MachineModel;
 
+use crate::overlay::ObservedOverlay;
+
 /// Tunables of the prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HloConfig {
     /// Master switch; when off, no prefetches are inserted but the hint
     /// heuristics still run (everything un-prefetched gets marked) — this
@@ -30,6 +32,11 @@ pub struct HloConfig {
     pub ozq_pressure_refs: usize,
     /// Trip estimate assumed when none is available.
     pub default_trip_estimate: f64,
+    /// Runtime-measured verdicts from the adaptive loop; references whose
+    /// verdict says `drop_prefetch` get no prefetch instruction (their
+    /// line was observed already resident — the prefetch is pure body
+    /// cost). `None` (the default) runs the pure static analysis.
+    pub observed: Option<ObservedOverlay>,
 }
 
 impl Default for HloConfig {
@@ -41,6 +48,7 @@ impl Default for HloConfig {
             indirect_max_distance: 4,
             ozq_pressure_refs: 6,
             default_trip_estimate: 100.0,
+            observed: None,
         }
     }
 }
@@ -332,6 +340,16 @@ pub fn run_hlo(
             hinted += 1;
         }
         if let Some(plan) = d.plan {
+            // An observed-redundant prefetch is omitted entirely: the
+            // line it would fetch is already resident, so dropping it
+            // only shrinks the loop body (and its resource-minimum II).
+            if cfg
+                .observed
+                .as_ref()
+                .is_some_and(|ov| ov.drop_prefetch(d.memref))
+            {
+                continue;
+            }
             lp.memref_mut(d.memref).set_prefetch(Some(plan));
             if cfg.prefetch_enabled {
                 let id = InstId(lp.insts().len() as u32);

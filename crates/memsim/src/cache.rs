@@ -117,7 +117,21 @@ impl Tlb {
     }
 }
 
-/// Result of a demand access.
+/// What one software prefetch accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchOutcome {
+    /// Cycles until the prefetch's fill completes (the OzQ entry's
+    /// lifetime).
+    pub latency: u32,
+    /// The line was already resident at the prefetch's target level (or
+    /// closer): the prefetch changed nothing about residency and was
+    /// pure issue-slot cost. In-flight fills are *not* redundant — a
+    /// streaming prefetch's later same-line issues ride the miss an
+    /// earlier issue started.
+    pub redundant: bool,
+}
+
+/// The result of one demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Cycles until the data is available to the pipeline.
@@ -266,9 +280,10 @@ impl MemorySystem {
     }
 
     /// A software prefetch into `target` at cycle `now`. Returns the cycles
-    /// until the fill completes (the OzQ entry's lifetime). Never faults,
-    /// does not touch L1 unless targeted there.
-    pub fn prefetch(&mut self, addr: u64, target: CacheLevel, now: u64) -> u32 {
+    /// until the fill completes (the OzQ entry's lifetime) and whether the
+    /// prefetch was redundant. Never faults, does not touch L1 unless
+    /// targeted there.
+    pub fn prefetch(&mut self, addr: u64, target: CacheLevel, now: u64) -> PrefetchOutcome {
         self.drain_inflight(now);
         let tlb_miss = self.tlb.access_misses(addr);
         let extra = if tlb_miss {
@@ -278,10 +293,18 @@ impl MemorySystem {
         };
         let key = self.inflight_key(addr);
         if let Some(&done) = self.inflight.get(&key) {
-            return (done - now) as u32 + extra;
+            // Riding a fill already on the way — the normal mode of a
+            // streaming prefetch whose earlier issue started the miss,
+            // so not counted redundant.
+            return PrefetchOutcome {
+                latency: (done - now) as u32 + extra,
+                redundant: false,
+            };
         }
         // Where is the line now?
-        let latency = if self.l2.probe(addr) {
+        let in_l1 = target == CacheLevel::L1 && self.l1.probe(addr);
+        let l2_hit = self.l2.probe(addr);
+        let latency = if l2_hit {
             self.geo.l2.best_latency
         } else if self.l3.probe(addr) {
             self.l2.insert(addr);
@@ -296,7 +319,19 @@ impl MemorySystem {
         if target == CacheLevel::L1 {
             self.l1.insert(addr);
         }
-        latency + extra
+        // Redundant means the line was already resident at the target
+        // level (or closer): the prefetch changed nothing about where
+        // the demand load will be served from. An L1-target prefetch
+        // that finds the line only in L2 still has promotion value.
+        let redundant = if target == CacheLevel::L1 {
+            in_l1
+        } else {
+            l2_hit
+        };
+        PrefetchOutcome {
+            latency: latency + extra,
+            redundant,
+        }
     }
 
     /// Empties all caches, the TLB and in-flight state.
@@ -367,23 +402,26 @@ mod tests {
     #[test]
     fn prefetch_fills_target_level() {
         let mut s = sys();
-        let lat = s.prefetch(0x9_0000, CacheLevel::L2, 0);
-        assert!(lat >= 165, "cold prefetch goes to memory");
+        let out = s.prefetch(0x9_0000, CacheLevel::L2, 0);
+        assert!(out.latency >= 165, "cold prefetch goes to memory");
+        assert!(!out.redundant, "a cold prefetch does real work");
         // After the fill, a demand access hits L2 (prefetch skipped L1).
         let hit = s.demand_access(0x9_0000, DataClass::Int, 1000, false);
         assert_eq!(hit.level, CacheLevel::L2);
-        // Prefetching again is cheap.
-        let lat2 = s.prefetch(0x9_0000, CacheLevel::L2, 2000);
-        assert_eq!(lat2, 5);
+        // Prefetching again is cheap — and redundant (line already at
+        // its target level).
+        let again = s.prefetch(0x9_0000, CacheLevel::L2, 2000);
+        assert_eq!(again.latency, 5);
+        assert!(again.redundant);
     }
 
     #[test]
     fn demand_after_prefetch_in_flight_merges() {
         let mut s = sys();
-        let lat = s.prefetch(0xA_0000, CacheLevel::L2, 0);
+        let out = s.prefetch(0xA_0000, CacheLevel::L2, 0);
         let d = s.demand_access(0xA_0000, DataClass::Int, 50, false);
         assert!(d.merged);
-        assert_eq!(u64::from(d.latency), u64::from(lat) - 50);
+        assert_eq!(u64::from(d.latency), u64::from(out.latency) - 50);
     }
 
     #[test]

@@ -87,6 +87,44 @@ struct ExecInst {
 /// assert!(c.is_consistent());
 /// # Ok::<(), ltsp_ir::IrError>(())
 /// ```
+/// Where one memory reference's demand loads were actually served from —
+/// the per-load observation record the adaptive-hint loop feeds back into
+/// the compiler. The access/latency/level counts are demand accesses;
+/// software prefetches are tallied separately (`prefetches`, and how many
+/// were redundant). `merged` accesses piggy-backed on an in-flight miss
+/// and are excluded from the per-level counts, exactly as in
+/// [`CycleCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefObservation {
+    /// Demand accesses issued through this reference.
+    pub accesses: u64,
+    /// Sum of observed latencies (cycles) across those accesses.
+    pub latency_sum: u64,
+    /// Accesses served by the L1D.
+    pub l1: u64,
+    /// Accesses served by the L2.
+    pub l2: u64,
+    /// Accesses served by the L3.
+    pub l3: u64,
+    /// Accesses served by memory.
+    pub mem: u64,
+    /// Accesses merged into an already-in-flight miss.
+    pub merged: u64,
+    /// Software prefetches issued for this reference.
+    pub prefetches: u64,
+    /// Prefetches that found the line already cache-resident (in the L2
+    /// or closer, or covered by an in-flight fill about to land) — the
+    /// prefetch was pure issue-slot cost.
+    pub redundant_prefetches: u64,
+}
+
+impl RefObservation {
+    /// Mean observed latency in cycles, or `None` with no accesses.
+    pub fn avg_latency(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.latency_sum as f64 / self.accesses as f64)
+    }
+}
+
 #[derive(Debug)]
 pub struct Executor<'a> {
     lp: &'a LoopIr,
@@ -107,6 +145,9 @@ pub struct Executor<'a> {
     cfg: ExecutorConfig,
     /// Per-memref demand-load statistics: (accesses, total latency).
     ref_stats: Vec<(u64, u64)>,
+    /// Per-memref observed service levels (the adaptive-hint feedback
+    /// signal); updated in lockstep with `ref_stats`.
+    ref_obs: Vec<RefObservation>,
     /// Observational telemetry sink; disabled by default. The simulation
     /// never reads it, so cycle counts are bit-identical either way.
     telemetry: ltsp_telemetry::Telemetry,
@@ -209,6 +250,7 @@ impl<'a> Executor<'a> {
             pred_vals: HashMap::new(),
             cfg,
             ref_stats: vec![(0, 0); n_refs],
+            ref_obs: vec![RefObservation::default(); n_refs],
             telemetry: ltsp_telemetry::Telemetry::disabled(),
         }
     }
@@ -242,6 +284,17 @@ impl<'a> Executor<'a> {
         for s in &mut self.ref_stats {
             *s = (0, 0);
         }
+        for o in &mut self.ref_obs {
+            *o = RefObservation::default();
+        }
+    }
+
+    /// Per-memref service-level observations (which cache level each
+    /// demand load was actually served from, plus latency sums) — the
+    /// feedback signal of the adaptive-hint loop. Indexed by memref id;
+    /// cleared together with [`Executor::reset_ref_stats`].
+    pub fn observations(&self) -> &[RefObservation] {
+        &self.ref_obs
     }
 
     /// The counters accumulated so far.
@@ -450,7 +503,7 @@ impl<'a> Executor<'a> {
                     let distance = self.lp.memref(m).prefetch().map_or(0, |p| p.distance);
                     let addr = self.streams.address_ahead(m, i, distance);
                     self.counters.prefetches += 1;
-                    self.issue_prefetch(addr, target);
+                    self.issue_prefetch(addr, target, m);
                 }
                 _ => {
                     if let Some(dst) = ei.dst {
@@ -486,17 +539,33 @@ impl<'a> Executor<'a> {
         let stat = &mut self.ref_stats[memref.index()];
         stat.0 += 1;
         stat.1 += u64::from(outcome.latency);
+        let obs = &mut self.ref_obs[memref.index()];
+        obs.accesses += 1;
+        obs.latency_sum += u64::from(outcome.latency);
         if outcome.tlb_miss {
             self.counters.tlb_misses += 1;
         }
         if outcome.merged {
             self.counters.inflight_merges += 1;
+            obs.merged += 1;
         } else {
             match outcome.level {
-                ltsp_ir::CacheLevel::L1 => self.counters.l1_hits += 1,
-                ltsp_ir::CacheLevel::L2 => self.counters.l2_hits += 1,
-                ltsp_ir::CacheLevel::L3 => self.counters.l3_hits += 1,
-                ltsp_ir::CacheLevel::Memory => self.counters.mem_loads += 1,
+                ltsp_ir::CacheLevel::L1 => {
+                    self.counters.l1_hits += 1;
+                    obs.l1 += 1;
+                }
+                ltsp_ir::CacheLevel::L2 => {
+                    self.counters.l2_hits += 1;
+                    obs.l2 += 1;
+                }
+                ltsp_ir::CacheLevel::L3 => {
+                    self.counters.l3_hits += 1;
+                    obs.l3 += 1;
+                }
+                ltsp_ir::CacheLevel::Memory => {
+                    self.counters.mem_loads += 1;
+                    obs.mem += 1;
+                }
             }
         }
         let extra = match dc {
@@ -522,10 +591,15 @@ impl<'a> Executor<'a> {
         self.ozq.push_completion(self.now + u64::from(hold));
     }
 
-    fn issue_prefetch(&mut self, addr: u64, target: ltsp_ir::CacheLevel) {
+    fn issue_prefetch(&mut self, addr: u64, target: ltsp_ir::CacheLevel, memref: MemRefId) {
         self.ozq_admit();
-        let lat = self.mem.prefetch(addr, target, self.now);
-        self.ozq.push_completion(self.now + u64::from(lat));
+        let out = self.mem.prefetch(addr, target, self.now);
+        let obs = &mut self.ref_obs[memref.index()];
+        obs.prefetches += 1;
+        if out.redundant {
+            obs.redundant_prefetches += 1;
+        }
+        self.ozq.push_completion(self.now + u64::from(out.latency));
     }
 }
 

@@ -27,8 +27,8 @@ mod exec;
 mod ozq;
 mod streams;
 
-pub use cache::{AccessOutcome, MemorySystem};
+pub use cache::{AccessOutcome, MemorySystem, PrefetchOutcome};
 pub use counters::CycleCounters;
-pub use exec::{Executor, ExecutorConfig};
+pub use exec::{Executor, ExecutorConfig, RefObservation};
 pub use ozq::Ozq;
 pub use streams::{AddressStreams, StreamMode};

@@ -6,6 +6,7 @@
 //!       [--cache-bytes N] [--result-cache-bytes N]
 //!       [--oracle-budget NODES] [--oracle-deadline-ms MS]
 //!       [--flight-dir DIR] [--flight-len N] [--persist FILE]
+//!       [--persist-warn-mb N]
 //!       [--trace-out FILE] [--metrics-out FILE] [-v]
 //! ```
 //!
@@ -26,6 +27,8 @@
 //! `ltsp_cache::persist`) behind the result cache: every newly computed
 //! result is logged, and a restarted daemon replays the log before
 //! accepting connections, serving warm from the first request.
+//! `--persist-warn-mb N` logs one loud warning when the log grows past
+//! N MiB (the size is always exported as `ltsp_persist_log_bytes`).
 //!
 //! `--flight-dir` enables the flight recorder's dump-to-disk path: the
 //! last `--flight-len` request lifecycles (default 256) are written as
@@ -47,6 +50,7 @@ fn usage() -> ! {
          \x20            [--cache-bytes N] [--result-cache-bytes N]\n\
          \x20            [--oracle-budget NODES] [--oracle-deadline-ms MS]\n\
          \x20            [--flight-dir DIR] [--flight-len N] [--persist FILE]\n\
+         \x20            [--persist-warn-mb N]\n\
          \x20            [--trace-out FILE] [--metrics-out FILE] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -99,6 +103,9 @@ fn main() -> ExitCode {
             "--flight-len" => engine.flight_len = num::<usize>(args.next()).max(1),
             "--persist" => {
                 engine.persist_path = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--persist-warn-mb" => {
+                engine.persist_warn_bytes = Some(num::<u64>(args.next()).max(1) << 20)
             }
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),

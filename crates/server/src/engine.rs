@@ -18,12 +18,13 @@
 //! request, which is what keeps batch composition (and therefore
 //! `--jobs`) out of the bytes on the wire.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ltsp_adaptive::{compile_loop_adaptive, AdaptiveOptions};
 use ltsp_cache::persist::CacheLog;
 use ltsp_cache::{CacheConfig, Fingerprint, FingerprintHasher, ShardedLru};
 use ltsp_core::{compile_loop_cached_phased, new_compile_cache, CompileCache, CompileConfig};
@@ -35,9 +36,9 @@ use ltsp_telemetry::{lock_unpoisoned, prom, Event, Histogram, Telemetry};
 
 use crate::flight::{FlightRecord, FlightRecorder};
 use crate::proto::{
-    push_bool_field, push_str_field, push_u64_field, Backend, ReqOp, Request, Response,
+    push_bool_field, push_str_field, push_u64_field, Backend, Mode, ReqOp, Request, Response,
 };
-use crate::report::{render_compile_report, render_exact_report};
+use crate::report::{render_adaptive_report, render_compile_report, render_exact_report};
 
 /// A cached request outcome: the response status plus the body fragment
 /// (everything after the envelope), and whether the entry was upgraded
@@ -71,6 +72,10 @@ pub struct EngineConfig {
     /// and appends every newly computed result, so a restarted process
     /// serves warm from request one.
     pub persist_path: Option<PathBuf>,
+    /// Warn loudly (once) when the persist log grows past this many
+    /// bytes (`None` = never). The log is append-only, so unbounded
+    /// growth is by design — this is the operator's tripwire.
+    pub persist_warn_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +88,7 @@ impl Default for EngineConfig {
             flight_dir: None,
             flight_len: 256,
             persist_path: None,
+            persist_warn_bytes: None,
         }
     }
 }
@@ -157,22 +163,89 @@ pub struct PersistCounters {
     pub append_errors: AtomicU64,
 }
 
-/// Tiered-backend refinement counters: async exact-schedule upgrades of
-/// cache entries (exposed via `stats` and the Prometheus snapshot).
+/// Async-refinement counters — exact upgrades for the tiered backend
+/// and adaptive upgrades for `mode:"adaptive"` (exposed via `stats` and
+/// the Prometheus snapshot).
 #[derive(Debug, Default)]
 pub struct UpgradeCounters {
-    /// Refinement jobs queued (one per cold tiered compile).
+    /// Refinement batches queued (one per cold refining compile whose
+    /// work was not already in flight).
     pub scheduled: AtomicU64,
-    /// Upgrades applied in place (raw-request and tiered body entries
-    /// swapped to the exact backend's bytes, persisted again).
+    /// Cold refining compiles coalesced onto an already-queued batch
+    /// with the same refinement work (they get their own in-place
+    /// upgrade, but the schedule is computed once).
+    pub coalesced: AtomicU64,
+    /// Upgrades applied in place (raw-request and tier body entries
+    /// swapped to the refined bytes, persisted again) — one per waiter,
+    /// coalesced or not.
     pub applied: AtomicU64,
-    /// Applied upgrades whose exact schedule strictly improved the
+    /// Applied upgrades whose refined schedule strictly improved the
     /// heuristic II.
     pub refined: AtomicU64,
-    /// Refinement jobs that failed (parse, emission, or a rejected exact
+    /// Refinement jobs that failed (parse, emission, or a rejected
     /// case) — the heuristic entry stays, correctness is unaffected.
     pub failed: AtomicU64,
 }
+
+/// Which refinement a queued job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefineKind {
+    /// Tiered backend: the oracle's branch-and-bound exact emission.
+    Exact,
+    /// Adaptive mode: the memsim-fed hint-refinement loop to fixpoint.
+    Adaptive,
+}
+
+/// One queued refinement: the cold request to refine, its raw request
+/// key, the deadline resolved at admission time, and which refinement
+/// to run.
+struct RefineJob {
+    raw_key: Fingerprint,
+    deadline_ms: Option<u64>,
+    kind: RefineKind,
+    req: Request,
+}
+
+impl RefineJob {
+    /// The key identical refinement *work* coalesces under: two
+    /// in-flight jobs with the same dedup key compute the same refined
+    /// schedule, so the second one waits on the first's batch instead
+    /// of scheduling the computation twice. Covers exactly the inputs
+    /// of the refined body — for `Exact` that is the loop text and the
+    /// search budget/deadline (trip or policy variants share one exact
+    /// schedule); for `Adaptive` the compile config matters too, since
+    /// the refinement re-runs the pipeliner under it.
+    fn dedup_key(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write_str(&self.req.loop_text);
+        h.write_u64(self.deadline_ms.map_or(u64::MAX, |d| d));
+        match self.kind {
+            RefineKind::Exact => {
+                h.write_str("refine-exact");
+                h.write_u64(self.req.budget);
+            }
+            RefineKind::Adaptive => {
+                h.write_str("refine-adaptive");
+                h.write_str(&self.req.policy.to_string());
+                h.write_f64(self.req.trip);
+                h.write_u64(u64::from(self.req.threshold));
+                h.write_u64(
+                    u64::from(self.req.prefetch)
+                        | u64::from(self.req.balanced) << 1
+                        | u64::from(self.req.speculate) << 2,
+                );
+            }
+        }
+        h.finish()
+    }
+}
+
+/// In-flight refinement batches, keyed by [`RefineJob::dedup_key`]: the
+/// leader (first job under a key) owns the queue slot; followers append
+/// themselves as waiters. The worker removes the whole entry *before*
+/// computing, so every waiter present at that point shares one
+/// computation and later arrivals become fresh leaders.
+type RefineInflight = Mutex<HashMap<Fingerprint, Vec<RefineJob>>>;
 
 /// Everything the async refinement worker shares with the engine: the
 /// caches and counters it upgrades, behind `Arc` so the worker outlives
@@ -183,14 +256,7 @@ struct RefineShared {
     persist: Option<Arc<CacheLog>>,
     persist_counters: Arc<PersistCounters>,
     upgrades: Arc<UpgradeCounters>,
-}
-
-/// One queued refinement: the cold tiered request to refine, its raw
-/// request key, and the deadline resolved at admission time.
-struct RefineJob {
-    raw_key: Fingerprint,
-    deadline_ms: Option<u64>,
-    req: Request,
+    inflight: Arc<RefineInflight>,
 }
 
 /// The shared, thread-safe request engine.
@@ -216,12 +282,24 @@ pub struct Engine {
     /// run to run, and the drain-time telemetry export participates in
     /// determinism comparisons.
     phase_hists: Mutex<BTreeMap<&'static str, Histogram>>,
-    /// Queue into the refinement worker (`None` after shutdown).
-    refine_tx: Mutex<Option<mpsc::Sender<RefineJob>>>,
+    /// Queue into the refinement worker: each message is the dedup key
+    /// of a batch the sender just made a leader for (`None` after
+    /// shutdown).
+    refine_tx: Mutex<Option<mpsc::Sender<Fingerprint>>>,
     /// The refinement worker's join handle (`None` after shutdown).
     refine_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
-    /// Outstanding refinement jobs, for [`Engine::refine_wait_idle`].
+    /// Outstanding refinement jobs (waiters, not batches), for
+    /// [`Engine::refine_wait_idle`].
     refine_pending: Arc<(Mutex<u64>, Condvar)>,
+    /// In-flight refinement batches (dedup key → waiters).
+    refine_inflight: Arc<RefineInflight>,
+    /// Held by the worker across each batch's pop-and-process. Tests
+    /// grab it to deterministically coalesce followers onto an already
+    /// queued leader; uncontended otherwise.
+    #[cfg_attr(not(test), allow(dead_code))]
+    refine_gate: Arc<Mutex<()>>,
+    /// Latch so the persist-size warning fires once, not per append.
+    persist_warned: AtomicBool,
 }
 
 impl Engine {
@@ -279,29 +357,41 @@ impl Engine {
         let machine = MachineModel::itanium2();
         let upgrades = Arc::new(UpgradeCounters::default());
         let refine_pending = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let refine_inflight: Arc<RefineInflight> = Arc::new(Mutex::new(HashMap::new()));
+        let refine_gate = Arc::new(Mutex::new(()));
         let shared = RefineShared {
             machine: machine.clone(),
             result_cache: Arc::clone(&result_cache),
             persist: persist.clone(),
             persist_counters: Arc::clone(&persist_counters),
             upgrades: Arc::clone(&upgrades),
+            inflight: Arc::clone(&refine_inflight),
         };
         let pending = Arc::clone(&refine_pending);
-        let (tx, rx) = mpsc::channel::<RefineJob>();
+        let gate = Arc::clone(&refine_gate);
+        let (tx, rx) = mpsc::channel::<Fingerprint>();
         let handle = std::thread::Builder::new()
             .name("ltspd-refine".to_string())
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
+                while let Ok(dedup_key) = rx.recv() {
+                    // Pop the whole waiter batch under the gate, before
+                    // computing: every waiter present now shares one
+                    // refinement; a request arriving after the pop finds
+                    // no in-flight entry and becomes a fresh leader.
+                    let _gate = lock_unpoisoned(&gate);
+                    let waiters = lock_unpoisoned(&shared.inflight)
+                        .remove(&dedup_key)
+                        .unwrap_or_default();
                     // A panicking refinement must not strand waiters or
                     // kill the worker: contain it, count it, move on.
                     let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        refine_one(&shared, &job)
+                        refine_batch(&shared, &waiters)
                     }));
                     if contained.is_err() {
                         shared.upgrades.failed.fetch_add(1, Ordering::Relaxed);
                     }
                     let (lock, cv) = &*pending;
-                    *lock_unpoisoned(lock) -= 1;
+                    *lock_unpoisoned(lock) -= waiters.len() as u64;
                     cv.notify_all();
                 }
             })
@@ -321,6 +411,9 @@ impl Engine {
             refine_tx: Mutex::new(Some(tx)),
             refine_handle: Mutex::new(Some(handle)),
             refine_pending,
+            refine_inflight,
+            refine_gate,
+            persist_warned: AtomicBool::new(false),
         }
     }
 
@@ -335,6 +428,38 @@ impl Engine {
             status,
             body,
         );
+        self.check_persist_size();
+    }
+
+    /// The operator tripwire behind `--persist-warn-mb`: one loud line
+    /// the first time the append-only log crosses the threshold. The
+    /// gauge (`persist_log_bytes` in `stats`, `ltsp_persist_log_bytes`
+    /// in the Prometheus snapshot) keeps reporting after that.
+    fn check_persist_size(&self) {
+        let (Some(limit), Some(log)) = (self.cfg.persist_warn_bytes, self.persist.as_deref())
+        else {
+            return;
+        };
+        let bytes = log.log_bytes();
+        if bytes > limit && !self.persist_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "ltspd: WARNING: persist log {} is {:.1} MiB, past the {:.1} MiB warning \
+                 threshold — the log is append-only and only ever grows; rotate or remove it \
+                 to reclaim space (a fresh log re-warms from live traffic)",
+                log.path().display(),
+                bytes as f64 / (1 << 20) as f64,
+                limit as f64 / (1 << 20) as f64,
+            );
+        }
+    }
+
+    /// Test hook: while the returned guard is held, the refine worker
+    /// stalls before popping its next batch, so further requests with
+    /// the same refinement inputs deterministically coalesce onto the
+    /// queued leader.
+    #[cfg(test)]
+    fn refine_pause(&self) -> std::sync::MutexGuard<'_, ()> {
+        lock_unpoisoned(&self.refine_gate)
     }
 
     /// Blocks until every scheduled refinement has completed (tests and
@@ -445,6 +570,7 @@ impl Engine {
         h.write_str("request-v1");
         h.write_str(req.op.tag());
         h.write_str(req.backend.tag());
+        h.write_str(req.mode.tag());
         h.write_str(&req.loop_text);
         h.write_str(&req.policy.to_string());
         h.write_f64(req.trip);
@@ -485,11 +611,17 @@ impl Engine {
             phases.add_us(Phase::CacheLookup, t0.elapsed().as_micros() as u64);
         } else {
             self.persist_append(key, cached.status, &cached.body);
-            // A cold tiered compile answered with the heuristic schedule:
-            // queue the exact refinement, which upgrades this entry (and
-            // the tiered body entry) in place when it lands.
-            if req.op == ReqOp::Compile && req.backend == Backend::Tiered && cached.status == "ok" {
-                self.schedule_refine(req, key);
+            // A cold refining compile answered with the heuristic
+            // schedule: queue the async refinement — exact emission for
+            // the tiered backend, the adaptive feedback loop for
+            // `mode:"adaptive"` — which upgrades this entry (and the
+            // tier body entry) in place when it lands.
+            if req.op == ReqOp::Compile && cached.status == "ok" {
+                if req.backend == Backend::Tiered {
+                    self.schedule_refine(req, key, RefineKind::Exact);
+                } else if req.mode == Mode::Adaptive {
+                    self.schedule_refine(req, key, RefineKind::Adaptive);
+                }
             }
         }
         Response {
@@ -509,24 +641,48 @@ impl Engine {
         }
     }
 
-    /// Queues one refinement job for a cold tiered compile. Failure to
-    /// queue (worker already shut down) is counted, never surfaced: the
-    /// heuristic answer stands.
-    fn schedule_refine(&self, req: &Request, raw_key: Fingerprint) {
-        self.upgrades.scheduled.fetch_add(1, Ordering::Relaxed);
-        let (lock, cv) = &*self.refine_pending;
-        *lock_unpoisoned(lock) += 1;
+    /// Queues one refinement job for a cold refining compile,
+    /// coalescing identical in-flight work: the first job under a dedup
+    /// key becomes the batch leader and takes the queue slot; a second
+    /// cold compile needing the same refinement (e.g. two tiered
+    /// requests for one loop at different trip estimates, whose exact
+    /// schedule is the same) appends itself as a waiter instead of
+    /// scheduling the computation twice — each waiter still gets its
+    /// own in-place upgrade. Failure to queue (worker already shut
+    /// down) is counted, never surfaced: the heuristic answer stands.
+    fn schedule_refine(&self, req: &Request, raw_key: Fingerprint, kind: RefineKind) {
         let job = RefineJob {
             raw_key,
             deadline_ms: self.effective_deadline_ms(req),
+            kind,
             req: req.clone(),
         };
+        let dedup_key = job.dedup_key();
+        let (lock, cv) = &*self.refine_pending;
+        {
+            let mut inflight = lock_unpoisoned(&self.refine_inflight);
+            if let Some(waiters) = inflight.get_mut(&dedup_key) {
+                waiters.push(job);
+                drop(inflight);
+                self.upgrades.coalesced.fetch_add(1, Ordering::Relaxed);
+                *lock_unpoisoned(lock) += 1;
+                return;
+            }
+            inflight.insert(dedup_key, vec![job]);
+        }
+        self.upgrades.scheduled.fetch_add(1, Ordering::Relaxed);
+        *lock_unpoisoned(lock) += 1;
         let sent = lock_unpoisoned(&self.refine_tx)
             .as_ref()
-            .is_some_and(|tx| tx.send(job).is_ok());
+            .is_some_and(|tx| tx.send(dedup_key).is_ok());
         if !sent {
+            // Shutdown race: reclaim the batch (the leader plus any
+            // follower that squeezed in) — nobody will process it.
+            let reclaimed = lock_unpoisoned(&self.refine_inflight)
+                .remove(&dedup_key)
+                .map_or(0, |w| w.len() as u64);
             self.upgrades.failed.fetch_add(1, Ordering::Relaxed);
-            *lock_unpoisoned(lock) -= 1;
+            *lock_unpoisoned(lock) -= reclaimed;
             cv.notify_all();
         }
     }
@@ -628,8 +784,22 @@ impl Engine {
 
     /// Dispatches a compile on the request's backend: heuristic (the
     /// production pipeliner), exact (sync branch-and-bound emission), or
-    /// tiered (heuristic now, exact refinement async).
+    /// tiered (heuristic now, exact refinement async). `mode:"adaptive"`
+    /// layers on the heuristic backend only: heuristic now, adaptive
+    /// hint refinement async.
     fn compile(&self, req: &Request, tel: &Telemetry, phases: &PhaseTimer) -> Response {
+        if req.mode == Mode::Adaptive {
+            return match req.backend {
+                Backend::Heuristic => self.compile_adaptive_tier(req, tel, phases),
+                // parse_request rejects the combination; a hand-built
+                // Request gets the same answer here.
+                _ => Response::error(
+                    &req.id,
+                    "error",
+                    "mode 'adaptive' requires the heuristic backend",
+                ),
+            };
+        }
         match req.backend {
             Backend::Heuristic => self.compile_heuristic(req, tel, phases),
             Backend::Exact => self.compile_exact(req, phases),
@@ -791,6 +961,76 @@ impl Engine {
                 phases.time(Phase::Render, || {
                     let mut body = self.render_heuristic_body(req, &compiled);
                     push_str_field(&mut body, "backend", "tiered");
+                    push_bool_field(&mut body, "refined", false);
+                    CachedResult {
+                        status: "ok",
+                        body,
+                        upgraded: false,
+                    }
+                })
+            },
+        );
+        if !body_hit {
+            self.persist_append(body_key, cached.status, &cached.body);
+        }
+        Response {
+            id: req.id.clone(),
+            status: cached.status,
+            cache: if body_hit {
+                if cached.upgraded {
+                    "upgraded"
+                } else {
+                    "hit"
+                }
+            } else if artifact_hit.get() {
+                "hit"
+            } else {
+                "miss"
+            },
+            body: cached.body.clone(),
+            timings: None,
+        }
+    }
+
+    /// The adaptive initial answer: the heuristic compile, rendered
+    /// under the adaptive tier body key (which the refinement worker
+    /// later upgrades in place with the converged schedule). Tagged
+    /// `mode:"adaptive"` / `refined:false` so clients can tell they got
+    /// the fast static tier.
+    fn compile_adaptive_tier(
+        &self,
+        req: &Request,
+        tel: &Telemetry,
+        phases: &PhaseTimer,
+    ) -> Response {
+        let lp = match self.parse(req, phases) {
+            Ok(lp) => lp,
+            Err(resp) => return resp,
+        };
+        let cfg = CompileConfig::new(req.policy)
+            .with_threshold(req.threshold)
+            .with_prefetch(req.prefetch)
+            .with_balanced_recurrences(req.balanced)
+            .with_data_speculation(req.speculate);
+        let body_key = adaptive_tier_body_key(&self.machine, &lp, &cfg, req.trip);
+        let artifact_hit = std::cell::Cell::new(false);
+        let (cached, body_hit) = self.result_cache.get_or_insert_with(
+            body_key,
+            |r| r.body.len() + 32,
+            || {
+                let (compiled, hit) = compile_loop_cached_phased(
+                    &self.compile_cache,
+                    &lp,
+                    &self.machine,
+                    &cfg,
+                    req.trip,
+                    tel,
+                    Some(phases),
+                );
+                artifact_hit.set(hit);
+                phases.time(Phase::Render, || {
+                    let mut body = self.render_heuristic_body(req, &compiled);
+                    push_str_field(&mut body, "mode", "adaptive");
                     push_bool_field(&mut body, "refined", false);
                     CachedResult {
                         status: "ok",
@@ -1006,8 +1246,14 @@ impl Engine {
         ] {
             push_u64_field(&mut body, key, v.load(Ordering::Relaxed));
         }
+        push_u64_field(
+            &mut body,
+            "persist_log_bytes",
+            self.persist.as_deref().map_or(0, CacheLog::log_bytes),
+        );
         for (key, v) in [
             ("upgrades_scheduled", &self.upgrades.scheduled),
+            ("upgrades_coalesced", &self.upgrades.coalesced),
             ("upgrades_applied", &self.upgrades.applied),
             ("upgrades_refined", &self.upgrades.refined),
             ("upgrades_failed", &self.upgrades.failed),
@@ -1134,9 +1380,17 @@ impl Engine {
             prom::push_type(&mut out, name, kind);
             prom::push_sample(&mut out, name, &[], v.load(Ordering::Relaxed) as f64);
         }
+        prom::push_type(&mut out, "ltsp_persist_log_bytes", "gauge");
+        prom::push_sample(
+            &mut out,
+            "ltsp_persist_log_bytes",
+            &[],
+            self.persist.as_deref().map_or(0, CacheLog::log_bytes) as f64,
+        );
         prom::push_type(&mut out, "ltsp_upgrades_total", "counter");
         for (event, v) in [
             ("scheduled", &self.upgrades.scheduled),
+            ("coalesced", &self.upgrades.coalesced),
             ("applied", &self.upgrades.applied),
             ("refined", &self.upgrades.refined),
             ("failed", &self.upgrades.failed),
@@ -1241,6 +1495,111 @@ fn tiered_body_key(
     h.finish()
 }
 
+/// The canonical cache key of an adaptive-mode tier body (the fast
+/// static answer the refinement later upgrades in place). Separate from
+/// both the heuristic and tiered keyspaces, same reasoning as
+/// [`tiered_body_key`]. No oracle budget or deadline: the adaptive loop
+/// runs a fixed deterministic refinement window, not a search.
+fn adaptive_tier_body_key(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    cfg: &CompileConfig,
+    trip: f64,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("compile-body-adaptive-tier-v1");
+    h.write_fingerprint(ltsp_core::compile_key(lp, machine, cfg, trip));
+    h.finish()
+}
+
+/// The canonical cache key of a *converged* adaptive compile body: the
+/// same compile inputs as the tier key, under its own namespace. Every
+/// refinement of the same (loop, config, trip) lands here first, so
+/// coalesced-then-split request streams (and warm restarts) compute the
+/// fixpoint once.
+fn adaptive_body_key(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    cfg: &CompileConfig,
+    trip: f64,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("compile-body-adaptive-v1");
+    h.write_fingerprint(ltsp_core::compile_key(lp, machine, cfg, trip));
+    h.finish()
+}
+
+/// Runs the adaptive refinement loop to its certified fixpoint and
+/// renders the converged compile body: the chosen schedule's facts plus
+/// the adaptive telemetry (`static_ii`, `rounds`, `chosen_round`,
+/// `converged`, `certified`, `dropped_prefetches`, `refined`) and the
+/// canonical [`render_adaptive_report`] text — the same renderer
+/// `ltspc compile --adaptive` prints through, so the upgraded server
+/// bytes and the local CLI report agree by construction. An uncertified
+/// round (a scheduler bug by definition) renders as `rejected`, and the
+/// fast static tier stays in place.
+fn compute_adaptive_body(
+    machine: &MachineModel,
+    lp: &LoopIr,
+    cfg: &CompileConfig,
+    req: &Request,
+) -> CachedResult {
+    use std::fmt::Write as _;
+    let res = compile_loop_adaptive(
+        lp,
+        machine,
+        cfg,
+        req.trip,
+        &AdaptiveOptions::default(),
+        &Telemetry::disabled(),
+    );
+    let certified = res.all_certified();
+    let compiled = &res.compiled;
+    let mut body = String::new();
+    push_str_field(&mut body, "op", "compile");
+    push_str_field(&mut body, "loop", compiled.lp.name());
+    push_bool_field(&mut body, "pipelined", compiled.pipelined);
+    push_u64_field(&mut body, "ii", u64::from(compiled.kernel.ii()));
+    push_u64_field(
+        &mut body,
+        "stages",
+        u64::from(compiled.kernel.stage_count()),
+    );
+    if let Some(stats) = compiled.stats {
+        push_u64_field(&mut body, "res_mii", u64::from(stats.res_mii));
+        push_u64_field(&mut body, "rec_mii", u64::from(stats.rec_mii));
+    }
+    if let Some(regs) = compiled.regs {
+        let _ = write!(
+            body,
+            ",\"regs\":[{},{},{}]",
+            regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+        );
+    }
+    push_str_field(&mut body, "mode", "adaptive");
+    push_u64_field(&mut body, "static_ii", u64::from(res.static_ii()));
+    push_u64_field(&mut body, "rounds", res.rounds.len() as u64);
+    push_u64_field(&mut body, "chosen_round", u64::from(res.chosen_round));
+    push_bool_field(&mut body, "converged", res.converged);
+    push_bool_field(&mut body, "certified", certified);
+    push_u64_field(
+        &mut body,
+        "dropped_prefetches",
+        res.chosen().overlay.dropped_prefetches() as u64,
+    );
+    push_bool_field(&mut body, "refined", res.ii() < res.static_ii());
+    push_str_field(
+        &mut body,
+        "report",
+        &render_adaptive_report(&res, req.policy, req.trip),
+    );
+    CachedResult {
+        status: if certified { "ok" } else { "rejected" },
+        body,
+        upgraded: false,
+    }
+}
+
 /// Runs the exact backend on `lp` and renders the compile body it
 /// produces: the emitted schedule's facts plus the refinement telemetry
 /// (`heuristic_ii`, `proven_optimal`, `refined`, `nodes`). A rejected
@@ -1317,76 +1676,107 @@ fn compute_exact_body(
     }
 }
 
-/// Processes one tiered refinement: compute (or reuse) the exact body,
-/// then swap the raw-request and tiered body-key entries to it in place
-/// — each insert replaces a whole `Arc`'d value, so readers observe
-/// heuristic bytes or exact bytes, never a torn mix — and append both
-/// under their keys so a warm restart replays the upgraded bytes
-/// (last-writer-wins).
-fn refine_one(sh: &RefineShared, job: &RefineJob) {
-    let req = &job.req;
-    let Ok(lp) = parse_loop(&req.loop_text) else {
-        // Unreachable in practice: the initial compile parsed this text.
-        sh.upgrades.failed.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let exact_key = exact_body_key(&sh.machine, &lp, req.budget, job.deadline_ms);
-    let (exact, exact_hit) = sh.result_cache.get_or_insert_with(
-        exact_key,
-        |r| r.body.len() + 32,
-        || compute_exact_body(&sh.machine, &lp, req.budget, job.deadline_ms),
-    );
-    if !exact_hit {
-        append_record(
-            sh.persist.as_deref(),
-            &sh.persist_counters,
-            exact_key,
-            exact.status,
-            &exact.body,
-        );
-    }
-    if exact.status != "ok" {
-        sh.upgrades.failed.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let cfg = CompileConfig::new(req.policy)
+/// The compile configuration a refining request compiled under (the
+/// same knobs the cold path used).
+fn compile_config_of(req: &Request) -> CompileConfig {
+    CompileConfig::new(req.policy)
         .with_threshold(req.threshold)
         .with_prefetch(req.prefetch)
         .with_balanced_recurrences(req.balanced)
-        .with_data_speculation(req.speculate);
-    let tiered_key = tiered_body_key(
-        &sh.machine,
-        &lp,
-        &cfg,
-        req.trip,
-        req.budget,
-        job.deadline_ms,
-    );
-    let up = CachedResult {
-        status: exact.status,
-        body: exact.body.clone(),
-        upgraded: true,
+        .with_data_speculation(req.speculate)
+}
+
+/// Processes one coalesced refinement batch: compute (or reuse) the
+/// refined body *once* under its shared canonical key, then swap every
+/// waiter's raw-request and tier body-key entries to it in place —
+/// each insert replaces a whole `Arc`'d value, so readers observe
+/// heuristic bytes or refined bytes, never a torn mix — and append the
+/// upgrades under their keys so a warm restart replays the refined
+/// bytes (last-writer-wins). All waiters share a dedup key, so the
+/// first job's refinement inputs are the batch's.
+fn refine_batch(sh: &RefineShared, jobs: &[RefineJob]) {
+    let Some(first) = jobs.first() else { return };
+    let req = &first.req;
+    let Ok(lp) = parse_loop(&req.loop_text) else {
+        // Unreachable in practice: the initial compiles parsed this text.
+        sh.upgrades
+            .failed
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        return;
     };
-    sh.result_cache.insert(
-        job.raw_key,
-        up.clone(),
-        up.body.len() + req.loop_text.len() + 64,
+    let refined_key = match first.kind {
+        RefineKind::Exact => exact_body_key(&sh.machine, &lp, req.budget, first.deadline_ms),
+        RefineKind::Adaptive => {
+            adaptive_body_key(&sh.machine, &lp, &compile_config_of(req), req.trip)
+        }
+    };
+    let (refined, refined_hit) = sh.result_cache.get_or_insert_with(
+        refined_key,
+        |r| r.body.len() + 32,
+        || match first.kind {
+            RefineKind::Exact => {
+                compute_exact_body(&sh.machine, &lp, req.budget, first.deadline_ms)
+            }
+            RefineKind::Adaptive => {
+                compute_adaptive_body(&sh.machine, &lp, &compile_config_of(req), req)
+            }
+        },
     );
-    let bytes = up.body.len() + 32;
-    sh.result_cache.insert(tiered_key, up, bytes);
-    // Second appends under both keys: the in-place upgrade, durably.
-    for key in [job.raw_key, tiered_key] {
+    if !refined_hit {
         append_record(
             sh.persist.as_deref(),
             &sh.persist_counters,
-            key,
-            exact.status,
-            &exact.body,
+            refined_key,
+            refined.status,
+            &refined.body,
         );
     }
-    sh.upgrades.applied.fetch_add(1, Ordering::Relaxed);
-    if exact.body.contains("\"refined\":true") {
-        sh.upgrades.refined.fetch_add(1, Ordering::Relaxed);
+    if refined.status != "ok" {
+        sh.upgrades
+            .failed
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        return;
+    }
+    let strictly_refined = refined.body.contains("\"refined\":true");
+    for job in jobs {
+        let cfg = compile_config_of(&job.req);
+        let tier_key = match job.kind {
+            RefineKind::Exact => tiered_body_key(
+                &sh.machine,
+                &lp,
+                &cfg,
+                job.req.trip,
+                job.req.budget,
+                job.deadline_ms,
+            ),
+            RefineKind::Adaptive => adaptive_tier_body_key(&sh.machine, &lp, &cfg, job.req.trip),
+        };
+        let up = CachedResult {
+            status: refined.status,
+            body: refined.body.clone(),
+            upgraded: true,
+        };
+        sh.result_cache.insert(
+            job.raw_key,
+            up.clone(),
+            up.body.len() + job.req.loop_text.len() + 64,
+        );
+        let bytes = up.body.len() + 32;
+        sh.result_cache.insert(tier_key, up, bytes);
+        // Second appends under both keys: the in-place upgrade, durably.
+        for key in [job.raw_key, tier_key] {
+            append_record(
+                sh.persist.as_deref(),
+                &sh.persist_counters,
+                key,
+                refined.status,
+                &refined.body,
+            );
+        }
+        sh.upgrades.applied.fetch_add(1, Ordering::Relaxed);
+        if strictly_refined {
+            sh.upgrades.refined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -1733,6 +2123,216 @@ mod tests {
             Some(0),
             "zero misses after a post-upgrade warm restart"
         );
+    }
+
+    #[test]
+    fn mode_splits_the_request_key() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let stat = format!(r#"{{"op":"compile","loop":"{}"}}"#, loop_json("s"));
+        let adpt = format!(
+            r#"{{"op":"compile","loop":"{}","mode":"adaptive"}}"#,
+            loop_json("s")
+        );
+        let rs = e.handle(&req(&stat), &tel);
+        assert_eq!(rs.cache, "miss");
+        // The adaptive request reuses the compiled artifact (a "hit")
+        // but renders through its own keys: mode-stamped body, never
+        // the static entry's bytes.
+        let ra = e.handle(&req(&adpt), &tel);
+        assert_ne!(ra.body, rs.body, "mode changes the key");
+        assert!(ra.body.contains("\"mode\":\"adaptive\""));
+        assert!(!rs.body.contains("\"mode\""));
+        // And the refine worker's upgrade lands only on the adaptive
+        // entries — the static bytes are untouched.
+        e.refine_wait_idle();
+        let rs2 = e.handle(&req(&stat), &tel);
+        assert_eq!(rs2.cache, "hit");
+        assert_eq!(rs2.body, rs.body, "static entry survives the upgrade");
+        assert_eq!(e.handle(&req(&adpt), &tel).cache, "upgraded");
+    }
+
+    #[test]
+    fn adaptive_compile_answers_statically_then_upgrades_in_place() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"a1","loop":"{}","mode":"adaptive"}}"#,
+            loop_json("s")
+        );
+        let cold = e.handle(&req(&line), &tel);
+        assert_eq!(cold.status, "ok", "{}", cold.render());
+        assert_eq!(cold.cache, "miss");
+        let v = json::parse(&cold.render()).unwrap();
+        assert_eq!(
+            v.get("mode").unwrap().as_str(),
+            Some("adaptive"),
+            "initial answer is stamped with the mode"
+        );
+        assert!(!bool_of(&v, "refined"), "first answer is the static tier");
+        let static_ii = v.get("ii").unwrap().as_u64().unwrap();
+
+        e.refine_wait_idle();
+        assert_eq!(e.upgrades.scheduled.load(Ordering::Relaxed), 1);
+        assert_eq!(e.upgrades.applied.load(Ordering::Relaxed), 1);
+        assert_eq!(e.upgrades.failed.load(Ordering::Relaxed), 0);
+        assert_eq!(e.upgrades.refined.load(Ordering::Relaxed), 1);
+
+        let warm = e.handle(&req(&line), &tel);
+        assert_eq!(warm.cache, "upgraded", "hit on an upgraded entry");
+        assert_ne!(warm.body, cold.body, "bytes were upgraded in place");
+        let v = json::parse(&warm.render()).unwrap();
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("adaptive"));
+        assert!(
+            bool_of(&v, "refined"),
+            "converged schedule beat the static II"
+        );
+        assert!(
+            bool_of(&v, "certified"),
+            "every round was validator-certified"
+        );
+        assert!(bool_of(&v, "converged"));
+        let adaptive_ii = v.get("ii").unwrap().as_u64().unwrap();
+        assert!(adaptive_ii < static_ii, "{adaptive_ii} vs {static_ii}");
+        let report = v.get("report").unwrap().as_str().unwrap();
+        assert!(report.contains("mode=adaptive"), "{report}");
+        assert!(report.contains("round 0: II="), "round trace in the report");
+    }
+
+    #[test]
+    fn adaptive_upgrade_survives_warm_restart_with_zero_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "ltsp-engine-adaptive-restart-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+        let cfg = || EngineConfig {
+            persist_path: Some(path.clone()),
+            ..EngineConfig::default()
+        };
+        let tel = Telemetry::disabled();
+        let line = format!(
+            r#"{{"op":"compile","id":"a1","loop":"{}","mode":"adaptive"}}"#,
+            loop_json("s")
+        );
+        let upgraded_body = {
+            let e = Engine::new(cfg());
+            e.handle(&req(&line), &tel);
+            e.refine_wait_idle();
+            let warm = e.handle(&req(&line), &tel);
+            assert_eq!(warm.cache, "upgraded");
+            warm.body
+        };
+        // Warm restart: the LWW replay collapses the duplicate-key
+        // appends to the converged adaptive bytes and serves them as
+        // hits — no recompiles, no resurrection of the static body.
+        let e = Engine::new(cfg());
+        assert!(
+            e.persist_counters.superseded.load(Ordering::Relaxed) >= 2,
+            "raw and adaptive-tier keys were each appended twice"
+        );
+        let replayed = e.handle(&req(&line), &tel);
+        assert_eq!(replayed.cache, "hit", "replayed entries serve as hits");
+        assert_eq!(replayed.body, upgraded_body, "adaptive bytes replay");
+        let stats = e.handle(&req(r#"{"op":"stats"}"#), &tel);
+        let v = json::parse(&stats.render()).unwrap();
+        assert_eq!(
+            v.get("result_cache_misses").unwrap().as_u64(),
+            Some(0),
+            "zero misses after a post-upgrade warm restart"
+        );
+        let log_bytes = v.get("persist_log_bytes").unwrap().as_u64().unwrap();
+        assert_eq!(
+            log_bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "the gauge tracks the on-disk log size"
+        );
+    }
+
+    #[test]
+    fn persist_warning_latches_once_past_the_threshold() {
+        let dir =
+            std::env::temp_dir().join(format!("ltsp-engine-persist-warn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.log");
+        let _ = std::fs::remove_file(&path);
+        let e = Engine::new(EngineConfig {
+            persist_path: Some(path.clone()),
+            persist_warn_bytes: Some(1), // any append crosses it
+            ..EngineConfig::default()
+        });
+        let tel = Telemetry::disabled();
+        assert!(
+            !e.persist_warned.load(Ordering::Relaxed),
+            "an empty log is under the threshold"
+        );
+        let line = |id: &str| {
+            format!(
+                r#"{{"op":"compile","id":"{id}","loop":"{}"}}"#,
+                loop_json("s")
+            )
+        };
+        e.handle(&req(&line("w1")), &tel);
+        assert!(
+            e.persist_warned.load(Ordering::Relaxed),
+            "the first append past the threshold trips the warning"
+        );
+        // A generous threshold never warns.
+        let _ = std::fs::remove_file(&path);
+        let quiet = Engine::new(EngineConfig {
+            persist_path: Some(path),
+            persist_warn_bytes: Some(1 << 30),
+            ..EngineConfig::default()
+        });
+        quiet.handle(&req(&line("w2")), &tel);
+        assert!(!quiet.persist_warned.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn coalesced_refines_run_once_and_upgrade_every_waiter() {
+        let e = engine();
+        let tel = Telemetry::disabled();
+        // Same loop text and budget, different trip estimates: distinct
+        // raw and tiered keys, but one shared exact refinement.
+        let a = format!(
+            r#"{{"op":"compile","id":"c1","loop":"{}","backend":"tiered","trip":100}}"#,
+            loop_json("s")
+        );
+        let b = format!(
+            r#"{{"op":"compile","id":"c2","loop":"{}","backend":"tiered","trip":200}}"#,
+            loop_json("s")
+        );
+        {
+            let _gate = e.refine_pause();
+            assert_eq!(e.handle(&req(&a), &tel).cache, "miss");
+            assert_eq!(e.handle(&req(&b), &tel).cache, "miss");
+        }
+        e.refine_wait_idle();
+        assert_eq!(
+            e.upgrades.scheduled.load(Ordering::Relaxed),
+            1,
+            "one leader queued"
+        );
+        assert_eq!(
+            e.upgrades.coalesced.load(Ordering::Relaxed),
+            1,
+            "the second request coalesced onto it"
+        );
+        assert_eq!(
+            e.upgrades.applied.load(Ordering::Relaxed),
+            2,
+            "both waiters were upgraded"
+        );
+        assert_eq!(e.upgrades.failed.load(Ordering::Relaxed), 0);
+        for line in [&a, &b] {
+            let warm = e.handle(&req(line), &tel);
+            assert_eq!(warm.cache, "upgraded", "{}", warm.render());
+        }
+        let stats = e.handle(&req(r#"{"op":"stats"}"#), &tel);
+        let v = json::parse(&stats.render()).unwrap();
+        assert_eq!(v.get("upgrades_coalesced").unwrap().as_u64(), Some(1));
     }
 
     #[test]

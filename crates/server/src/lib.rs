@@ -28,5 +28,5 @@ pub use daemon::{serve, spawn, ServerConfig, ServerHandle, SHARD_KILL_EXIT_CODE}
 pub use engine::{Engine, EngineConfig, PersistCounters, ServerGauges, UpgradeCounters};
 pub use fault::{FaultPlan, FaultSite};
 pub use flight::{normalize_flight_dump, read_dumps, FlightRecord, FlightRecorder};
-pub use proto::{parse_request, Backend, ProtoError, ReqOp, Request, Response};
-pub use report::{render_compile_report, render_exact_report};
+pub use proto::{parse_request, Backend, Mode, ProtoError, ReqOp, Request, Response};
+pub use report::{render_adaptive_report, render_compile_report, render_exact_report};

@@ -41,6 +41,14 @@
 //! heuristic schedule while exact refinement runs asynchronously and
 //! upgrades the cache entry — including its persisted bytes — in place.
 //!
+//! Compile requests may additionally select a serving mode with
+//! `"mode":"static"|"adaptive"` (default `static`). `adaptive` — valid
+//! only with the heuristic backend — answers immediately with the
+//! static heuristic schedule while the feedback-directed refinement
+//! loop (the `ltsp-adaptive` crate) runs asynchronously and upgrades
+//! the cache entry (and its persisted bytes) in place with the
+//! converged, validator-certified schedule.
+//!
 //! Responses carry no timestamps or worker attribution: a response is a
 //! pure function of the request (plus, for `cache`, the request history
 //! of the server instance), which is what makes the serving layer
@@ -122,6 +130,29 @@ impl Backend {
     }
 }
 
+/// Which serving mode a compile request runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// One-shot compilation: the response is final.
+    #[default]
+    Static,
+    /// Feedback-directed refinement: the response carries the static
+    /// heuristic schedule now, and the adaptive memsim → HLO →
+    /// pipeliner loop upgrades the cache entry in place once it
+    /// converges. Heuristic backend only.
+    Adaptive,
+}
+
+impl Mode {
+    /// The wire tag, also used in cache keys and telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Mode::Static => "static",
+            Mode::Adaptive => "adaptive",
+        }
+    }
+}
+
 /// One parsed request. Fields irrelevant to the op keep their defaults
 /// (and still participate in the content-derived `id`, harmlessly).
 #[derive(Debug, Clone)]
@@ -146,6 +177,8 @@ pub struct Request {
     pub speculate: bool,
     /// Scheduling backend (compile only; default heuristic).
     pub backend: Backend,
+    /// Serving mode (compile only; default static).
+    pub mode: Mode,
     /// Oracle node budget (oracle only; default 200 000).
     pub budget: u64,
     /// Oracle wall-clock budget in ms (oracle only; `None` = server
@@ -169,6 +202,7 @@ impl Default for Request {
             balanced: false,
             speculate: false,
             backend: Backend::Heuristic,
+            mode: Mode::Static,
             budget: 200_000,
             deadline_ms: None,
             timings: false,
@@ -273,6 +307,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             Some("tiered") => Backend::Tiered,
             _ => return Err(fail("backend must be heuristic|exact|tiered".to_string())),
         };
+    }
+    if let Some(m) = v.get("mode") {
+        req.mode = match m.as_str() {
+            Some("static") => Mode::Static,
+            Some("adaptive") => Mode::Adaptive,
+            _ => return Err(fail("mode must be static|adaptive".to_string())),
+        };
+    }
+    if req.mode == Mode::Adaptive && req.backend != Backend::Heuristic {
+        return Err(fail(format!(
+            "mode 'adaptive' requires the heuristic backend, not '{}'",
+            req.backend.tag()
+        )));
     }
     if let Some(b) = v.get("budget") {
         req.budget = b
@@ -470,6 +517,40 @@ mod tests {
         }
         let e = parse_request(r#"{"op":"compile","loop":"l","backend":"quantum"}"#).unwrap_err();
         assert!(e.message.contains("backend must be"));
+    }
+
+    #[test]
+    fn mode_parses_and_defaults_to_static() {
+        let r = parse_request(r#"{"op":"compile","loop":"loop x {\n}"}"#).unwrap();
+        assert_eq!(r.mode, Mode::Static, "default mode");
+        for (tag, want) in [("static", Mode::Static), ("adaptive", Mode::Adaptive)] {
+            let line = format!(r#"{{"op":"compile","loop":"l","mode":"{tag}"}}"#);
+            let r = parse_request(&line).unwrap();
+            assert_eq!(r.mode, want);
+            assert_eq!(r.mode.tag(), tag);
+        }
+        let e = parse_request(r#"{"op":"compile","loop":"l","mode":"psychic"}"#).unwrap_err();
+        assert!(e.message.contains("mode must be"));
+    }
+
+    #[test]
+    fn adaptive_mode_rejects_non_heuristic_backends() {
+        for backend in ["exact", "tiered"] {
+            let line = format!(
+                r#"{{"op":"compile","id":"m","loop":"l","mode":"adaptive","backend":"{backend}"}}"#
+            );
+            let e = parse_request(&line).unwrap_err();
+            assert_eq!(e.id, "m");
+            assert!(
+                e.message.contains("requires the heuristic backend"),
+                "{}",
+                e.message
+            );
+        }
+        let ok =
+            parse_request(r#"{"op":"compile","loop":"l","mode":"adaptive","backend":"heuristic"}"#)
+                .unwrap();
+        assert_eq!(ok.mode, Mode::Adaptive);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use ltsp_adaptive::AdaptiveResult;
 use ltsp_core::{CompiledLoop, LatencyPolicy};
 use ltsp_ir::LoopIr;
 use ltsp_oracle::ExactCase;
@@ -98,6 +99,78 @@ pub fn render_exact_report(lp: &LoopIr, case: &ExactCase) -> String {
     out
 }
 
+/// Renders the adaptive compile report: the convergence header, one
+/// line per refinement round (fixpoint trace), the chosen schedule's
+/// summary and register lines, a blank separator and the kernel dump —
+/// same shape as [`render_compile_report`], so `ltspc --adaptive` and
+/// the daemon's refine worker print converged results through one
+/// function, byte for byte.
+pub fn render_adaptive_report(res: &AdaptiveResult, policy: LatencyPolicy, trip: f64) -> String {
+    let mut out = String::new();
+    let c = &res.compiled;
+    let _ = writeln!(
+        out,
+        "{}: policy={} trip-estimate={} mode=adaptive static-II={} adaptive-II={} {}",
+        c.lp.name(),
+        policy,
+        trip,
+        res.static_ii(),
+        res.ii(),
+        if res.converged {
+            "(fixpoint)"
+        } else {
+            "(round cap)"
+        }
+    );
+    for r in &res.rounds {
+        let _ = writeln!(
+            out,
+            "round {}: II={} covered={} deltas={} drops={} stalls={} cycles={}{}{}",
+            r.round,
+            r.ii,
+            r.covered,
+            r.hint_deltas,
+            r.overlay.dropped_prefetches(),
+            r.stall_cycles,
+            r.total_cycles,
+            if r.certified {
+                " certified"
+            } else {
+                " UNCERTIFIED"
+            },
+            if r.round == res.chosen_round {
+                " <= chosen"
+            } else {
+                ""
+            }
+        );
+    }
+    if c.pipelined {
+        let _ = writeln!(
+            out,
+            "pipelined: II={} stages={}",
+            c.kernel.ii(),
+            c.kernel.stage_count()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "not pipelined (acyclic fallback): schedule length {}",
+            c.kernel.ii()
+        );
+    }
+    if let Some(regs) = c.regs {
+        let _ = writeln!(
+            out,
+            "registers: GR {} FR {} PR {} (rotating)",
+            regs.rotating_gr, regs.rotating_fr, regs.rotating_pr
+        );
+    }
+    out.push('\n');
+    out.push_str(&c.kernel.dump(&c.lp));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +204,31 @@ mod tests {
         assert!(r.starts_with("s: backend=exact heuristic-II="), "{r}");
         assert!(r.contains("proven optimal"), "{r}");
         assert!(r.contains("registers: GR "), "{r}");
+        assert!(r.contains("\n\n"), "blank line before the kernel dump");
+    }
+
+    #[test]
+    fn adaptive_report_has_round_trace_and_kernel() {
+        let lp = ltsp_workloads::saxpy("s");
+        let m = MachineModel::itanium2();
+        let cfg = CompileConfig::new(LatencyPolicy::HloHints);
+        let res = ltsp_adaptive::compile_loop_adaptive(
+            &lp,
+            &m,
+            &cfg,
+            100.0,
+            &ltsp_adaptive::AdaptiveOptions::default(),
+            &Telemetry::disabled(),
+        );
+        let r = render_adaptive_report(&res, LatencyPolicy::HloHints, 100.0);
+        assert!(
+            r.starts_with("s: policy=hlo-hints trip-estimate=100 mode=adaptive static-II="),
+            "{r}"
+        );
+        assert!(r.contains("round 0: II="), "{r}");
+        assert!(r.contains("<= chosen"), "{r}");
+        assert!(r.contains(" certified"), "{r}");
+        assert!(!r.contains("UNCERTIFIED"), "{r}");
         assert!(r.contains("\n\n"), "blank line before the kernel dump");
     }
 }

@@ -149,6 +149,29 @@ pub enum Event {
         /// Search nodes the oracle expanded.
         nodes: u64,
     },
+    /// One round of the adaptive feedback loop (crates/adaptive): the
+    /// loop was compiled, certified and simulated, and the observed
+    /// behaviour was folded into the next round's hint overlay.
+    AdaptiveRound {
+        /// The loop being refined.
+        loop_name: String,
+        /// Round index (0 = the static compile).
+        round: u32,
+        /// The II this round's schedule achieved.
+        ii: u32,
+        /// True when this round's schedule was software-pipelined.
+        pipelined: bool,
+        /// References with an observed verdict in this round's overlay
+        /// (0 in round 0, which compiles statically).
+        covered: u64,
+        /// References whose verdict changed from the previous round's
+        /// overlay (0 means the hints reached their fixpoint).
+        hint_deltas: u64,
+        /// Simulated stall cycles over the measurement window.
+        stall_cycles: u64,
+        /// Simulated total cycles over the measurement window.
+        total_cycles: u64,
+    },
     /// One work item executed on a pool worker thread
     /// (`ltsp-par`). Emitted by the pool when per-item telemetry buffers
     /// are spliced back in index order; the Chrome exporter renders these
@@ -243,6 +266,7 @@ impl Event {
             Event::RegallocFallback { .. } => "regalloc_fallback",
             Event::AcyclicFallback { .. } => "acyclic_fallback",
             Event::OracleVerdict { .. } => "oracle_verdict",
+            Event::AdaptiveRound { .. } => "adaptive_round",
             Event::WorkerSpan { .. } => "worker_span",
             Event::ServerRequest { .. } => "server_request",
             Event::ServerLifecycle { .. } => "server_lifecycle",
@@ -262,7 +286,8 @@ impl Event {
             | Event::IiEscalation { loop_name, .. }
             | Event::RegallocFallback { loop_name, .. }
             | Event::AcyclicFallback { loop_name, .. }
-            | Event::OracleVerdict { loop_name, .. } => Some(loop_name),
+            | Event::OracleVerdict { loop_name, .. }
+            | Event::AdaptiveRound { loop_name, .. } => Some(loop_name),
             Event::ServerRequest { loop_name, .. } if !loop_name.is_empty() => Some(loop_name),
             Event::CycleEnumeration { .. }
             | Event::WorkerSpan { .. }
@@ -400,6 +425,25 @@ impl Event {
                 ("verdict", (*verdict).into()),
                 ("gap", Scalar::I64(*gap)),
                 ("nodes", (*nodes).into()),
+            ],
+            Event::AdaptiveRound {
+                loop_name,
+                round,
+                ii,
+                pipelined,
+                covered,
+                hint_deltas,
+                stall_cycles,
+                total_cycles,
+            } => vec![
+                ("loop", loop_name.clone().into()),
+                ("round", (*round).into()),
+                ("ii", (*ii).into()),
+                ("pipelined", Scalar::Bool(*pipelined)),
+                ("covered", (*covered).into()),
+                ("hint_deltas", (*hint_deltas).into()),
+                ("stall_cycles", (*stall_cycles).into()),
+                ("total_cycles", (*total_cycles).into()),
             ],
             Event::WorkerSpan {
                 pool,
@@ -552,6 +596,17 @@ impl Event {
             } => format!(
                 "oracle {loop_name}: heuristic II={heuristic_ii}, oracle II={oracle_ii} \
                  ({verdict}, gap {gap}, {nodes} nodes)"
+            ),
+            Event::AdaptiveRound {
+                loop_name,
+                round,
+                ii,
+                hint_deltas,
+                stall_cycles,
+                ..
+            } => format!(
+                "adaptive {loop_name}: round {round} II={ii} \
+                 hint-deltas={hint_deltas} stall-cycles={stall_cycles}"
             ),
             Event::WorkerSpan {
                 pool,

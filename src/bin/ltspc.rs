@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--backend heuristic|exact|tiered]
-//!       [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
+//!       [--adaptive] [--trip N] [--threshold N] [--no-prefetch] [--balanced] [--speculate]
 //!       [--budget NODES] [--asm] [--simulate ITERS]
 //!       [--trace-out FILE] [--metrics-out FILE] [--chrome-trace FILE] [-v]
 //! ltspc verify <file.loop | -> ... [--jobs N]   # certify heuristic schedules
@@ -42,10 +42,23 @@
 //! entry in place once refinement lands (resend to observe
 //! `cache:"upgraded"`).
 //!
+//! `--adaptive` closes the feedback loop locally: the scheduled kernel
+//! runs on the memory simulator, observed service levels become refined
+//! per-instruction latency hints (and expose droppable redundant
+//! prefetches), and the loop is re-pipelined to a bounded, certified
+//! fixpoint (`ltsp_adaptive`). The printed round trace and kernel are
+//! byte-identical to the converged bytes a daemon's refine worker
+//! installs for `remote --mode adaptive` (or `remote --adaptive`)
+//! requests — there, the first response is the fast static schedule and
+//! a resend after refinement observes `cache:"upgraded"`.
+//!
 //! `serve` runs the compilation daemon in-process (same flags as
 //! `ltspd`); `--persist FILE` adds the append-only warm-start cache log
-//! (`ltsp_cache::persist`). `serve --cluster N` instead supervises a
-//! whole cluster: N `ltspc serve` shard processes on consecutive ports
+//! (`ltsp_cache::persist`), and `--persist-warn-mb N` logs a loud
+//! warning (once) when that log grows past N MiB — the size is also
+//! exported as the `ltsp_persist_log_bytes` gauge. `serve --cluster N`
+//! instead supervises a whole cluster: N `ltspc serve` shard processes
+//! on consecutive ports
 //! plus the consistent-hash router (`ltsp_cluster`) on `--addr`, with
 //! `--persist-dir DIR` giving every shard its own warm-start log.
 //! Crashed shards are respawned (warm, from their log) and a client
@@ -123,6 +136,7 @@ struct Options {
     input: String,
     policy: LatencyPolicy,
     backend: ltsp::server::Backend,
+    adaptive: bool,
     budget: u64,
     trip: f64,
     threshold: u32,
@@ -148,7 +162,7 @@ const EXIT_BUSY: u8 = 6;
 fn usage() -> ! {
     eprintln!(
         "usage: ltspc <file.loop | -> [--policy baseline|l3|fpl2|hlo] [--trip N]\n\
-         \x20             [--backend heuristic|exact|tiered] [--budget NODES]\n\
+         \x20             [--backend heuristic|exact|tiered] [--adaptive] [--budget NODES]\n\
          \x20             [--threshold N] [--no-prefetch] [--balanced] [--speculate]\n\
          \x20             [--asm] [--simulate ITERS]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE]\n\
@@ -156,9 +170,11 @@ fn usage() -> ! {
          \x20      ltspc verify <file.loop | -> ... [--jobs N]\n\
          \x20      ltspc oracle <file.loop | -> ... [--budget NODES] [--jobs N]\n\
          \x20      ltspc serve [--addr HOST:PORT] [--jobs N] [--queue N] [--batch N]\n\
-         \x20            [--cluster N] [--persist FILE] [--persist-dir DIR] [-v]\n\
+         \x20            [--cluster N] [--persist FILE] [--persist-dir DIR]\n\
+         \x20            [--persist-warn-mb N] [-v]\n\
          \x20      ltspc remote <addr> <file.loop>... [--op compile|verify|oracle]\n\
-         \x20            [--backend heuristic|exact|tiered] [--policy P] [--trip N]\n\
+         \x20            [--backend heuristic|exact|tiered] [--mode static|adaptive]\n\
+         \x20            [--adaptive] [--policy P] [--trip N]\n\
          \x20            [--budget NODES] [--deadline-ms MS]\n\
          \x20            [--timeout SECS] [--retries N] [--timings] [--shutdown]\n\
          \x20      ltspc remote <addr> --op metrics [--check-phases p1,p2,...]\n\
@@ -334,6 +350,7 @@ fn parse_args() -> Options {
         input: String::new(),
         policy: LatencyPolicy::HloHints,
         backend: ltsp::server::Backend::Heuristic,
+        adaptive: false,
         budget: OracleOptions::default().node_budget,
         trip: 100.0,
         threshold: 32,
@@ -385,6 +402,7 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--adaptive" => o.adaptive = true,
             "--no-prefetch" => o.prefetch = false,
             "--balanced" => o.balanced = true,
             "--speculate" => o.speculate = true,
@@ -456,6 +474,14 @@ fn run_serve(argv: &[String]) -> ExitCode {
             }
             "--persist" => persist = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--persist-dir" => persist_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--persist-warn-mb" => {
+                let mb: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                cfg.engine.persist_warn_bytes = Some(mb << 20);
+            }
             "-v" | "--verbose" => verbose = true,
             _ => usage(),
         }
@@ -484,6 +510,10 @@ fn run_serve(argv: &[String]) -> ExitCode {
             "--batch".to_string(),
             cfg.batch_max.to_string(),
         ];
+        if let Some(bytes) = cfg.engine.persist_warn_bytes {
+            worker_args.push("--persist-warn-mb".to_string());
+            worker_args.push((bytes >> 20).max(1).to_string());
+        }
         if verbose {
             worker_args.push("--verbose".to_string());
         }
@@ -625,6 +655,7 @@ fn run_remote(argv: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut op = "compile".to_string();
     let mut backend: Option<String> = None;
+    let mut mode: Option<String> = None;
     let mut policy = "hlo".to_string();
     let mut trip: f64 = 100.0;
     let mut budget: Option<u64> = None;
@@ -667,6 +698,13 @@ fn run_remote(argv: &[String]) -> ExitCode {
                     _ => usage(),
                 }
             }
+            "--mode" => {
+                mode = match it.next().map(String::as_str) {
+                    Some(m @ ("static" | "adaptive")) => Some(m.to_string()),
+                    _ => usage(),
+                }
+            }
+            "--adaptive" => mode = Some("adaptive".to_string()),
             "--trip" => {
                 trip = it
                     .next()
@@ -706,6 +744,12 @@ fn run_remote(argv: &[String]) -> ExitCode {
         }
     }
     let Some(addr) = addr else { usage() };
+    if mode.as_deref() == Some("adaptive")
+        && !matches!(backend.as_deref(), None | Some("heuristic"))
+    {
+        eprintln!("ltspc: --mode adaptive refines the heuristic backend only");
+        return ExitCode::from(EXIT_USAGE);
+    }
     let fileless_op = op == "metrics" || op == "stats";
     if files.is_empty() && !shutdown && !fileless_op {
         usage()
@@ -826,6 +870,9 @@ fn run_remote(argv: &[String]) -> ExitCode {
         );
         if let Some(b) = &backend {
             req.push_str(&format!(",\"backend\":\"{b}\""));
+        }
+        if let Some(m) = &mode {
+            req.push_str(&format!(",\"mode\":\"{m}\""));
         }
         if let Some(b) = budget {
             req.push_str(&format!(",\"budget\":{b}"));
@@ -1349,6 +1396,48 @@ fn main() -> ExitCode {
     };
 
     let machine = MachineModel::itanium2();
+    if o.adaptive {
+        // Feedback-directed refinement: compile, simulate, re-compile
+        // with observed hints to a bounded fixpoint. The renderer is the
+        // one the daemon's refine worker uses, so `ltspc --adaptive` and
+        // an upgraded `remote --mode adaptive` entry print the same
+        // report byte for byte.
+        if o.backend != ltsp::server::Backend::Heuristic {
+            eprintln!("ltspc: --adaptive refines the heuristic backend only");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        if o.asm || o.simulate.is_some() {
+            eprintln!("ltspc: --asm/--simulate do not combine with --adaptive");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let cfg = CompileConfig::new(o.policy)
+            .with_threshold(o.threshold)
+            .with_prefetch(o.prefetch)
+            .with_balanced_recurrences(o.balanced)
+            .with_data_speculation(o.speculate);
+        let tel = if o.verbose {
+            Telemetry::enabled_with(true)
+        } else {
+            Telemetry::disabled()
+        };
+        let res = ltsp::adaptive::compile_loop_adaptive(
+            &lp,
+            &machine,
+            &cfg,
+            o.trip,
+            &ltsp::adaptive::AdaptiveOptions::default(),
+            &tel,
+        );
+        print!(
+            "{}",
+            ltsp::server::render_adaptive_report(&res, o.policy, o.trip)
+        );
+        return if res.all_certified() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_REJECTED)
+        };
+    }
     if o.backend != ltsp::server::Backend::Heuristic {
         // Locally there is no cache to upgrade in place, so `tiered`
         // degenerates to its refinement tier: the exact backend.

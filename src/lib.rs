@@ -29,6 +29,9 @@
 //! - [`cluster`] — sharded serving: consistent-hash router (`ltspr`),
 //!   bounded failover, persistent warm-start cache tier, supervised
 //!   cluster lifecycle behind `ltspc serve --cluster N`
+//! - [`adaptive`] — feedback-directed latency hints: the simulator's
+//!   observed miss levels refined into per-load hints, re-pipelined to a
+//!   validator-certified fixpoint (`ltspc compile --adaptive`)
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use ltsp_adaptive as adaptive;
 pub use ltsp_cache as cache;
 pub use ltsp_cluster as cluster;
 pub use ltsp_core as core;
