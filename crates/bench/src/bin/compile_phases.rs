@@ -1,0 +1,95 @@
+//! `compile_phases` — the benchmark-locked compile-latency KPI harness.
+//!
+//! Buckets per-phase compile latency (parse/hlo/ddg/mrt/sched/regalloc/
+//! render) over the library and scale kernel groups, writes the
+//! machine-readable record, and — given `--baseline` — fails loudly on
+//! gross per-phase regressions against the locked record in `results/`.
+//!
+//! ```text
+//! compile_phases [--out BENCH_compile_phases.json] [--repeat N]
+//!                [--scale N] [--baseline results/BENCH_compile_phases.json]
+//!                [--max-regression 2.0] [--floor-us 25]
+//! ```
+
+use std::process::ExitCode;
+
+use ltsp_bench::compile_phases::{compare_to_baseline, compile_phases};
+use ltsp_machine::MachineModel;
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_compile_phases.json");
+    let mut baseline: Option<String> = None;
+    let mut repeat = 3usize;
+    let mut scale = 3usize;
+    let mut max_regression = 2.0f64;
+    let mut floor_us = 25.0f64;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut val = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = val("--out"),
+            "--baseline" => baseline = Some(val("--baseline")),
+            "--repeat" => repeat = val("--repeat").parse().expect("--repeat: integer"),
+            "--scale" => scale = val("--scale").parse().expect("--scale: integer"),
+            "--max-regression" => {
+                max_regression = val("--max-regression")
+                    .parse()
+                    .expect("--max-regression: float")
+            }
+            "--floor-us" => floor_us = val("--floor-us").parse().expect("--floor-us: float"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: compile_phases [--out FILE] [--repeat N] [--scale N] \
+                     [--baseline FILE] [--max-regression F] [--floor-us F]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let machine = MachineModel::itanium2();
+    let result = compile_phases(&machine, repeat, scale);
+    print!("{}", result.render());
+
+    let record = result.to_json();
+    if let Err(e) = std::fs::write(&out, &record) {
+        eprintln!("compile_phases: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(base_path) = baseline {
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("compile_phases: cannot read baseline {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare_to_baseline(&record, &base, max_regression, floor_us) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("baseline check vs {base_path}: OK (no phase mean >{max_regression}x)");
+            }
+            Ok(regressions) => {
+                eprintln!("baseline check vs {base_path}: FAIL");
+                for r in &regressions {
+                    eprintln!("  regression: {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("baseline check vs {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

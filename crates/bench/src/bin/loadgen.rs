@@ -78,7 +78,7 @@ use std::time::Instant;
 
 use std::collections::BTreeMap;
 
-use ltsp_ir::{DataClass, LoopBuilder, SplitMix64};
+use ltsp_ir::SplitMix64;
 use ltsp_telemetry::prom::PromSnapshot;
 use ltsp_telemetry::{json, Histogram};
 
@@ -195,56 +195,10 @@ fn parse_args() -> Options {
 /// feeding a long dependent fma/fmul chain. Dozens of instructions and
 /// high register pressure make the modulo scheduler work for a living —
 /// the workload class where a schedule cache actually pays, as opposed
-/// to the microsecond-scale corpus kernels.
+/// to the microsecond-scale corpus kernels. Shared with the
+/// compile-phases KPI harness via [`ltsp_workloads::scheduling_heavy`].
 fn synthetic_loop(i: usize) -> ltsp_ir::LoopIr {
-    let mut b = LoopBuilder::new(format!("syn{i}"));
-    let c0 = b.live_in_fr("c0");
-    let c1 = b.live_in_fr("c1");
-    let k0 = b.live_in_gr("k0");
-    let streams = 3;
-    let depth = 9 + i % 5;
-    for s in 0..streams {
-        let su = s as u64 + 1;
-        let x = b.affine_ref(&format!("x{s}[i]"), DataClass::Fp, su << 24, 8, 8);
-        let v = b.load(x);
-        let mut t = b.fma(c0, v, c1);
-        for _ in 0..depth {
-            t = b.fma(c0, t, c1);
-            t = b.fmul(t, t);
-        }
-        let y = b.affine_ref(
-            &format!("y{s}[i]"),
-            DataClass::Fp,
-            (su << 24) + (1 << 20),
-            8,
-            8,
-        );
-        b.store(y, t);
-        // A matching integer stream keeps both register files and both
-        // unit classes busy without tripping the rotating-FR supply.
-        let p = b.affine_ref(
-            &format!("p{s}[i]"),
-            DataClass::Int,
-            (su << 28) | 1 << 12,
-            8,
-            8,
-        );
-        let w = b.load(p);
-        let mut u = b.add(w, k0);
-        for _ in 0..depth {
-            u = b.xor(u, k0);
-            u = b.add(u, u);
-        }
-        let q = b.affine_ref(
-            &format!("q{s}[i]"),
-            DataClass::Int,
-            (su << 28) | 1 << 16,
-            8,
-            8,
-        );
-        b.store(q, u);
-    }
-    b.build().expect("synthetic loop is well-formed")
+    ltsp_workloads::scheduling_heavy(&format!("syn{i}"), 3, 9 + i % 5)
 }
 
 /// One response's accounting.

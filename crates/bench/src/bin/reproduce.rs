@@ -29,12 +29,18 @@
 //! (default `BENCH_reproduce.json`; `--no-bench` suppresses it), and `-v`
 //! narrates experiment progress on stderr (per-experiment wall-clock
 //! timing included).
+//!
+//! A partial run (`reproduce oracle --bench-out ...`) merges into an
+//! existing record at that path rather than replacing it: only the
+//! experiments that ran are refreshed, the rest keep their previous
+//! timings, and `total_wall_ms` is the sum of the merged per-experiment
+//! walls (see `ltsp_bench::bench_record`).
 
 use ltsp_bench::{
     adaptive_gap, balanced_recurrence_experiment, boost_magnitude_ablation, compile_time, fig10,
-    fig5, fig7, fig8, fig9, issue_width_ablation, mcf_case_study, miss_sampling_experiment,
-    mve_code_size_ablation, no_prefetch_headroom, oracle_gap, ozq_capacity_ablation, regstats,
-    versioning_experiment,
+    fig5, fig7, fig8, fig9, issue_width_ablation, mcf_case_study, merged_bench_json,
+    miss_sampling_experiment, mve_code_size_ablation, no_prefetch_headroom, oracle_gap,
+    ozq_capacity_ablation, regstats, versioning_experiment,
 };
 use ltsp_machine::MachineModel;
 use ltsp_telemetry::phase::{PhaseTimer, ALL_PHASES};
@@ -103,53 +109,6 @@ fn compile_phase_kpis(machine: &MachineModel) -> Vec<(&'static str, Histogram)> 
     }
     hists.retain(|(_, h)| h.count > 0);
     hists
-}
-
-/// The machine-readable wall-clock record (`--bench-out`): total and
-/// per-experiment timings, per-phase compile-latency KPIs, plus the
-/// knobs that shaped the run. Timing is the one output that legitimately
-/// varies between runs — everything else `reproduce` writes is
-/// byte-identical for any `--jobs` value.
-fn bench_json(
-    which: &str,
-    scale: f64,
-    jobs: usize,
-    total_ms: f64,
-    timings: &[(String, f64)],
-    phases: &[(&'static str, Histogram)],
-) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"schema\": \"ltsp.bench.reproduce.v1\",\n");
-    s.push_str(&format!("  \"which\": \"{which}\",\n"));
-    s.push_str(&format!("  \"scale\": {scale},\n"));
-    s.push_str(&format!("  \"jobs\": {jobs},\n"));
-    s.push_str(&format!(
-        "  \"host_parallelism\": {},\n",
-        ltsp_par::default_parallelism()
-    ));
-    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
-    s.push_str("  \"phases\": {");
-    for (i, (name, h)) in phases.iter().enumerate() {
-        if i > 0 {
-            s.push_str(", ");
-        }
-        s.push_str(&format!(
-            "\"{name}\": {{\"p50\": {}, \"p99\": {}, \"count\": {}}}",
-            h.quantile(0.50).unwrap_or(0),
-            h.quantile(0.99).unwrap_or(0),
-            h.count
-        ));
-    }
-    s.push_str("},\n");
-    s.push_str("  \"experiments\": [\n");
-    for (i, (name, ms)) in timings.iter().enumerate() {
-        let sep = if i + 1 < timings.len() { "," } else { "" };
-        s.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"wall_ms\": {ms:.3}}}{sep}\n"
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
 }
 
 fn main() {
@@ -315,7 +274,11 @@ fn main() {
             emit(&width_k.render());
         });
     }
-    let total_ms = t_run.elapsed().as_secs_f64() * 1e3;
+    tel.info(format!(
+        "reproduce: {} experiment(s) in {:.1} ms",
+        timings.len(),
+        t_run.elapsed().as_secs_f64() * 1e3
+    ));
 
     write_artifact(trace_out.as_deref(), "trace", |w| tel.write_events_jsonl(w));
     write_artifact(metrics_out.as_deref(), "metrics", |w| {
@@ -326,7 +289,22 @@ fn main() {
     } else {
         Vec::new()
     };
+    // A partial `--which` run merges into the existing record instead of
+    // clobbering it: only the experiments that ran are refreshed.
+    let existing = bench_out
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok());
     write_artifact(bench_out.as_deref(), "bench record", |w| {
-        w.write_all(bench_json(&which, scale, jobs, total_ms, &timings, &phase_kpis).as_bytes())
+        w.write_all(
+            merged_bench_json(
+                &which,
+                scale,
+                jobs,
+                &timings,
+                &phase_kpis,
+                existing.as_deref(),
+            )
+            .as_bytes(),
+        )
     });
 }

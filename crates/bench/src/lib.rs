@@ -24,6 +24,8 @@
 //! | [`adaptive_gap`] | E-adaptive — feedback-directed hints vs static policies |
 
 mod adaptive_gap;
+pub mod bench_record;
+pub mod compile_phases;
 mod experiments;
 mod extensions;
 mod fig5;
@@ -33,6 +35,7 @@ mod oracle_gap;
 mod stats;
 
 pub use adaptive_gap::{adaptive_gap, AdaptiveGapResult, AdaptiveRow};
+pub use bench_record::{merged_bench_json, CANONICAL_EXPERIMENTS};
 pub use experiments::{
     fig10, fig7, fig8, fig9, no_prefetch_headroom, AccountingResult, GainExperiment,
 };

@@ -184,6 +184,32 @@ impl Ddg {
         })
     }
 
+    /// Builds a graph directly from raw edges, bypassing IR construction.
+    ///
+    /// For differential and property tests that need arbitrary dependence
+    /// shapes (random latencies, omegas, cycles) without inventing a loop
+    /// body that produces them. Not used by the production pipeline.
+    #[doc(hidden)]
+    pub fn synthetic(n: usize, edges: Vec<DepEdge>) -> Ddg {
+        assert!(
+            edges.iter().all(|e| e.from.index() < n && e.to.index() < n),
+            "edge endpoints must be < n"
+        );
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (idx, e) in edges.iter().enumerate() {
+            succ[e.from.index()].push(idx);
+            pred[e.to.index()].push(idx);
+        }
+        Ddg {
+            n,
+            edges,
+            succ,
+            pred,
+            is_load: vec![false; n],
+        }
+    }
+
     /// Number of instructions (nodes).
     pub fn len(&self) -> usize {
         self.n

@@ -12,6 +12,10 @@
 //!   edge weight `delay − II·omega`" (Bellman-Ford);
 //! - [`MinDist`] — the all-pairs longest-path matrix at a fixed II, used by
 //!   the scheduler for precedence windows and height-based priority;
+//! - [`MinDistSolver`] — the incremental form behind II escalation: one
+//!   topological-order longest-path pass over the `omega = 0` subgraph at
+//!   construction, then O(c³ + n·c) per II through the `c` carried edges,
+//!   falling back to a full recompute whenever the decomposition is unsound;
 //! - [`Ddg::recurrence_cycles`] — bounded enumeration of the simple cycles
 //!   with a loop-carried dependence, used by the criticality analysis of
 //!   the reproduced paper (Sec. 3.3): a load is *critical* if raising the
@@ -24,4 +28,4 @@ mod mindist;
 
 pub use cycles::{CycleSummary, RecurrenceCycle};
 pub use graph::{Ddg, DepEdge, DepKind, LoadLatencyFn};
-pub use mindist::MinDist;
+pub use mindist::{MinDist, MinDistSolver};

@@ -336,6 +336,65 @@ pub fn reduction_int(name: &str, stride: i64) -> LoopIr {
     b.build().expect("reduction_int is well-formed")
 }
 
+/// A deterministic scheduling-heavy kernel: `streams` FP streams, each
+/// feeding a long dependent fma/fmul chain of the given `depth`, paired
+/// with matching integer streams. Dozens to hundreds of instructions and
+/// high register pressure make the modulo scheduler work for a living —
+/// the workload class where compile latency is dominated by the MRT and
+/// scheduler phases rather than by parsing or HLO.
+///
+/// `loadgen --synthetic` serves `scheduling_heavy(&format!("syn{i}"), 3,
+/// 9 + i % 5)`; the compile-phases KPI harness scales `streams`/`depth`
+/// up to measure the scheduler hot paths at realistic loop sizes.
+pub fn scheduling_heavy(name: &str, streams: usize, depth: usize) -> LoopIr {
+    let mut b = LoopBuilder::new(name);
+    let c0 = b.live_in_fr("c0");
+    let c1 = b.live_in_fr("c1");
+    let k0 = b.live_in_gr("k0");
+    for s in 0..streams {
+        let su = s as u64 + 1;
+        let x = b.affine_ref(&format!("x{s}[i]"), DataClass::Fp, su << 24, 8, 8);
+        let v = b.load(x);
+        let mut t = b.fma(c0, v, c1);
+        for _ in 0..depth {
+            t = b.fma(c0, t, c1);
+            t = b.fmul(t, t);
+        }
+        let y = b.affine_ref(
+            &format!("y{s}[i]"),
+            DataClass::Fp,
+            (su << 24) + (1 << 20),
+            8,
+            8,
+        );
+        b.store(y, t);
+        // A matching integer stream keeps both register files and both
+        // unit classes busy without tripping the rotating-FR supply.
+        let p = b.affine_ref(
+            &format!("p{s}[i]"),
+            DataClass::Int,
+            (su << 28) | 1 << 12,
+            8,
+            8,
+        );
+        let w = b.load(p);
+        let mut u = b.add(w, k0);
+        for _ in 0..depth {
+            u = b.xor(u, k0);
+            u = b.add(u, u);
+        }
+        let q = b.affine_ref(
+            &format!("q{s}[i]"),
+            DataClass::Int,
+            (su << 28) | 1 << 16,
+            8,
+            8,
+        );
+        b.store(q, u);
+    }
+    b.build().expect("scheduling_heavy is well-formed")
+}
+
 /// The canonical kernel library: every kernel at the parameterization the
 /// committed `loops/` corpus uses (regenerated by `examples/dump_loops`).
 /// One list feeds the corpus dump, the oracle-gap experiment and the

@@ -32,8 +32,8 @@ mod trip;
 pub use bench::{Benchmark, LoopSpec, Suite};
 pub use kernels::{
     compute_heavy, gather_update, hash_walk, kernel_library, mcf_refresh, mcf_refresh_predicated,
-    memory_recurrence, motion_search, pointer_array_walk, reduction_int, saxpy, stencil3,
-    stream_sum, symbolic_walk, texture_span, triad,
+    memory_recurrence, motion_search, pointer_array_walk, reduction_int, saxpy, scheduling_heavy,
+    stencil3, stream_sum, symbolic_walk, texture_span, triad,
 };
 pub use random::random_loop;
 pub use suites::{cpu2000, cpu2006, find_benchmark};
